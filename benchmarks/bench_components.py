@@ -1,0 +1,100 @@
+"""Micro-benchmarks of the building blocks.
+
+Not a paper artifact, but the numbers that determine whether the paper's
+"constant time at each port" claim (§1.2) survives contact with an
+implementation: LSF's bitmap scan + FIFO pop, stripe insertion, OLS
+generation, per-slot switch stepping, and traffic generation throughput.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.dyadic import DyadicInterval
+from repro.core.latin import weakly_uniform_ols
+from repro.core.lsf import LsfInputScheduler
+from repro.core.sprinklers_switch import SprinklersSwitch
+from repro.core.striping import Stripe
+from repro.sim.experiment import build_switch
+from repro.switching.packet import Packet
+from repro.traffic.generator import TrafficGenerator
+from repro.traffic.matrices import uniform_matrix
+
+N = 64
+
+
+def make_stripe(stripe_id: int, start: int, size: int) -> Stripe:
+    packets = [
+        Packet(input_port=0, output_port=0, arrival_slot=0, seq=k)
+        for k in range(size)
+    ]
+    return Stripe(stripe_id, 0, 0, DyadicInterval(start, size), packets)
+
+
+def test_lsf_insert_serve_cycle(benchmark):
+    """Insert a size-8 stripe and serve its 8 rows: 9 O(1) operations."""
+    lsf = LsfInputScheduler(N)
+
+    def cycle():
+        lsf.insert(make_stripe(0, 8, 8))
+        for row in range(8, 16):
+            lsf.serve(row)
+
+    benchmark(cycle)
+    assert lsf.occupancy == 0
+
+
+def test_ols_generation(benchmark):
+    """The O(N log N) weakly uniform OLS draw (paper section 3.3.3)."""
+    rng = np.random.default_rng(0)
+    square = benchmark(weakly_uniform_ols, 256, rng)
+    assert len(square) == 256
+
+
+def test_sprinklers_slot_rate(benchmark):
+    """Steady-state slots/second of a loaded Sprinklers switch."""
+    matrix = uniform_matrix(32, 0.8)
+    switch = SprinklersSwitch.from_rates(matrix, seed=0)
+    traffic = TrafficGenerator(matrix, np.random.default_rng(1))
+    stream = list(traffic.slots(4000))
+    cursor = {"i": 0}
+
+    def hundred_slots():
+        i = cursor["i"]
+        for slot, packets in stream[i : i + 100]:
+            switch.step(slot, packets)
+        cursor["i"] = i + 100
+
+    benchmark.pedantic(hundred_slots, rounds=30, iterations=1)
+
+
+@pytest.mark.parametrize("name", ["load-balanced", "ufs", "foff", "pf", "cms"])
+def test_baseline_slot_rate(benchmark, name):
+    """Per-slot cost of each baseline switch at N=32, 80% load."""
+    matrix = uniform_matrix(32, 0.8)
+    switch = build_switch(name, 32, matrix, seed=0)
+    traffic = TrafficGenerator(matrix, np.random.default_rng(1))
+    stream = list(traffic.slots(4000))
+    cursor = {"i": 0}
+
+    def hundred_slots():
+        i = cursor["i"]
+        for slot, packets in stream[i : i + 100]:
+            switch.step(slot, packets)
+        cursor["i"] = i + 100
+
+    benchmark.pedantic(hundred_slots, rounds=30, iterations=1)
+
+
+def test_traffic_generation_rate(benchmark):
+    """Vectorized packet-source throughput (slots/second)."""
+    matrix = uniform_matrix(32, 0.9)
+
+    def make_5000_slots():
+        gen = TrafficGenerator(matrix, np.random.default_rng(2))
+        count = 0
+        for _, packets in gen.slots(5000):
+            count += len(packets)
+        return count
+
+    count = benchmark.pedantic(make_5000_slots, rounds=5, iterations=1)
+    assert count > 0.8 * 0.9 * 32 * 5000

@@ -1,0 +1,31 @@
+"""Benchmark E2: regenerate the paper's Figure 5 (delay vs N at rho=0.9).
+
+Times the closed-form series and the exact truncated stationary solve, and
+checks the linear-in-N shape the paper reports (~4e3 periods at N=1000).
+"""
+
+import pytest
+
+from repro.analysis.delay_model import (
+    expected_queue_length,
+    expected_queue_length_numeric,
+)
+from repro.figures import fig5
+
+from conftest import emit
+
+
+def test_fig5_series(benchmark):
+    rows = benchmark(fig5.generate)
+    emit("Figure 5 (recomputed)", fig5.render())
+    delays = {row["N"]: row["delay_periods"] for row in rows}
+    # Paper's anchor: ~4e3 periods at N=1000 (closed form 4495.5).
+    assert delays[1000] == pytest.approx(4495.5)
+    # Linearity: successive ratios track (N2-1)/(N1-1).
+    assert delays[800] / delays[400] == pytest.approx(799 / 399)
+
+
+def test_fig5_exact_stationary_solve(benchmark):
+    """The sparse linear-algebra path at a mid-size N."""
+    numeric = benchmark(expected_queue_length_numeric, 64, 0.9)
+    assert numeric == pytest.approx(expected_queue_length(64, 0.9), rel=0.02)

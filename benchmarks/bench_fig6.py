@@ -1,0 +1,71 @@
+"""Benchmark E3: regenerate the paper's Figure 6 (delay vs load, uniform).
+
+Runs the five-switch sweep at reduced scale by default (see conftest for
+the full-fidelity knobs), prints the series, and asserts the paper's
+qualitative shape:
+
+* the baseline load-balanced switch is the delay lower envelope;
+* UFS is the worst at light load (full-frame accumulation) and improves
+  with load;
+* Sprinklers is far below UFS at light load and stays flat;
+* every switch except the baseline delivers with zero reordering.
+"""
+
+import pytest
+
+from repro.figures.delay_figures import generate
+from repro.figures.render import format_table
+
+from conftest import bench_loads, bench_n, bench_slots, emit
+
+
+@pytest.fixture(scope="module")
+def fig6_rows():
+    return generate(
+        "uniform",
+        n=bench_n(),
+        loads=bench_loads(),
+        num_slots=bench_slots(),
+        seed=0,
+    )
+
+
+def test_fig6_sweep(benchmark, fig6_rows):
+    # Time one (switch, load) cell — the sweep's unit of work — and reuse
+    # the module-scoped full sweep for the shape checks.
+    benchmark.pedantic(
+        generate,
+        kwargs=dict(
+            pattern="uniform",
+            n=bench_n(),
+            loads=(bench_loads()[0],),
+            num_slots=max(2000, bench_slots() // 10),
+            switches=("sprinklers",),
+            seed=1,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rows = fig6_rows
+    emit("Figure 6 series (uniform traffic)", format_table(rows))
+
+    loads = sorted({row["load"] for row in rows})
+    table = {(row["switch"], row["load"]): row for row in rows}
+    light, heavy = loads[0], loads[-1]
+
+    for (name, load), row in table.items():
+        if name != "baseline-lb":
+            assert row["late_packets"] == 0, (name, load)
+
+    for load in loads:
+        base = table[("baseline-lb", load)]["mean_delay"]
+        for name in ("ufs", "foff", "pf", "sprinklers"):
+            assert base < table[(name, load)]["mean_delay"]
+
+    assert (
+        table[("sprinklers", light)]["mean_delay"]
+        < 0.5 * table[("ufs", light)]["mean_delay"]
+    )
+    assert (
+        table[("ufs", light)]["mean_delay"] > table[("ufs", heavy)]["mean_delay"]
+    )

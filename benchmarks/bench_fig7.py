@@ -1,0 +1,60 @@
+"""Benchmark E4: regenerate the paper's Figure 7 (delay vs load, diagonal).
+
+The diagonal pattern (P(j = i) = 1/2) concentrates half of each input's
+traffic in one VOQ — the workload where rate-proportional striping earns
+its keep.  Shape assertions mirror bench_fig6.
+"""
+
+import pytest
+
+from repro.figures.delay_figures import generate
+from repro.figures.render import format_table
+
+from conftest import bench_loads, bench_n, bench_slots, emit
+
+
+@pytest.fixture(scope="module")
+def fig7_rows():
+    return generate(
+        "diagonal",
+        n=bench_n(),
+        loads=bench_loads(),
+        num_slots=bench_slots(),
+        seed=0,
+    )
+
+
+def test_fig7_sweep(benchmark, fig7_rows):
+    benchmark.pedantic(
+        generate,
+        kwargs=dict(
+            pattern="diagonal",
+            n=bench_n(),
+            loads=(bench_loads()[0],),
+            num_slots=max(2000, bench_slots() // 10),
+            switches=("sprinklers",),
+            seed=1,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rows = fig7_rows
+    emit("Figure 7 series (diagonal traffic)", format_table(rows))
+
+    loads = sorted({row["load"] for row in rows})
+    table = {(row["switch"], row["load"]): row for row in rows}
+    light = loads[0]
+
+    for (name, load), row in table.items():
+        if name != "baseline-lb":
+            assert row["late_packets"] == 0, (name, load)
+
+    for load in loads:
+        base = table[("baseline-lb", load)]["mean_delay"]
+        for name in ("ufs", "foff", "pf", "sprinklers"):
+            assert base < table[(name, load)]["mean_delay"]
+
+    assert (
+        table[("sprinklers", light)]["mean_delay"]
+        < table[("ufs", light)]["mean_delay"]
+    )

@@ -1,0 +1,32 @@
+"""Benchmark E1: regenerate the paper's Table 1 (overload bounds).
+
+Times the full Chernoff optimization grid and checks the recomputed values
+against the paper's published cells (where the paper's numbers are not at
+its ~1e-29 numeric floor; see EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.analysis.chernoff import PAPER_TABLE1, overload_probability_bound
+from repro.figures import table1
+
+from conftest import emit
+
+
+def test_table1_regeneration(benchmark):
+    rows = benchmark(table1.generate)
+    assert len(rows) == 8
+    emit("Table 1 (recomputed)", table1.render(include_paper=True))
+    # Fidelity: match the paper everywhere its values are clearly above
+    # its numeric floor.
+    for (rho, n), paper_value in PAPER_TABLE1.items():
+        if paper_value < 1e-25:
+            continue
+        row = next(r for r in rows if r["rho"] == rho)
+        assert row[f"N={n}"] == pytest.approx(paper_value, rel=0.1)
+
+
+def test_single_bound_latency(benchmark):
+    """One (rho, N) cell: the unit of work a control plane would run."""
+    value = benchmark(overload_probability_bound, 0.93, 2048)
+    assert value == pytest.approx(3.09e-18, rel=0.1)

@@ -1,0 +1,42 @@
+"""Shared configuration for the benchmark harness.
+
+Every paper artifact (Table 1, Figures 5-7) has one benchmark module that
+regenerates it and prints the same rows/series the paper reports.  The
+simulation figures run at a reduced default scale so the suite stays
+responsive; set the environment variables below for full fidelity (the
+settings used in EXPERIMENTS.md):
+
+* ``REPRO_BENCH_N``      — switch size for Figs. 6-7 (paper: 32)
+* ``REPRO_BENCH_SLOTS``  — slots per simulated point (paper-scale: 200000)
+* ``REPRO_BENCH_LOADS``  — comma-separated load levels
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+__all__ = ["bench_n", "bench_slots", "bench_loads", "emit"]
+
+
+def bench_n(default: int = 16) -> int:
+    """Switch size for the simulation benchmarks."""
+    return int(os.environ.get("REPRO_BENCH_N", default))
+
+
+def bench_slots(default: int = 15_000) -> int:
+    """Slots per simulated point."""
+    return int(os.environ.get("REPRO_BENCH_SLOTS", default))
+
+
+def bench_loads(default: Sequence[float] = (0.1, 0.5, 0.9)) -> Sequence[float]:
+    """Load levels for the delay-vs-load sweeps."""
+    raw = os.environ.get("REPRO_BENCH_LOADS")
+    if raw is None:
+        return tuple(default)
+    return tuple(float(tok) for tok in raw.split(","))
+
+
+def emit(title: str, text: str) -> None:
+    """Print a regenerated artifact (shown with ``pytest -s``)."""
+    print(f"\n=== {title} ===\n{text}")

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Where does the delay go?  Per-stage decomposition across switches.
+
+The paper's core delay argument (§3.1) is about *aggregation*: UFS forces
+every VOQ to accumulate N packets, so at light load its delay is pure
+waiting; Sprinklers sizes stripes to the VOQ's rate, shrinking exactly
+that term.  This example measures the decomposition directly:
+
+* ``assembly``    — waiting for the stripe/frame/grant to form,
+* ``input_queue`` — formed, waiting to cross the first fabric,
+* ``transit``     — first fabric to departure.
+
+Usage::
+
+    python examples/delay_breakdown.py
+    python examples/delay_breakdown.py --n 32 --slots 50000
+"""
+
+import argparse
+
+from repro.sim.experiment import run_single
+from repro.traffic.matrices import uniform_matrix
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=16)
+    parser.add_argument("--slots", type=int, default=20_000)
+    parser.add_argument("--loads", type=float, nargs="+", default=[0.2, 0.5, 0.9])
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    switches = ("sprinklers", "ufs", "pf", "foff", "cms")
+    print(
+        f"Per-stage mean delay (slots), N={args.n}, uniform traffic, "
+        f"{args.slots} slots per point\n"
+    )
+    header = (
+        f"{'load':>5s} {'switch':>11s} {'assembly':>9s} "
+        f"{'input_q':>8s} {'transit':>8s} {'total':>8s}"
+    )
+    for load in args.loads:
+        print(header)
+        matrix = uniform_matrix(args.n, load)
+        for name in switches:
+            result = run_single(
+                name, matrix, args.slots, seed=args.seed,
+                load_label=load, keep_samples=False,
+            )
+            assembly = result.extras.get("mean_assembly_delay", float("nan"))
+            input_q = result.extras.get("mean_input_queue_delay", float("nan"))
+            transit = result.extras.get("mean_transit_delay", float("nan"))
+            print(
+                f"{load:5.2f} {name:>11s} {assembly:9.1f} "
+                f"{input_q:8.1f} {transit:8.1f} {result.mean_delay:8.1f}"
+            )
+        print()
+    print(
+        "Note how UFS's 'assembly' column dwarfs everything at light load\n"
+        "while Sprinklers' scales with its rate-proportional stripe sizes —\n"
+        "the paper's §3.1 argument, measured."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's Figures 6 and 7 (delay vs load, five switches).
+
+Full fidelity takes a few minutes; pass ``--quick`` for a reduced grid.
+
+Usage::
+
+    python examples/delay_vs_load.py --quick
+    python examples/delay_vs_load.py --slots 200000      # paper scale
+    python examples/delay_vs_load.py --pattern diagonal  # Figure 7 only
+"""
+
+import argparse
+
+from repro.figures import fig6, fig7
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=32, help="switch size")
+    parser.add_argument("--slots", type=int, default=50_000)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--pattern",
+        choices=("uniform", "diagonal", "both"),
+        default="both",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="N=16, 10k slots, 4 load points",
+    )
+    args = parser.parse_args()
+
+    if args.quick:
+        n, slots = 16, 10_000
+        loads = (0.1, 0.4, 0.7, 0.9)
+    else:
+        n, slots = args.n, args.slots
+        loads = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95)
+
+    if args.pattern in ("uniform", "both"):
+        print(fig6.render(n=n, loads=loads, num_slots=slots, seed=args.seed))
+        print()
+    if args.pattern in ("diagonal", "both"):
+        print(fig7.render(n=n, loads=loads, num_slots=slots, seed=args.seed))
+
+
+if __name__ == "__main__":
+    main()

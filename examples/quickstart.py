@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Quickstart: build a Sprinklers switch, push traffic, check the claims.
+
+Runs a 32-port Sprinklers switch at 80% uniform load for 20k slots and
+verifies the paper's two headline properties on live traffic:
+
+* zero packet reordering (per-VOQ FIFO order at the outputs);
+* delay comparable to the other reordering-free designs without UFS's
+  full-frame accumulation penalty.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import SprinklersSwitch, TrafficGenerator, simulate
+from repro.traffic.matrices import uniform_matrix
+
+
+def main() -> None:
+    n = 32
+    load = 0.8
+    matrix = uniform_matrix(n, load)
+
+    # 1. The static configuration: primary ports from a weakly uniform
+    #    random Latin square, dyadic intervals sized by Equation (1).
+    switch = SprinklersSwitch.from_rates(matrix, seed=1)
+    assignment = switch.assignment
+    print(f"Sprinklers switch: N={n}, load={load}")
+    print(f"stripe size of VOQ (0, 0): {switch.stripe_size(0, 0)}")
+    print(f"interval of VOQ (0, 0):    {assignment.interval(0, 0)}")
+    print(f"max queue load:            {assignment.max_queue_load():.5f} "
+          f"(service rate is 1/N = {1 / n:.5f})")
+
+    # 2. Drive Bernoulli traffic through it.
+    traffic = TrafficGenerator(matrix, np.random.default_rng(2))
+    result = simulate(switch, traffic, num_slots=20_000, load_label=load)
+
+    # 3. The paper's claims, measured.
+    print(f"\nmeasured packets: {result.measured_packets}")
+    print(f"mean delay:       {result.mean_delay:.1f} slots")
+    print(f"p99 delay:        {result.p99_delay:.1f} slots")
+    print(f"reordered (late): {result.late_packets}")
+    assert result.is_ordered, "Sprinklers must never reorder!"
+    print("\nOK: zero reordering, as Theorem-grade design intended.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Anatomy of a Sprinklers switch: placements, stripes, and one stripe's trip.
+
+Visualizes (in text) the machinery of §3 on an 8x8 switch:
+
+* the primary-port Latin square and the per-VOQ dyadic intervals
+  (the paper's Fig. 2);
+* each input's load per intermediate port (why the randomization works);
+* one instrumented stripe's slot-by-slot journey: consecutive departure
+  slots to consecutive ports, consecutive arrival slots at the output
+  (the paper's Fig. 3 schedule-grid discipline).
+
+Usage::
+
+    python examples/stripe_anatomy.py
+"""
+
+import numpy as np
+
+from repro.core.sprinklers_switch import SprinklersSwitch
+from repro.traffic.generator import TrafficGenerator
+from repro.traffic.matrices import lognormal_matrix
+
+
+def show_assignment(switch: SprinklersSwitch) -> None:
+    assignment = switch.assignment
+    n = assignment.n
+    print("Primary-port Latin square A[i][j] (row = input, col = output):")
+    for i in range(n):
+        print("  " + " ".join(f"{assignment.primary_port(i, j):2d}" for j in range(n)))
+
+    print("\nStripe intervals of input 0 (paper Fig. 2, in (l, l+2^k] form):")
+    for j in range(n):
+        interval = assignment.interval(0, j)
+        rate = assignment.rates[0][j]
+        bar = ["."] * n
+        for port in interval.ports():
+            bar[port] = "#"
+        print(
+            f"  VOQ (0,{j}) rate={rate:.4f} size={interval.size:2d} "
+            f"{interval.as_paper_notation():>9s}  |{''.join(bar)}|"
+        )
+
+    print("\nPer-intermediate-port load from input 0 "
+          "(service rate per queue is 1/N):")
+    loads = assignment.input_port_loads(0)
+    for m, value in enumerate(loads):
+        blocks = int(round(value * switch.n * 40))
+        print(f"  port {m}: {value:.4f} {'=' * blocks}")
+
+
+def show_stripe_journey(switch: SprinklersSwitch, matrix) -> None:
+    traffic = TrafficGenerator(matrix, np.random.default_rng(7))
+    for slot, packets in traffic.slots(4000):
+        switch.step(slot, packets)
+    switch.drain(50 * switch.n)
+
+    # Pick the largest fully recorded stripe.
+    candidates = [
+        sid
+        for sid, tx in switch.stripe_tx.items()
+        if sid in switch.stripe_rx and len(tx) == len(switch.stripe_rx[sid])
+    ]
+    stripe_id = max(candidates, key=lambda sid: len(switch.stripe_tx[sid]))
+    tx = switch.stripe_tx[stripe_id]
+    rx = switch.stripe_rx[stripe_id]
+    print(f"\nJourney of stripe {stripe_id} (size {len(tx)}):")
+    print(f"  {'packet':>6s} {'tx slot':>8s} {'-> mid port':>11s} {'rx slot':>8s}")
+    for pos, ((tx_slot, port), rx_slot) in enumerate(zip(tx, rx)):
+        print(f"  {pos:6d} {tx_slot:8d} {port:11d} {rx_slot:8d}")
+    print(
+        "  -> consecutive slots, consecutive ports, both directions: "
+        "the no-reordering guarantee, visible."
+    )
+
+
+def main() -> None:
+    n = 8
+    # Skewed rates so the stripe sizes genuinely vary.
+    matrix = lognormal_matrix(n, 0.8, sigma=1.2, rng=np.random.default_rng(5))
+    switch = SprinklersSwitch.from_rates(matrix, seed=2, record_stripe_events=True)
+    show_assignment(switch)
+    show_stripe_journey(switch, matrix)
+
+
+if __name__ == "__main__":
+    main()

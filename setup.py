@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+All metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` / ``python setup.py develop`` work on offline
+environments whose setuptools predates native PEP 660 editable installs
+(they need the legacy code path, which requires a ``setup.py``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,70 @@
+"""Sprinklers: reordering-free load-balanced switching (CoNeXT 2014).
+
+A from-scratch Python reproduction of Ding, Xu, Dai, Song & Lin,
+*"Sprinklers: A Randomized Variable-Size Striping Approach to
+Reordering-Free Load-Balanced Switching"* — the switch itself, every
+baseline it is compared against, the slotted-time simulator substrate, the
+traffic generators, and the paper's analytical results (Theorem 1/2 bounds,
+the §5 delay model).
+
+Quickstart::
+
+    import numpy as np
+    from repro import SprinklersSwitch, TrafficGenerator, simulate
+    from repro.traffic.matrices import uniform_matrix
+
+    matrix = uniform_matrix(32, 0.8)                  # N=32, 80% load
+    switch = SprinklersSwitch.from_rates(matrix, seed=1)
+    traffic = TrafficGenerator(matrix, np.random.default_rng(2))
+    result = simulate(switch, traffic, num_slots=20_000, load_label=0.8)
+    assert result.is_ordered                          # never reorders
+    print(result.mean_delay)
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
+paper-vs-measured comparison of every table and figure.
+"""
+
+from .core.dyadic import DyadicInterval, dyadic_interval_for
+from .core.interval_assignment import PlacementMode, StripeIntervalAssignment
+from .core.latin import weakly_uniform_ols
+from .core.sprinklers_switch import SprinklersSwitch
+from .core.striping import Stripe, StripeAssembler, stripe_size_for_rate
+from .sim.engine import SimulationEngine, simulate
+from .sim.experiment import delay_vs_load_sweep, run_single
+from .sim.metrics import SimulationResult
+from .switching.baseline import BaselineLoadBalancedSwitch
+from .switching.foff import FoffSwitch
+from .switching.hashing import TcpHashingSwitch
+from .switching.output_queued import OutputQueuedSwitch
+from .switching.packet import Packet
+from .switching.pf import PaddedFramesSwitch
+from .switching.ufs import UfsSwitch
+from .traffic.generator import TrafficGenerator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BaselineLoadBalancedSwitch",
+    "DyadicInterval",
+    "FoffSwitch",
+    "OutputQueuedSwitch",
+    "Packet",
+    "PaddedFramesSwitch",
+    "PlacementMode",
+    "SimulationEngine",
+    "SimulationResult",
+    "SprinklersSwitch",
+    "Stripe",
+    "StripeAssembler",
+    "StripeIntervalAssignment",
+    "TcpHashingSwitch",
+    "TrafficGenerator",
+    "UfsSwitch",
+    "delay_vs_load_sweep",
+    "dyadic_interval_for",
+    "run_single",
+    "simulate",
+    "stripe_size_for_rate",
+    "weakly_uniform_ols",
+    "__version__",
+]

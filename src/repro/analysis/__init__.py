@@ -1,0 +1,63 @@
+"""Analytical results of the paper: Theorems 1-2, Table 1, the SS5 model."""
+
+from .balance import (
+    balance_profile,
+    bound_vs_empirical_rows,
+    empirical_overload_probability,
+)
+from .chernoff import (
+    PAPER_TABLE1,
+    h_function,
+    log10_overload_probability_bound,
+    overload_probability_bound,
+    p_star,
+    switch_wide_bound,
+    table1_rows,
+)
+from .delay_model import (
+    expected_queue_length,
+    expected_queue_length_numeric,
+    fig5_series,
+    simulate_chain,
+    stationary_distribution,
+)
+from .queueing import GeoGeo1, batch_queue_mean, lindley_waits
+from .negative_association import (
+    permutation_covariance,
+    permutation_mgf_product_gap,
+)
+from .stability import (
+    max_load_over_permutations_mc,
+    overload_probability_mc,
+    queue_arrival_rate,
+    theorem1_threshold,
+    worst_case_rates,
+)
+
+__all__ = [
+    "PAPER_TABLE1",
+    "GeoGeo1",
+    "balance_profile",
+    "batch_queue_mean",
+    "bound_vs_empirical_rows",
+    "empirical_overload_probability",
+    "expected_queue_length",
+    "expected_queue_length_numeric",
+    "fig5_series",
+    "h_function",
+    "lindley_waits",
+    "log10_overload_probability_bound",
+    "max_load_over_permutations_mc",
+    "overload_probability_bound",
+    "overload_probability_mc",
+    "p_star",
+    "permutation_covariance",
+    "permutation_mgf_product_gap",
+    "queue_arrival_rate",
+    "simulate_chain",
+    "stationary_distribution",
+    "switch_wide_bound",
+    "table1_rows",
+    "theorem1_threshold",
+    "worst_case_rates",
+]

@@ -1,0 +1,158 @@
+"""Stability analysis of the input-to-intermediate queues (paper §4).
+
+The object of study is ``X(r, sigma)``: the total arrival rate into the
+queue of packets at input port 0 that must be switched through intermediate
+port 0, when the input's N VOQs have rates ``r`` and are mapped to primary
+intermediate ports by permutation ``sigma``.  A VOQ with primary port ``p``
+and stripe size ``f = F(rate)`` covers intermediate port 0 iff its dyadic
+interval starts at 0, i.e. iff ``p < f``; it then contributes its
+load-per-share ``rate / f``.
+
+Provided here:
+
+* exact evaluation of ``X(r, sigma)``;
+* Theorem 1: ``X < 1/N`` almost surely when ``|r| < 2/3 + 1/(3 N^2)``,
+  together with the extremal rate vector from the proof of Lemma 1 that
+  attains ``X = 1/N`` at exactly that total load;
+* Monte-Carlo estimation of the overload probability ``P(X >= 1/N)`` for
+  arbitrary rate vectors (used to sanity-check the Chernoff bounds of
+  :mod:`repro.analysis.chernoff` and to run the dyadic-vs-arbitrary
+  ablation).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core.striping import stripe_size_for_rate
+
+__all__ = [
+    "theorem1_threshold",
+    "queue_arrival_rate",
+    "worst_case_rates",
+    "overload_probability_mc",
+    "max_load_over_permutations_mc",
+]
+
+
+def theorem1_threshold(n: int) -> float:
+    """The Theorem 1 load threshold ``2/3 + 1/(3 N^2)``.
+
+    Below this total input load, no placement — however unlucky — can
+    overload any single (input, intermediate) queue.
+
+    >>> abs(theorem1_threshold(2) - 0.75) < 1e-12
+    True
+    """
+    if n < 2:
+        raise ValueError("n must be at least 2")
+    return 2.0 / 3.0 + 1.0 / (3.0 * n * n)
+
+
+def queue_arrival_rate(
+    rates: Sequence[float],
+    sigma: Sequence[int],
+    n: int,
+    target_port: int = 0,
+) -> float:
+    """Exact ``X(r, sigma)`` for the queue feeding ``target_port``.
+
+    ``sigma[j]`` is the primary intermediate port of VOQ ``j``.  VOQ ``j``
+    contributes ``rates[j] / F(rates[j])`` iff its dyadic interval covers
+    ``target_port``.
+    """
+    if len(rates) != n or len(sigma) != n:
+        raise ValueError("rates and sigma must have length n")
+    total = 0.0
+    for j in range(n):
+        rate = float(rates[j])
+        if rate <= 0.0:
+            continue
+        size = stripe_size_for_rate(rate, n)
+        primary = sigma[j]
+        interval_start = (primary // size) * size
+        if interval_start <= target_port < interval_start + size:
+            total += rate / size
+    return total
+
+
+def worst_case_rates(n: int, scale: float = 1.0) -> List[float]:
+    """The extremal rate vector from the proof of Theorem 1 (Lemma 1).
+
+    Indexed by *primary port*: the VOQ aimed at port ``p`` (0-indexed; the
+    paper's port ``l = p + 1``) gets rate ``2^ceil(log2(p+1)) / N^2`` for
+    ``p < N/2``, the VOQ aimed at port ``N/2`` gets rate 1/2, and the rest
+    are idle.  At ``scale = 1`` the vector sums to exactly the Theorem 1
+    threshold and drives ``X`` to exactly ``1/N`` under the identity
+    placement; any ``scale < 1`` leaves every placement strictly stable.
+
+    >>> n = 16
+    >>> abs(sum(worst_case_rates(n)) - theorem1_threshold(n)) < 1e-12
+    True
+    """
+    if n < 4 or (n & (n - 1)) != 0:
+        raise ValueError("n must be a power of two >= 4")
+    rates = [0.0] * n
+    for p in range(n // 2):
+        rates[p] = scale * (2.0 ** math.ceil(math.log2(p + 1))) / (n * n)
+    rates[n // 2] = scale * 0.5
+    return rates
+
+
+def overload_probability_mc(
+    rates: Sequence[float],
+    n: int,
+    trials: int,
+    rng: np.random.Generator,
+    threshold: Optional[float] = None,
+) -> float:
+    """Monte-Carlo estimate of ``P(X(r, sigma) >= threshold)``.
+
+    ``sigma`` is drawn uniformly over all permutations per trial, exactly
+    as the Sprinklers placement does.  Vectorized: a VOQ contributes iff
+    its (randomly permuted) primary port is below its stripe size.
+    """
+    if threshold is None:
+        threshold = 1.0 / n
+    rates_arr = np.asarray(rates, dtype=float)
+    if rates_arr.shape != (n,):
+        raise ValueError("rates must have length n")
+    sizes = np.array(
+        [stripe_size_for_rate(float(r), n) for r in rates_arr], dtype=np.int64
+    )
+    shares = np.where(rates_arr > 0, rates_arr / sizes, 0.0)
+    hits = 0
+    for _ in range(trials):
+        sigma = rng.permutation(n)
+        x = float(shares[sigma < sizes].sum())
+        if x >= threshold - 1e-12:
+            hits += 1
+    return hits / trials
+
+
+def max_load_over_permutations_mc(
+    rates: Sequence[float],
+    n: int,
+    trials: int,
+    rng: np.random.Generator,
+) -> float:
+    """The largest ``X(r, sigma)`` seen over ``trials`` random placements.
+
+    Used by tests of Theorem 1: below the threshold this maximum must stay
+    strictly below ``1/N`` no matter how many placements are sampled.
+    """
+    rates_arr = np.asarray(rates, dtype=float)
+    sizes = np.array(
+        [stripe_size_for_rate(float(r), n) for r in rates_arr], dtype=np.int64
+    )
+    shares = np.where(rates_arr > 0, rates_arr / sizes, 0.0)
+    worst = 0.0
+    for _ in range(trials):
+        sigma = rng.permutation(n)
+        x = float(shares[sigma < sizes].sum())
+        if x > worst:
+            worst = x
+    return worst

@@ -1,0 +1,239 @@
+"""Command-line interface: regenerate any paper artifact from a shell.
+
+Usage (also installed as the ``sprinklers`` console script)::
+
+    python -m repro table1
+    python -m repro fig5
+    python -m repro fig6 --slots 200000 --n 32
+    python -m repro fig7 --loads 0.1 0.5 0.9
+    python -m repro demo --n 16 --load 0.8
+    python -m repro bounds --rho 0.93 --n 2048
+
+Figure commands accept ``--csv`` to emit machine-readable rows instead of
+the rendered table/chart.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.chernoff import overload_probability_bound, switch_wide_bound
+from .figures import fig5, fig6, fig7, table1
+from .figures.delay_figures import DEFAULT_LOADS
+from .figures.render import rows_to_csv
+from .sim.experiment import PAPER_SWITCHES, run_single
+from .traffic.matrices import uniform_matrix
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="sprinklers",
+        description=(
+            "Reproduction of 'Sprinklers: A Randomized Variable-Size "
+            "Striping Approach to Reordering-Free Load-Balanced Switching' "
+            "(CoNeXT 2014)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="Table 1: overload probability bounds")
+
+    p5 = sub.add_parser("fig5", help="Figure 5: intermediate-stage delay vs N")
+    p5.add_argument("--rho", type=float, default=0.9, help="offered load")
+
+    for name, helptext in (
+        ("fig6", "Figure 6: delay vs load, uniform traffic"),
+        ("fig7", "Figure 7: delay vs load, diagonal traffic"),
+    ):
+        p = sub.add_parser(name, help=helptext)
+        p.add_argument("--n", type=int, default=32, help="switch size")
+        p.add_argument("--slots", type=int, default=50_000, help="slots per point")
+        p.add_argument("--seed", type=int, default=0, help="master seed")
+        p.add_argument(
+            "--loads",
+            type=float,
+            nargs="+",
+            default=None,
+            help="load levels to sweep",
+        )
+        p.add_argument("--csv", action="store_true", help="emit CSV rows")
+
+    demo = sub.add_parser("demo", help="run every switch once, show a summary")
+    demo.add_argument("--n", type=int, default=16)
+    demo.add_argument("--load", type=float, default=0.8)
+    demo.add_argument("--slots", type=int, default=20_000)
+    demo.add_argument("--seed", type=int, default=0)
+
+    bounds = sub.add_parser("bounds", help="overload bound for one (rho, N)")
+    bounds.add_argument("--rho", type=float, required=True)
+    bounds.add_argument("--n", type=int, required=True)
+
+    balance = sub.add_parser(
+        "balance",
+        help="empirical overload probability vs the Table 1 bounds",
+    )
+    balance.add_argument("--n", type=int, default=32)
+    balance.add_argument("--pattern", choices=("uniform", "diagonal"), default="diagonal")
+    balance.add_argument("--trials", type=int, default=200)
+    balance.add_argument(
+        "--loads", type=float, nargs="+", default=[0.7, 0.8, 0.9, 0.95]
+    )
+    balance.add_argument("--seed", type=int, default=0)
+
+    bursts = sub.add_parser(
+        "bursts",
+        help="extension: delay sensitivity to traffic burstiness",
+    )
+    bursts.add_argument("--n", type=int, default=16)
+    bursts.add_argument("--load", type=float, default=0.6)
+    bursts.add_argument("--slots", type=int, default=20_000)
+    bursts.add_argument("--seed", type=int, default=0)
+
+    validate = sub.add_parser(
+        "validate",
+        help="self-check: invariants of every switch on a quick workload",
+    )
+    validate.add_argument("--n", type=int, default=8)
+    validate.add_argument("--slots", type=int, default=3000)
+    validate.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _cmd_fig(args: argparse.Namespace, module) -> str:
+    loads = tuple(args.loads) if args.loads else DEFAULT_LOADS
+    if args.csv:
+        rows = module.generate(
+            n=args.n, loads=loads, num_slots=args.slots, seed=args.seed
+        )
+        return rows_to_csv(rows)
+    return module.render(
+        n=args.n, loads=loads, num_slots=args.slots, seed=args.seed
+    )
+
+
+def _cmd_demo(args: argparse.Namespace) -> str:
+    matrix = uniform_matrix(args.n, args.load)
+    lines = [
+        f"Demo: N={args.n}, uniform traffic at load {args.load}, "
+        f"{args.slots} slots",
+        f"{'switch':16s} {'mean delay':>11s} {'late pkts':>9s} {'ordered':>8s}",
+    ]
+    for name in list(PAPER_SWITCHES) + ["cms", "output-queued"]:
+        result = run_single(
+            name, matrix, args.slots, seed=args.seed, load_label=args.load
+        )
+        lines.append(
+            f"{name:16s} {result.mean_delay:11.2f} "
+            f"{result.late_packets:9d} {str(result.is_ordered):>8s}"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_balance(args: argparse.Namespace) -> str:
+    import numpy as np
+
+    from .analysis.balance import bound_vs_empirical_rows
+    from .figures.render import format_table
+    from .traffic.matrices import diagonal_matrix
+
+    family = (
+        (lambda n, rho, rng: uniform_matrix(n, rho))
+        if args.pattern == "uniform"
+        else (lambda n, rho, rng: diagonal_matrix(n, rho))
+    )
+    rows = bound_vs_empirical_rows(
+        family,
+        args.n,
+        rhos=args.loads,
+        trials=args.trials,
+        rng=np.random.default_rng(args.seed),
+    )
+    return (
+        f"Overload probability, analytical vs measured "
+        f"({args.pattern} traffic, N={args.n}, {args.trials} trials/load)\n"
+        + format_table(rows)
+    )
+
+
+def _cmd_validate(args: argparse.Namespace) -> tuple:
+    """Quick invariant sweep over every registered switch; returns
+    ``(report_text, ok)``."""
+    from .sim.experiment import SWITCH_BUILDERS, run_single
+
+    matrix = uniform_matrix(args.n, 0.8)
+    lines = [
+        f"Self-check: N={args.n}, uniform load 0.8, {args.slots} slots",
+        f"{'switch':20s} {'delivered':>9s} {'ordered':>8s} {'verdict':>8s}",
+    ]
+    ok = True
+    for name in sorted(SWITCH_BUILDERS):
+        result = run_single(
+            name, matrix, args.slots, seed=args.seed, keep_samples=False
+        )
+        switch_ok = result.measured_packets > 0
+        # Ordering is required of every switch except the baseline (which
+        # is *expected* to reorder under load — that is its known flaw).
+        if name != "load-balanced":
+            switch_ok = switch_ok and result.is_ordered
+        else:
+            switch_ok = switch_ok and not result.is_ordered
+        ok = ok and switch_ok
+        lines.append(
+            f"{name:20s} {result.measured_packets:9d} "
+            f"{str(result.is_ordered):>8s} {'PASS' if switch_ok else 'FAIL':>8s}"
+        )
+    lines.append("all checks passed" if ok else "CHECKS FAILED")
+    return "\n".join(lines), ok
+
+
+def _cmd_bounds(args: argparse.Namespace) -> str:
+    per_queue = overload_probability_bound(args.rho, args.n)
+    switch_wide = switch_wide_bound(args.rho, args.n)
+    return (
+        f"rho={args.rho} N={args.n}\n"
+        f"per-queue overload bound:   {per_queue:.3e}\n"
+        f"switch-wide (2 N^2 union):  {switch_wide:.3e}"
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "table1":
+        output = table1.render()
+    elif args.command == "fig5":
+        output = fig5.render(rho=args.rho)
+    elif args.command == "fig6":
+        output = _cmd_fig(args, fig6)
+    elif args.command == "fig7":
+        output = _cmd_fig(args, fig7)
+    elif args.command == "demo":
+        output = _cmd_demo(args)
+    elif args.command == "bounds":
+        output = _cmd_bounds(args)
+    elif args.command == "balance":
+        output = _cmd_balance(args)
+    elif args.command == "bursts":
+        from .figures.burst_sensitivity import render as burst_render
+
+        output = burst_render(
+            n=args.n, load=args.load, num_slots=args.slots, seed=args.seed
+        )
+    elif args.command == "validate":
+        output, ok = _cmd_validate(args)
+        print(output)
+        return 0 if ok else 1
+    else:  # pragma: no cover - argparse enforces the choices
+        raise AssertionError(f"unhandled command {args.command}")
+    print(output)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

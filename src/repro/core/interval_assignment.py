@@ -1,0 +1,206 @@
+"""Switch-wide stripe-interval assignment (paper §3.3).
+
+Combines the three Sprinklers placement ingredients:
+
+1. **Permutation** — each input port's N VOQs map to N *distinct* primary
+   intermediate ports (one sprinkler aimed at each lawn area);
+2. **Randomization** — the permutations are uniform random, coordinated
+   across inputs through a weakly uniform random Latin square so the output
+   side is balanced too;
+3. **Variable-size dyadic striping** — each VOQ's interval is the unique
+   dyadic interval of size ``F(r)`` containing its primary port.
+
+The resulting :class:`StripeIntervalAssignment` is the static configuration
+a Sprinklers switch runs with (placements stay fixed; sizes may later change
+through the rate-adaptation machinery).  It also exposes the exact per-port
+load accounting used by the stability analysis and the ablation benches.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .dyadic import DyadicInterval, dyadic_interval_for, is_power_of_two
+from .latin import circulant_ols, is_latin_square, weakly_uniform_ols
+from .permutation import random_permutation
+from .striping import stripe_size_for_rate
+
+__all__ = ["StripeIntervalAssignment", "PlacementMode"]
+
+
+class PlacementMode:
+    """How primary intermediate ports are chosen (ablation axis A1/A4).
+
+    * ``OLS`` — the paper's design: weakly uniform random Latin square.
+    * ``INDEPENDENT`` — each input draws its own uniform permutation with no
+      cross-input coordination (input side balanced, output side not).
+    * ``IDENTITY`` — the deterministic circulant square with no
+      randomization at all (the "no shuffling" ablation).
+    """
+
+    OLS = "ols"
+    INDEPENDENT = "independent"
+    IDENTITY = "identity"
+
+    ALL = (OLS, INDEPENDENT, IDENTITY)
+
+
+class StripeIntervalAssignment:
+    """Primary ports and dyadic stripe intervals for all ``N^2`` VOQs.
+
+    Parameters
+    ----------
+    rates:
+        ``N x N`` matrix of VOQ arrival rates (packets/slot); ``rates[i][j]``
+        is the rate of the VOQ at input ``i`` destined to output ``j``.
+    rng:
+        Randomness for drawing the permutations (ignored for IDENTITY mode).
+    mode:
+        One of :class:`PlacementMode`.
+    fixed_stripe_size:
+        If given, overrides Equation (1) and uses this size for every VOQ —
+        the fixed-size ablation (A2).  Must be a power of two ``<= N``.
+    """
+
+    def __init__(
+        self,
+        rates: Sequence[Sequence[float]],
+        rng: Optional[np.random.Generator] = None,
+        mode: str = PlacementMode.OLS,
+        fixed_stripe_size: Optional[int] = None,
+    ) -> None:
+        rates = np.asarray(rates, dtype=float)
+        n = rates.shape[0]
+        if rates.shape != (n, n):
+            raise ValueError(f"rates must be square, got shape {rates.shape}")
+        if not is_power_of_two(n):
+            raise ValueError(f"switch size must be a power of two, got {n}")
+        if np.any(rates < 0):
+            raise ValueError("rates must be nonnegative")
+        if mode not in PlacementMode.ALL:
+            raise ValueError(f"unknown placement mode {mode!r}")
+        if mode != PlacementMode.IDENTITY and rng is None:
+            raise ValueError(f"mode {mode!r} requires an rng")
+        if fixed_stripe_size is not None:
+            if not is_power_of_two(fixed_stripe_size) or fixed_stripe_size > n:
+                raise ValueError(
+                    "fixed_stripe_size must be a power of two <= N, "
+                    f"got {fixed_stripe_size}"
+                )
+
+        self.n = n
+        self.rates = rates
+        self.mode = mode
+        self.fixed_stripe_size = fixed_stripe_size
+        self.square = self._build_square(n, rng, mode)
+        self.intervals: List[List[DyadicInterval]] = []
+        for i in range(n):
+            row: List[DyadicInterval] = []
+            for j in range(n):
+                size = (
+                    fixed_stripe_size
+                    if fixed_stripe_size is not None
+                    else stripe_size_for_rate(float(rates[i][j]), n)
+                )
+                row.append(dyadic_interval_for(self.square[i][j], size, n))
+            self.intervals.append(row)
+
+    @staticmethod
+    def _build_square(
+        n: int, rng: Optional[np.random.Generator], mode: str
+    ) -> List[List[int]]:
+        """Build the primary-port matrix for the requested placement mode."""
+        if mode == PlacementMode.OLS:
+            return weakly_uniform_ols(n, rng)
+        if mode == PlacementMode.IDENTITY:
+            return circulant_ols(n)
+        # INDEPENDENT: one uniform permutation per input, uncoordinated.
+        return [random_permutation(n, rng) for _ in range(n)]
+
+    # -- accessors -----------------------------------------------------------
+
+    def primary_port(self, input_port: int, output_port: int) -> int:
+        """The primary intermediate port of VOQ ``(input, output)``."""
+        return self.square[input_port][output_port]
+
+    def interval(self, input_port: int, output_port: int) -> DyadicInterval:
+        """The dyadic stripe interval of VOQ ``(input, output)``."""
+        return self.intervals[input_port][output_port]
+
+    def stripe_size(self, input_port: int, output_port: int) -> int:
+        """The stripe size of VOQ ``(input, output)``."""
+        return self.intervals[input_port][output_port].size
+
+    def is_coordinated(self) -> bool:
+        """Whether the primary-port matrix is a Latin square.
+
+        True for OLS and IDENTITY modes; typically false for INDEPENDENT
+        (which is exactly why the output side then loses its balance
+        guarantee).
+        """
+        return is_latin_square(self.square)
+
+    # -- load accounting (drives the §4 analysis and ablations) ---------------
+
+    def input_port_loads(self, input_port: int) -> np.ndarray:
+        """Traffic rate each intermediate port receives from ``input_port``.
+
+        Entry ``m`` is ``sum_j s_ij * 1{m in interval_ij}`` — the arrival
+        rate of the paper's queue "(input i, intermediate m)".  Stability of
+        that queue requires the entry to stay below ``1/N``.
+        """
+        loads = np.zeros(self.n)
+        for j in range(self.n):
+            interval = self.intervals[input_port][j]
+            share = float(self.rates[input_port][j]) / interval.size
+            loads[interval.start : interval.end] += share
+        return loads
+
+    def output_port_loads(self, output_port: int) -> np.ndarray:
+        """Traffic rate for ``output_port`` arriving at each intermediate port.
+
+        Entry ``m`` is the arrival rate of the queue "(intermediate m,
+        output j)"; the OLS coordination exists precisely to keep these
+        balanced.
+        """
+        loads = np.zeros(self.n)
+        for i in range(self.n):
+            interval = self.intervals[i][output_port]
+            share = float(self.rates[i][output_port]) / interval.size
+            loads[interval.start : interval.end] += share
+        return loads
+
+    def max_queue_load(self) -> float:
+        """The worst per-queue arrival rate anywhere in the switch.
+
+        The switch is (deterministically) stable when this is below ``1/N``;
+        §4 proves the probability it is not is overwhelmingly small.
+        """
+        worst = 0.0
+        for i in range(self.n):
+            worst = max(worst, float(self.input_port_loads(i).max()))
+        for j in range(self.n):
+            worst = max(worst, float(self.output_port_loads(j).max()))
+        return worst
+
+    def overloaded_queues(self) -> List[tuple]:
+        """All (kind, port, intermediate) triples whose load reaches 1/N."""
+        threshold = 1.0 / self.n
+        bad: List[tuple] = []
+        for i in range(self.n):
+            loads = self.input_port_loads(i)
+            for m in np.nonzero(loads >= threshold)[0]:
+                bad.append(("input", i, int(m)))
+        for j in range(self.n):
+            loads = self.output_port_loads(j)
+            for m in np.nonzero(loads >= threshold)[0]:
+                bad.append(("output", j, int(m)))
+        return bad
+
+    def __repr__(self) -> str:
+        return (
+            f"StripeIntervalAssignment(n={self.n}, mode={self.mode!r}, "
+            f"max_queue_load={self.max_queue_load():.6f})"
+        )

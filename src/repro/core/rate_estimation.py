@@ -1,0 +1,105 @@
+"""Online rate measurement and stripe-size adaptation (paper §3.3.2, §5).
+
+The paper sizes each VOQ's stripe from its *current* traffic rate, notes
+that initial sizes may come from historical traffic matrices, and that
+sizes should adapt to measured rates — with hysteresis, "to prevent the
+size of a stripe from 'thrashing' between 2^k and 2^(k+1), we can delay the
+halving and doubling of the stripe size".
+
+This module provides the two decision components; the switch wires them to
+its clearance pipeline (old-size stripes must fully drain before new-size
+stripes may enter the fabric — §5 computes the expected clearance time):
+
+* :class:`EwmaRateEstimator` — exponentially weighted moving-average rate
+  per VOQ, updated lazily (O(1) per arrival, not per slot);
+* :class:`HysteresisSizer` — turns a rate estimate into a stripe size,
+  resisting changes until they persist.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from .striping import stripe_size_for_rate
+
+__all__ = ["EwmaRateEstimator", "HysteresisSizer"]
+
+
+class EwmaRateEstimator:
+    """Per-VOQ EWMA arrival-rate estimates with lazy decay.
+
+    The per-slot recursion ``r <- (1 - beta) r + beta x_t`` (``x_t`` is 1 on
+    arrival slots, else 0) is evaluated lazily: on an arrival after a gap of
+    ``g`` idle slots, ``r <- r (1-beta)^g + beta``.  Reads decay the same
+    way, so estimates are consistent regardless of access pattern.
+    """
+
+    def __init__(self, beta: float = 0.01, initial_rate: float = 0.0) -> None:
+        if not 0.0 < beta < 1.0:
+            raise ValueError(f"beta must be in (0, 1), got {beta}")
+        if initial_rate < 0.0:
+            raise ValueError("initial_rate must be nonnegative")
+        self.beta = beta
+        self.initial_rate = initial_rate
+        # voq -> (rate estimate, slot at which the estimate was current)
+        self._state: Dict[Tuple[int, int], Tuple[float, int]] = {}
+
+    def observe_arrival(self, voq: Tuple[int, int], slot: int) -> float:
+        """Record one packet arrival for ``voq`` at ``slot``; return the rate."""
+        rate, last = self._state.get(voq, (self.initial_rate, slot))
+        gap = slot - last
+        if gap < 0:
+            raise ValueError("arrivals must be observed in slot order")
+        # Decay through `gap` idle slots, then one more step with x = 1.
+        rate = rate * (1.0 - self.beta) ** (gap + 1) + self.beta
+        self._state[voq] = (rate, slot + 1)
+        return rate
+
+    def rate(self, voq: Tuple[int, int], slot: int) -> float:
+        """The decayed rate estimate for ``voq`` as of ``slot``."""
+        rate, last = self._state.get(voq, (self.initial_rate, slot))
+        gap = max(0, slot - last)
+        return rate * (1.0 - self.beta) ** gap
+
+    def __repr__(self) -> str:
+        return f"EwmaRateEstimator(beta={self.beta}, voqs={len(self._state)})"
+
+
+class HysteresisSizer:
+    """Stripe-size decisions with thrash protection (delayed resizing).
+
+    A resize to the Equation-(1) target size is proposed only after the
+    target has disagreed with the current size for ``patience`` consecutive
+    evaluations.  Any evaluation agreeing with the current size resets the
+    disagreement streak, so a rate hovering at a power-of-two boundary does
+    not flap the stripe size (the thrashing the paper warns about).
+    """
+
+    def __init__(self, n: int, patience: int = 8) -> None:
+        if patience < 1:
+            raise ValueError(f"patience must be >= 1, got {patience}")
+        self.n = n
+        self.patience = patience
+        # voq -> (candidate size, consecutive votes for it)
+        self._streaks: Dict[Tuple[int, int], Tuple[int, int]] = {}
+
+    def evaluate(
+        self, voq: Tuple[int, int], current_size: int, rate: float
+    ) -> Optional[int]:
+        """Return the new size if a resize is due, else ``None``."""
+        target = stripe_size_for_rate(rate, self.n)
+        if target == current_size:
+            self._streaks.pop(voq, None)
+            return None
+        candidate, votes = self._streaks.get(voq, (target, 0))
+        if candidate != target:
+            candidate, votes = target, 0
+        votes += 1
+        if votes >= self.patience:
+            self._streaks.pop(voq, None)
+            return target
+        self._streaks[voq] = (candidate, votes)
+        return None
+
+    def __repr__(self) -> str:
+        return f"HysteresisSizer(n={self.n}, patience={self.patience})"

@@ -1,0 +1,91 @@
+"""Textual views of the Sprinklers scheduling state (paper Figs. 3-4).
+
+The paper explains LSF with two pictures: the *schedule grid* (Fig. 3) —
+rows are intermediate ports, columns are service frames, each shaded bar a
+stripe — and the FIFO-array data structure (Fig. 4).  This module renders
+both from a live switch, which turns out to be invaluable when debugging
+insertion-timing bugs (a split stripe is immediately visible as a broken
+bar).
+
+Stripes are labelled with letters cycling A..Z a..z so adjacent stripes are
+distinguishable; `.` is an empty cell.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..switching.packet import Packet
+from .lsf import LsfInputScheduler
+from .sprinklers_switch import SprinklersSwitch
+
+__all__ = ["render_input_grid", "render_fifo_array"]
+
+_LABELS = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz"
+
+
+def _stripe_label(stripe_id: int) -> str:
+    return _LABELS[stripe_id % len(_LABELS)]
+
+
+def render_input_grid(switch: SprinklersSwitch, input_port: int) -> str:
+    """The schedule grid of one input port (paper Fig. 3).
+
+    Each row is an intermediate port; successive columns approximate the
+    LSF service order (largest stripe class first, FIFO within a class).
+    Time progresses left to right here (the paper draws it right to left).
+    """
+    lsf = switch._input_lsf[input_port]
+    n = switch.n
+    rows: List[List[str]] = [[] for _ in range(n)]
+    # Serve-order approximation: per row, dump classes from largest to
+    # smallest, FIFO within each class.
+    for port in range(n):
+        for level in range(lsf.levels - 1, -1, -1):
+            for packet in lsf._fifos[port][level]:
+                rows[port].append(_stripe_label(packet.stripe_id))
+    width = max((len(r) for r in rows), default=0)
+    lines = [f"input {input_port} schedule grid (rows = intermediate ports)"]
+    for port in range(n):
+        body = "".join(rows[port]).ljust(width, ".")
+        lines.append(f"  port {port:2d} |{body}|")
+    return "\n".join(lines)
+
+
+def render_fifo_array(switch: SprinklersSwitch, input_port: int) -> str:
+    """The FIFO-array occupancy of one input port (paper Fig. 4).
+
+    One row per intermediate port, one column per stripe-size class;
+    cells show queue depths.
+    """
+    lsf: LsfInputScheduler = switch._input_lsf[input_port]
+    n = switch.n
+    header = "  port | " + " ".join(
+        f"2^{level}".rjust(4) for level in range(lsf.levels)
+    )
+    lines = [
+        f"input {input_port} LSF FIFO array (columns = stripe sizes)",
+        header,
+        "  " + "-" * (len(header) - 2),
+    ]
+    for port in range(n):
+        depths = " ".join(
+            str(len(lsf._fifos[port][level])).rjust(4)
+            for level in range(lsf.levels)
+        )
+        lines.append(f"  {port:4d} | {depths}")
+    return "\n".join(lines)
+
+
+def grid_occupancy_by_stripe(
+    switch: SprinklersSwitch, input_port: int
+) -> Dict[int, int]:
+    """Packets per stripe currently queued at one input's LSF structure."""
+    lsf = switch._input_lsf[input_port]
+    counts: Dict[int, int] = {}
+    for port in range(switch.n):
+        for level in range(lsf.levels):
+            packet: Packet
+            for packet in lsf._fifos[port][level]:
+                counts[packet.stripe_id] = counts.get(packet.stripe_id, 0) + 1
+    return counts

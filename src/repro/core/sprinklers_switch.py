@@ -1,0 +1,291 @@
+"""The Sprinklers switch (paper §3): the primary contribution, end to end.
+
+Data path of a packet through the switch:
+
+1. **Arrival** — the packet joins its VOQ's :class:`StripeAssembler` (the
+   "ready queue" of §3.4.2) and waits for a full stripe of the VOQ's
+   current size to accumulate.
+2. **Release** — the completed stripe passes the clearance pipeline (a
+   no-op unless the VOQ recently resized; §5) into the input's staging
+   queue.
+3. **Safe insertion** — when the fabric-1 pointer is not strictly inside
+   the stripe's interval, the stripe is plastered into the input's LSF
+   grid (one packet per interval row), guaranteeing it will leave the
+   input in consecutive slots.
+4. **Stage 1** — each slot, the input serves the largest nonempty stripe
+   class of the row fabric 1 currently connects; the packet crosses to its
+   intermediate port carrying its stripe-size header.
+5. **Stage 2** — the intermediate port files the packet by (output, stripe
+   size) and, when fabric 2 polls an output, serves that output's largest
+   nonempty class.  The fabrics' matched staggering makes these local
+   greedy choices globally consistent, so the stripe reaches its output in
+   consecutive slots from consecutive ports — hence zero reordering.
+
+The switch runs in two modes:
+
+* **oracle** (default): stripe sizes fixed from the configured rate matrix
+  via Equation (1) — the regime analyzed in §4;
+* **adaptive**: sizes follow online EWMA rate estimates with hysteresis,
+  and resizes pass through the clearance protocol (old-size stripes drain
+  before new-size stripes enter) so ordering is preserved across resizes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..switching.packet import Packet
+from ..switching.switch_base import TwoStageSwitch
+from .dyadic import DyadicInterval, dyadic_interval_for
+from .interval_assignment import PlacementMode, StripeIntervalAssignment
+from .lsf import LsfInputScheduler, LsfIntermediateScheduler
+from .rate_estimation import EwmaRateEstimator, HysteresisSizer
+from .striping import Stripe, StripeAssembler
+
+__all__ = ["SprinklersSwitch", "VoqPipeline"]
+
+
+class VoqPipeline:
+    """Per-VOQ stripe pipeline: assembly, clearance, release accounting.
+
+    Ordering across a resize is protected by *clearance* (paper §5): a
+    stripe cut with a new interval is held until every packet of
+    previously released stripes has departed the switch.  The pipeline
+    generalizes this to arbitrary resize churn by releasing, at each
+    clearance instant, the maximal run of same-interval stripes at the head
+    of the hold queue.
+    """
+
+    __slots__ = ("assembler", "release_interval", "hold", "inflight")
+
+    def __init__(self, assembler: StripeAssembler) -> None:
+        self.assembler = assembler
+        self.release_interval: DyadicInterval = assembler.interval
+        self.hold: Deque[Stripe] = deque()
+        self.inflight = 0  # packets of released stripes still in the switch
+
+    def on_stripe_complete(self, stripe: Stripe) -> List[Stripe]:
+        """A stripe finished assembly; return the stripes releasable now."""
+        self.hold.append(stripe)
+        return self._drain_hold()
+
+    def on_packet_departed(self) -> List[Stripe]:
+        """A released packet left the switch; maybe clearance completed."""
+        if self.inflight <= 0:
+            raise AssertionError("departure for a VOQ with nothing in flight")
+        self.inflight -= 1
+        return self._drain_hold()
+
+    def _drain_hold(self) -> List[Stripe]:
+        released: List[Stripe] = []
+        while self.hold:
+            head = self.hold[0]
+            if head.interval != self.release_interval:
+                if self.inflight > 0:
+                    break  # old-interval stripes still draining
+                self.release_interval = head.interval
+            self.hold.popleft()
+            self.inflight += head.size
+            released.append(head)
+        return released
+
+    def held_packets(self) -> int:
+        """Packets inside held (not yet released) stripes."""
+        return sum(s.size for s in self.hold)
+
+
+class SprinklersSwitch(TwoStageSwitch):
+    """Randomized variable-size striping load-balanced switch (paper §3).
+
+    Parameters
+    ----------
+    assignment:
+        The switch-wide stripe-interval configuration (primary ports from a
+        weakly uniform random OLS, dyadic intervals sized by Equation (1)).
+    adaptive:
+        Enable online rate estimation and stripe resizing.  The assignment
+        still provides primary ports and *initial* sizes.
+    estimator_beta, sizer_patience:
+        Adaptation knobs (see :mod:`repro.core.rate_estimation`).
+    record_stripe_events:
+        Keep per-stripe transmit/receive timelines (used by the continuity
+        tests; costs memory on long runs).
+    input_buffer:
+        Optional cap on the packets buffered at each input port (shared
+        across that input's VOQ assemblers, clearance holds, staging and
+        LSF grid — i.e. the input line card's total memory).  Arrivals to
+        a full input are dropped (drop-tail).  Default: infinite, the
+        regime of the paper's analysis.
+    """
+
+    name = "sprinklers"
+    guarantees_ordering = True
+
+    def __init__(
+        self,
+        assignment: StripeIntervalAssignment,
+        adaptive: bool = False,
+        estimator_beta: float = 0.01,
+        sizer_patience: int = 8,
+        record_stripe_events: bool = False,
+        input_buffer: Optional[int] = None,
+    ) -> None:
+        super().__init__(assignment.n)
+        n = assignment.n
+        self.assignment = assignment
+        self.adaptive = adaptive
+        self._pipelines: List[List[VoqPipeline]] = [
+            [
+                VoqPipeline(
+                    StripeAssembler(i, j, assignment.interval(i, j))
+                )
+                for j in range(n)
+            ]
+            for i in range(n)
+        ]
+        self._staging: List[List[Stripe]] = [[] for _ in range(n)]
+        self._input_lsf: List[LsfInputScheduler] = [
+            LsfInputScheduler(n) for _ in range(n)
+        ]
+        self._mid_lsf: List[LsfIntermediateScheduler] = [
+            LsfIntermediateScheduler(n) for _ in range(n)
+        ]
+        self._next_stripe_id = 0
+        self._estimator = (
+            EwmaRateEstimator(beta=estimator_beta) if adaptive else None
+        )
+        self._sizer = HysteresisSizer(n, patience=sizer_patience) if adaptive else None
+        self.resizes = 0
+        self.record_stripe_events = record_stripe_events
+        self.stripe_tx: Dict[int, List[Tuple[int, int]]] = {}
+        self.stripe_rx: Dict[int, List[int]] = {}
+        if input_buffer is not None and input_buffer < 1:
+            raise ValueError("input_buffer must be positive")
+        self.input_buffer = input_buffer
+        self._input_occupancy = [0] * n
+
+    # -- convenience constructors ---------------------------------------------
+
+    @classmethod
+    def from_rates(
+        cls,
+        rates,
+        seed: int = 0,
+        mode: str = PlacementMode.OLS,
+        fixed_stripe_size: Optional[int] = None,
+        **kwargs,
+    ) -> "SprinklersSwitch":
+        """Build a switch from a rate matrix and a seed (oracle sizing)."""
+        rng = np.random.default_rng(seed)
+        assignment = StripeIntervalAssignment(
+            rates, rng=rng, mode=mode, fixed_stripe_size=fixed_stripe_size
+        )
+        return cls(assignment, **kwargs)
+
+    # -- input side --------------------------------------------------------------
+
+    def _accept(self, slot: int, packets: List[Packet]) -> None:
+        for packet in packets:
+            i, j = packet.input_port, packet.output_port
+            if (
+                self.input_buffer is not None
+                and self._input_occupancy[i] >= self.input_buffer
+            ):
+                self._drop(packet)
+                continue
+            self._input_occupancy[i] += 1
+            pipeline = self._pipelines[i][j]
+            if self.adaptive:
+                rate = self._estimator.observe_arrival((i, j), slot)
+                new_size = self._sizer.evaluate(
+                    (i, j), pipeline.assembler.stripe_size, rate
+                )
+                if new_size is not None:
+                    primary = self.assignment.primary_port(i, j)
+                    pipeline.assembler.set_interval(
+                        dyadic_interval_for(primary, new_size, self.n)
+                    )
+                    self.resizes += 1
+            stripe = pipeline.assembler.push(packet, self._next_stripe_id)
+            if stripe is not None:
+                self._next_stripe_id += 1
+                for member in stripe.packets:
+                    member.assembled_slot = slot
+                self._staging[i].extend(pipeline.on_stripe_complete(stripe))
+
+    def _serve_input(
+        self, slot: int, input_port: int, mid_port: int
+    ) -> Optional[Packet]:
+        lsf = self._input_lsf[input_port]
+        staging = self._staging[input_port]
+        if staging:
+            remaining: List[Stripe] = []
+            for stripe in staging:
+                if lsf.can_insert(stripe, mid_port):
+                    lsf.insert(stripe)
+                else:
+                    remaining.append(stripe)
+            self._staging[input_port] = remaining
+        packet = lsf.serve(mid_port)
+        if packet is not None:
+            self._input_occupancy[input_port] -= 1
+            if self.record_stripe_events:
+                self.stripe_tx.setdefault(packet.stripe_id, []).append(
+                    (slot, mid_port)
+                )
+        return packet
+
+    # -- intermediate side ----------------------------------------------------------
+
+    def _deliver(self, slot: int, mid_port: int, packet: Packet) -> None:
+        self._mid_lsf[mid_port].deliver(packet)
+
+    def _serve_intermediate(
+        self, slot: int, mid_port: int, output_port: int
+    ) -> Optional[Packet]:
+        return self._mid_lsf[mid_port].serve(output_port)
+
+    # -- departure / clearance --------------------------------------------------------
+
+    def _on_departure(self, slot: int, packet: Packet) -> None:
+        if self.record_stripe_events:
+            self.stripe_rx.setdefault(packet.stripe_id, []).append(slot)
+        pipeline = self._pipelines[packet.input_port][packet.output_port]
+        released = pipeline.on_packet_departed()
+        if released:
+            self._staging[packet.input_port].extend(released)
+
+    # -- accounting ----------------------------------------------------------------------
+
+    def buffered_packets(self) -> int:
+        total = 0
+        for row in self._pipelines:
+            for pipeline in row:
+                total += pipeline.assembler.pending_count
+                total += pipeline.held_packets()
+        for staging in self._staging:
+            total += sum(stripe.size for stripe in staging)
+        total += sum(lsf.occupancy for lsf in self._input_lsf)
+        total += sum(lsf.occupancy for lsf in self._mid_lsf)
+        return total
+
+    def assembly_backlog(self) -> int:
+        """Packets still waiting for their stripe to fill (never released)."""
+        return sum(
+            pipeline.assembler.pending_count
+            for row in self._pipelines
+            for pipeline in row
+        )
+
+    def staging_backlog(self) -> int:
+        """Packets inside stripes awaiting safe insertion."""
+        return sum(
+            stripe.size for staging in self._staging for stripe in staging
+        )
+
+    def stripe_size(self, input_port: int, output_port: int) -> int:
+        """The current stripe size of VOQ (input, output)."""
+        return self._pipelines[input_port][output_port].assembler.stripe_size

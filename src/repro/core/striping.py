@@ -1,0 +1,220 @@
+"""Stripe sizing, stripes, and per-VOQ stripe assembly.
+
+Implements the paper's Equation (1): the stripe-interval size for a VOQ with
+arrival rate ``r`` through an ``N x N`` switch is
+
+    F(r) = min(N, 2^ceil(log2(r * N^2)))
+
+which brings the *load per share* ``s = r / F(r)`` below the per-port budget
+``alpha = 1 / N^2`` whenever possible (only VOQs so hot that even a full-
+width stripe cannot dilute them, i.e. ``r > 1/N``, exceed it, and such rates
+already violate admissibility margins the analysis assumes).
+
+A :class:`Stripe` is the unit of scheduling: ``F(r)`` consecutive packets of
+one VOQ, switched through consecutive intermediate ports in consecutive time
+slots.  The :class:`StripeAssembler` groups a VOQ's arrivals chronologically
+into stripes (paper §3.2).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from ..switching.packet import Packet
+from .dyadic import DyadicInterval, is_power_of_two
+
+__all__ = [
+    "stripe_size_for_rate",
+    "load_per_share",
+    "per_port_budget",
+    "Stripe",
+    "StripeAssembler",
+]
+
+
+def per_port_budget(n: int) -> float:
+    """The target per-intermediate-port load from one VOQ: ``alpha = 1/N^2``."""
+    if n <= 0:
+        raise ValueError("switch size must be positive")
+    return 1.0 / (n * n)
+
+
+def stripe_size_for_rate(rate: float, n: int) -> int:
+    """The paper's Equation (1): ``F(r) = min(N, 2^ceil(log2(r N^2)))``.
+
+    ``rate`` is the VOQ's normalized arrival rate (packets per slot, in
+    ``[0, 1]``).  A rate of zero (or an idle VOQ) maps to the minimum stripe
+    size 1.
+
+    >>> stripe_size_for_rate(0.0, 32)
+    1
+    >>> stripe_size_for_rate(1.0 / 32**2, 32)   # exactly alpha -> size 1
+    1
+    >>> stripe_size_for_rate(1.5 / 32**2, 32)   # just above alpha -> size 2
+    2
+    >>> stripe_size_for_rate(0.5, 32)           # very hot VOQ -> full width
+    32
+    """
+    if not is_power_of_two(n):
+        raise ValueError(f"switch size must be a power of two, got {n}")
+    if rate < 0:
+        raise ValueError(f"rate must be nonnegative, got {rate}")
+    if rate == 0.0:
+        return 1
+    scaled = rate * n * n
+    if scaled <= 1.0:
+        return 1
+    exponent = math.ceil(math.log2(scaled))
+    # Guard against floating error on exact powers of two: 2^(e-1) must be
+    # strictly below `scaled` for e to be the correct ceiling.
+    if 2.0 ** (exponent - 1) >= scaled:
+        exponent -= 1
+    return min(n, 2**exponent)
+
+
+def load_per_share(rate: float, n: int) -> float:
+    """The load each intermediate port in the stripe interval receives.
+
+    ``s = r / F(r)``; at most ``alpha = 1/N^2`` unless the stripe is capped
+    at full width ``N``.
+
+    >>> n = 32
+    >>> load_per_share(0.9 / n, n) <= per_port_budget(n)
+    True
+    """
+    return rate / stripe_size_for_rate(rate, n)
+
+
+class Stripe:
+    """A group of ``size`` consecutive packets of one VOQ (paper §3.2).
+
+    The stripe is the basic unit of scheduling at both input and intermediate
+    ports: its packets leave the input port in consecutive slots to the
+    consecutive intermediate ports of :attr:`interval`, and arrive at the
+    output port in consecutive slots, which is what makes reordering
+    impossible.
+    """
+
+    __slots__ = ("stripe_id", "input_port", "output_port", "interval", "packets")
+
+    def __init__(
+        self,
+        stripe_id: int,
+        input_port: int,
+        output_port: int,
+        interval: DyadicInterval,
+        packets: List[Packet],
+    ) -> None:
+        if len(packets) != interval.size:
+            raise ValueError(
+                f"stripe must hold exactly {interval.size} packets, "
+                f"got {len(packets)}"
+            )
+        self.stripe_id = stripe_id
+        self.input_port = input_port
+        self.output_port = output_port
+        self.interval = interval
+        self.packets = packets
+        for pos, pkt in enumerate(packets):
+            pkt.stripe_size = interval.size
+            pkt.stripe_id = stripe_id
+            pkt.stripe_pos = pos
+
+    @property
+    def size(self) -> int:
+        """Number of packets (== interval size)."""
+        return self.interval.size
+
+    def packet_for_port(self, port: int) -> Packet:
+        """The packet of this stripe destined to intermediate ``port``."""
+        if not self.interval.contains_port(port):
+            raise KeyError(f"port {port} not in {self.interval}")
+        return self.packets[port - self.interval.start]
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:
+        return (
+            f"Stripe(id={self.stripe_id}, voq=({self.input_port},"
+            f"{self.output_port}), interval={self.interval})"
+        )
+
+
+class StripeAssembler:
+    """Groups one VOQ's arrivals chronologically into fixed-size stripes.
+
+    Packets accumulate in a *ready queue* (paper §3.4.2) until a full stripe
+    of the VOQ's current size is available.  Changing the stripe interval
+    (size or placement) only affects stripes formed after the change;
+    in-flight stripes keep the interval they were created with — the
+    clearance protocol in :mod:`repro.core.rate_estimation` decides when a
+    resize may take effect.
+    """
+
+    def __init__(
+        self,
+        input_port: int,
+        output_port: int,
+        interval: DyadicInterval,
+    ) -> None:
+        self.input_port = input_port
+        self.output_port = output_port
+        self._interval = interval
+        self._pending: List[Packet] = []
+        self._next_stripe_id: Optional[int] = None  # assigned by the switch
+
+    @property
+    def interval(self) -> DyadicInterval:
+        """The dyadic interval newly formed stripes will use."""
+        return self._interval
+
+    @property
+    def stripe_size(self) -> int:
+        """Size of stripes currently being assembled."""
+        return self._interval.size
+
+    @property
+    def pending_count(self) -> int:
+        """Packets waiting in the ready queue (less than one stripe)."""
+        return len(self._pending)
+
+    def set_interval(self, interval: DyadicInterval) -> None:
+        """Retarget future stripes to ``interval``.
+
+        Already-buffered packets are re-striped at the new size: they simply
+        remain in the ready queue and will be cut into stripes of the new
+        size in arrival order, which preserves per-VOQ FIFO order.
+        """
+        self._interval = interval
+
+    def push(self, packet: Packet, next_stripe_id: int) -> Optional[Stripe]:
+        """Add an arrival; return a completed :class:`Stripe` if one fills.
+
+        ``next_stripe_id`` is the id to assign if a stripe completes (ids are
+        allocated centrally by the switch so they are unique and increase in
+        creation order).
+        """
+        if packet.input_port != self.input_port:
+            raise ValueError("packet input port does not match assembler")
+        if packet.output_port != self.output_port:
+            raise ValueError("packet output port does not match assembler")
+        self._pending.append(packet)
+        if len(self._pending) < self._interval.size:
+            return None
+        packets = self._pending[: self._interval.size]
+        self._pending = self._pending[self._interval.size :]
+        return Stripe(
+            next_stripe_id,
+            self.input_port,
+            self.output_port,
+            self._interval,
+            packets,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"StripeAssembler(voq=({self.input_port},{self.output_port}), "
+            f"interval={self._interval}, pending={len(self._pending)})"
+        )

@@ -1,0 +1,44 @@
+"""Experiment E2: regenerate the paper's Figure 5.
+
+Paper: "Expected delay when rho = 0.9" — the expected queue length (in
+periods of N slots) of the intermediate-stage clearance model of §5,
+plotted against the switch size N.  The paper's plot rises linearly to
+roughly 4 x 10^3 periods at N = 1000; the closed form here is
+``rho (N - 1) / (2 (1 - rho))``, i.e. 4495.5 at N = 1000.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..analysis.delay_model import expected_queue_length, fig5_series
+from .render import ascii_log_chart, format_table
+
+__all__ = ["generate", "render", "DEFAULT_NS"]
+
+DEFAULT_NS: Sequence[int] = (8, 16, 32, 64, 128, 200, 400, 600, 800, 1000)
+
+
+def generate(
+    ns: Sequence[int] = DEFAULT_NS, rho: float = 0.9
+) -> List[Dict[str, float]]:
+    """The Figure 5 series: one row per switch size."""
+    return fig5_series(ns, rho)
+
+
+def render(ns: Sequence[int] = DEFAULT_NS, rho: float = 0.9) -> str:
+    """Table plus chart, echoing the paper's linear-in-N observation."""
+    rows = generate(ns, rho)
+    chart = ascii_log_chart(
+        {"E[delay] (periods)": [(row["N"], row["delay_periods"]) for row in rows]},
+        x_label="N",
+        y_label="delay/periods",
+    )
+    anchor = expected_queue_length(1000, rho)
+    return (
+        f"Figure 5: expected intermediate-stage delay vs N at rho={rho}\n"
+        + format_table(rows)
+        + "\n\n"
+        + chart
+        + f"\n(paper's plot: ~4e3 periods at N=1000; closed form: {anchor:.1f})"
+    )

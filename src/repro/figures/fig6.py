@@ -1,0 +1,31 @@
+"""Experiment E3: Figure 6 — average delay vs load, uniform traffic, N=32."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from .delay_figures import DEFAULT_LOADS, generate as _generate, render as _render
+
+__all__ = ["generate", "render"]
+
+
+def generate(
+    n: int = 32,
+    loads: Sequence[float] = DEFAULT_LOADS,
+    num_slots: int = 50_000,
+    seed: int = 0,
+) -> List[Dict[str, float]]:
+    """Figure 6 rows (uniform destinations)."""
+    return _generate("uniform", n=n, loads=loads, num_slots=num_slots, seed=seed)
+
+
+def render(
+    n: int = 32,
+    loads: Sequence[float] = DEFAULT_LOADS,
+    num_slots: int = 50_000,
+    seed: int = 0,
+) -> str:
+    """Figure 6 table + chart."""
+    return _render(
+        "uniform", "Figure 6", n=n, loads=loads, num_slots=num_slots, seed=seed
+    )

@@ -1,0 +1,31 @@
+"""Experiment E4: Figure 7 — average delay vs load, diagonal traffic, N=32."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from .delay_figures import DEFAULT_LOADS, generate as _generate, render as _render
+
+__all__ = ["generate", "render"]
+
+
+def generate(
+    n: int = 32,
+    loads: Sequence[float] = DEFAULT_LOADS,
+    num_slots: int = 50_000,
+    seed: int = 0,
+) -> List[Dict[str, float]]:
+    """Figure 7 rows (diagonal destinations: P(j=i) = 1/2)."""
+    return _generate("diagonal", n=n, loads=loads, num_slots=num_slots, seed=seed)
+
+
+def render(
+    n: int = 32,
+    loads: Sequence[float] = DEFAULT_LOADS,
+    num_slots: int = 50_000,
+    seed: int = 0,
+) -> str:
+    """Figure 7 table + chart."""
+    return _render(
+        "diagonal", "Figure 7", n=n, loads=loads, num_slots=num_slots, seed=seed
+    )

@@ -1,0 +1,120 @@
+"""Plain-text rendering of tables and log-scale charts.
+
+The library regenerates the paper's artifacts as *data* (rows and series);
+this module renders them for terminals so no plotting dependency is needed.
+Every figure module also exposes its raw rows for programmatic use and CSV
+export.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["format_table", "ascii_log_chart", "rows_to_csv"]
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == 0.0:
+            return "0"
+        if abs(value) >= 1e4 or 0 < abs(value) < 1e-3:
+            return f"{value:.3g}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Dict], columns: Optional[Sequence[str]] = None
+) -> str:
+    """Render dict-rows as an aligned text table.
+
+    >>> print(format_table([{"a": 1, "b": 2.5}]))
+    a  b
+    -  ---
+    1  2.5
+    """
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered = [[_format_value(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(r[k]) for r in rendered))
+        for k, col in enumerate(columns)
+    ]
+    lines = [
+        "  ".join(col.ljust(widths[k]) for k, col in enumerate(columns)).rstrip(),
+        "  ".join("-" * widths[k] for k in range(len(columns))).rstrip(),
+    ]
+    for r in rendered:
+        lines.append("  ".join(v.ljust(widths[k]) for k, v in enumerate(r)).rstrip())
+    return "\n".join(lines)
+
+
+def ascii_log_chart(
+    series: Dict[str, List[tuple]],
+    width: int = 64,
+    height: int = 18,
+    x_label: str = "x",
+    y_label: str = "y (log10)",
+) -> str:
+    """Render named (x, y) series on a log10-y ASCII grid.
+
+    Mirrors the paper's Figs. 6-7 layout (linear load on x, log delay on y).
+    Non-positive y values are skipped.
+    """
+    points = [
+        (x, y, name)
+        for name, pts in series.items()
+        for x, y in pts
+        if y > 0 and y == y
+    ]
+    if not points:
+        return "(no data)"
+    xs = [p[0] for p in points]
+    logs = [math.log10(p[1]) for p in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = math.floor(min(logs)), math.ceil(max(logs))
+    if x_max == x_min:
+        x_max = x_min + 1.0
+    if y_max == y_min:
+        y_max = y_min + 1
+    grid = [[" "] * width for _ in range(height)]
+    markers = "ox+*#@%&"
+    legend = []
+    for idx, (name, pts) in enumerate(series.items()):
+        marker = markers[idx % len(markers)]
+        legend.append(f"{marker} = {name}")
+        for x, y in pts:
+            if y <= 0 or y != y:
+                continue
+            col = round((x - x_min) / (x_max - x_min) * (width - 1))
+            row = round(
+                (math.log10(y) - y_min) / (y_max - y_min) * (height - 1)
+            )
+            grid[height - 1 - row][col] = marker
+    lines = [f"{y_label}   [{', '.join(legend)}]"]
+    for r, row in enumerate(grid):
+        level = y_max - (y_max - y_min) * r / (height - 1)
+        lines.append(f"10^{level:5.1f} |" + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(
+        " " * 9
+        + f" {x_label}: {x_min:g} .. {x_max:g}"
+    )
+    return "\n".join(lines)
+
+
+def rows_to_csv(rows: Sequence[Dict], columns: Optional[Sequence[str]] = None) -> str:
+    """Render dict-rows as CSV text (header + data lines)."""
+    if not rows:
+        return ""
+    if columns is None:
+        columns = list(rows[0].keys())
+    lines = [",".join(columns)]
+    for row in rows:
+        lines.append(",".join(_format_value(row.get(col, "")) for col in columns))
+    return "\n".join(lines)

@@ -1,0 +1,48 @@
+"""Experiment E1: regenerate the paper's Table 1 (overload bounds).
+
+Paper: "Examples of overload probability bound" — the Chernoff bound of
+Theorem 2 on the probability that a single (input, intermediate) queue is
+overloaded, for N in {1024, 2048, 4096} and rho in {0.90 .. 0.97}.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..analysis.chernoff import PAPER_TABLE1, table1_rows
+from .render import format_table
+
+__all__ = ["generate", "generate_with_paper", "render"]
+
+DEFAULT_RHOS: Sequence[float] = (0.90, 0.91, 0.92, 0.93, 0.94, 0.95, 0.96, 0.97)
+DEFAULT_NS: Sequence[int] = (1024, 2048, 4096)
+
+
+def generate(
+    rhos: Sequence[float] = DEFAULT_RHOS, ns: Sequence[int] = DEFAULT_NS
+) -> List[Dict[str, float]]:
+    """The recomputed Table 1 rows."""
+    return table1_rows(rhos, ns)
+
+
+def generate_with_paper(
+    rhos: Sequence[float] = DEFAULT_RHOS, ns: Sequence[int] = DEFAULT_NS
+) -> List[Dict[str, float]]:
+    """Table 1 rows with the paper's published value beside each of ours."""
+    rows = []
+    for row in table1_rows(rhos, ns):
+        merged: Dict[str, float] = {"rho": row["rho"]}
+        for n in ns:
+            merged[f"N={n}"] = row[f"N={n}"]
+            paper = PAPER_TABLE1.get((row["rho"], n))
+            if paper is not None:
+                merged[f"paper N={n}"] = paper
+        rows.append(merged)
+    return rows
+
+
+def render(include_paper: bool = True) -> str:
+    """Human-readable Table 1 (optionally side-by-side with the paper)."""
+    rows = generate_with_paper() if include_paper else generate()
+    title = "Table 1: per-queue overload probability bound vs (rho, N)"
+    return title + "\n" + format_table(rows)

@@ -1,0 +1,42 @@
+"""Simulation harness: engine, metrics, experiments, seeded randomness."""
+
+from .engine import SimulationEngine, simulate
+from .experiment import (
+    PAPER_SWITCHES,
+    SWITCH_BUILDERS,
+    TRAFFIC_PATTERNS,
+    build_switch,
+    delay_vs_load_sweep,
+    run_single,
+)
+from .metrics import DelayStats, SimulationMetrics, SimulationResult
+from .parallel import SweepJob, parallel_delay_sweep, run_jobs
+from .replication import ReplicatedResult, replicate
+from .stats import BatchMeansResult, batch_means, compare_means, mser_truncation
+from .rng import RngRegistry, derive_seed, spawn_generator
+
+__all__ = [
+    "BatchMeansResult",
+    "DelayStats",
+    "PAPER_SWITCHES",
+    "ReplicatedResult",
+    "RngRegistry",
+    "SWITCH_BUILDERS",
+    "SimulationEngine",
+    "SimulationMetrics",
+    "SweepJob",
+    "SimulationResult",
+    "TRAFFIC_PATTERNS",
+    "batch_means",
+    "build_switch",
+    "compare_means",
+    "mser_truncation",
+    "parallel_delay_sweep",
+    "delay_vs_load_sweep",
+    "derive_seed",
+    "replicate",
+    "run_jobs",
+    "run_single",
+    "simulate",
+    "spawn_generator",
+]

@@ -1,0 +1,152 @@
+"""Experiment orchestration: switch registry and parameter sweeps.
+
+This is the layer the figure generators and benchmarks sit on: it knows how
+to build every switch in the library from a (size, rate-matrix, seed)
+triple and how to sweep load levels the way the paper's §6 does.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.interval_assignment import PlacementMode, StripeIntervalAssignment
+from ..core.sprinklers_switch import SprinklersSwitch
+from ..sim.engine import SimulationEngine
+from ..sim.metrics import SimulationResult
+from ..sim.rng import derive_seed
+from ..switching.baseline import BaselineLoadBalancedSwitch
+from ..switching.cms import CmsSwitch
+from ..switching.foff import FoffSwitch
+from ..switching.hashing import TcpHashingSwitch
+from ..switching.output_queued import OutputQueuedSwitch
+from ..switching.pf import PaddedFramesSwitch
+from ..switching.ufs import UfsSwitch
+from ..traffic.generator import TrafficGenerator
+from ..traffic.matrices import diagonal_matrix, uniform_matrix
+
+__all__ = [
+    "SWITCH_BUILDERS",
+    "PAPER_SWITCHES",
+    "TRAFFIC_PATTERNS",
+    "build_switch",
+    "run_single",
+    "delay_vs_load_sweep",
+]
+
+SwitchBuilder = Callable[[int, np.ndarray, int], object]
+
+
+def _build_sprinklers(n: int, matrix: np.ndarray, seed: int) -> SprinklersSwitch:
+    rng = np.random.default_rng(derive_seed(seed, "sprinklers-placement"))
+    assignment = StripeIntervalAssignment(matrix, rng=rng, mode=PlacementMode.OLS)
+    return SprinklersSwitch(assignment)
+
+
+def _build_sprinklers_adaptive(
+    n: int, matrix: np.ndarray, seed: int
+) -> SprinklersSwitch:
+    rng = np.random.default_rng(derive_seed(seed, "sprinklers-placement"))
+    # Adaptive mode starts from the oracle assignment but re-sizes online.
+    assignment = StripeIntervalAssignment(matrix, rng=rng, mode=PlacementMode.OLS)
+    return SprinklersSwitch(assignment, adaptive=True)
+
+
+#: Everything the library can simulate, by name.
+SWITCH_BUILDERS: Dict[str, SwitchBuilder] = {
+    "load-balanced": lambda n, m, s: BaselineLoadBalancedSwitch(n),
+    "ufs": lambda n, m, s: UfsSwitch(n),
+    "foff": lambda n, m, s: FoffSwitch(n),
+    "pf": lambda n, m, s: PaddedFramesSwitch(n),
+    "sprinklers": _build_sprinklers,
+    "sprinklers-adaptive": _build_sprinklers_adaptive,
+    "tcp-hashing": lambda n, m, s: TcpHashingSwitch(n, salt=s),
+    "cms": lambda n, m, s: CmsSwitch(n),
+    "output-queued": lambda n, m, s: OutputQueuedSwitch(n),
+}
+
+#: The five curves of the paper's Figs. 6-7, in the paper's legend order.
+PAPER_SWITCHES: Sequence[str] = (
+    "load-balanced",
+    "ufs",
+    "foff",
+    "pf",
+    "sprinklers",
+)
+
+#: The two workload patterns of the paper's §6.
+TRAFFIC_PATTERNS: Dict[str, Callable[[int, float], np.ndarray]] = {
+    "uniform": uniform_matrix,
+    "diagonal": diagonal_matrix,
+}
+
+
+def build_switch(name: str, n: int, matrix: np.ndarray, seed: int):
+    """Instantiate a switch by registry name."""
+    try:
+        builder = SWITCH_BUILDERS[name]
+    except KeyError:
+        known = ", ".join(sorted(SWITCH_BUILDERS))
+        raise ValueError(f"unknown switch {name!r}; known: {known}") from None
+    return builder(n, matrix, seed)
+
+
+def run_single(
+    switch_name: str,
+    matrix: np.ndarray,
+    num_slots: int,
+    seed: int = 0,
+    load_label: float = float("nan"),
+    warmup_fraction: float = 0.1,
+    keep_samples: bool = True,
+) -> SimulationResult:
+    """Build switch + traffic from a seed and simulate one configuration."""
+    n = matrix.shape[0]
+    switch = build_switch(switch_name, n, matrix, seed)
+    traffic_rng = np.random.default_rng(derive_seed(seed, "traffic"))
+    traffic = TrafficGenerator(matrix, traffic_rng)
+    engine = SimulationEngine(
+        switch,
+        traffic,
+        warmup_fraction=warmup_fraction,
+        keep_samples=keep_samples,
+    )
+    return engine.run(num_slots, load_label=load_label)
+
+
+def delay_vs_load_sweep(
+    pattern: str,
+    n: int = 32,
+    loads: Sequence[float] = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95),
+    num_slots: int = 50_000,
+    switches: Optional[Sequence[str]] = None,
+    seed: int = 0,
+    keep_samples: bool = False,
+) -> List[SimulationResult]:
+    """The paper's §6 experiment grid: all switches across a load sweep.
+
+    ``pattern`` is a :data:`TRAFFIC_PATTERNS` key ("uniform" for Fig. 6,
+    "diagonal" for Fig. 7).  Returns one result per (switch, load).
+    """
+    if pattern not in TRAFFIC_PATTERNS:
+        known = ", ".join(sorted(TRAFFIC_PATTERNS))
+        raise ValueError(f"unknown pattern {pattern!r}; known: {known}")
+    if switches is None:
+        switches = PAPER_SWITCHES
+    make_matrix = TRAFFIC_PATTERNS[pattern]
+    results: List[SimulationResult] = []
+    for load in loads:
+        matrix = make_matrix(n, load)
+        for name in switches:
+            results.append(
+                run_single(
+                    name,
+                    matrix,
+                    num_slots,
+                    seed=seed,
+                    load_label=load,
+                    keep_samples=keep_samples,
+                )
+            )
+    return results

@@ -1,0 +1,86 @@
+"""Independent replications: the honest way to error-bar a simulation.
+
+Batch means (``sim/stats.py``) error-bars a *single* run; independent
+replications — the same configuration under ``R`` different seeds —
+additionally capture run-to-run variability (placement randomness,
+traffic randomness), which for Sprinklers is exactly where the §4
+probability statements live.  This module runs replications (optionally
+in parallel) and summarizes any result metric across them with a
+Student-t confidence interval.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, NamedTuple, Optional, Sequence
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+from .metrics import SimulationResult
+from .parallel import SweepJob, run_jobs
+
+__all__ = ["ReplicatedResult", "replicate"]
+
+
+class ReplicatedResult(NamedTuple):
+    """Cross-replication summary of one scalar metric."""
+
+    metric: str
+    mean: float
+    half_width: float
+    confidence: float
+    replications: int
+    values: tuple
+
+    @property
+    def interval(self) -> tuple:
+        """The (low, high) confidence interval for the metric's mean."""
+        return (self.mean - self.half_width, self.mean + self.half_width)
+
+
+def replicate(
+    switch_name: str,
+    matrix: np.ndarray,
+    num_slots: int,
+    replications: int = 10,
+    base_seed: int = 0,
+    metric: Callable[[SimulationResult], float] = lambda r: r.mean_delay,
+    metric_name: str = "mean_delay",
+    confidence: float = 0.95,
+    load_label: float = float("nan"),
+    max_workers: Optional[int] = 1,
+) -> ReplicatedResult:
+    """Run ``replications`` independent seeds of one configuration.
+
+    Seeds are ``base_seed .. base_seed + R - 1``; each seed independently
+    redraws the placement *and* the traffic, so the interval covers both
+    sources of randomness.
+
+    >>> from repro.traffic.matrices import uniform_matrix
+    >>> res = replicate("load-balanced", uniform_matrix(4, 0.5), 800,
+    ...                 replications=3)
+    >>> res.replications
+    3
+    """
+    if replications < 2:
+        raise ValueError("need at least 2 replications for an interval")
+    jobs = [
+        SweepJob(switch_name, matrix, num_slots, base_seed + r, load_label)
+        for r in range(replications)
+    ]
+    results = run_jobs(jobs, max_workers=max_workers)
+    values = [float(metric(result)) for result in results]
+    mean = float(np.mean(values))
+    stderr = float(np.std(values, ddof=1)) / math.sqrt(replications)
+    t_crit = float(
+        scipy_stats.t.ppf(0.5 + confidence / 2.0, df=replications - 1)
+    )
+    return ReplicatedResult(
+        metric=metric_name,
+        mean=mean,
+        half_width=t_crit * stderr,
+        confidence=confidence,
+        replications=replications,
+        values=tuple(values),
+    )

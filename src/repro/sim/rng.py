@@ -1,0 +1,87 @@
+"""Seeded random-number management for reproducible experiments.
+
+Every stochastic component of the library (traffic generation, permutation
+drawing, Monte-Carlo analysis) draws its randomness from a named stream so
+that experiments are exactly reproducible from a single master seed, and so
+that changing how one component consumes randomness does not perturb the
+others.
+
+Streams are derived with :class:`numpy.random.SeedSequence`, which provides
+high-quality, collision-resistant child seeds.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, Iterator
+
+import numpy as np
+
+__all__ = ["RngRegistry", "derive_seed", "spawn_generator"]
+
+
+def derive_seed(master_seed: int, name: str) -> int:
+    """Derive a deterministic child seed for ``name`` from ``master_seed``.
+
+    The name is folded into the seed with CRC32 so that distinct stream names
+    yield distinct (and stable across runs/platforms) child seeds.
+
+    >>> derive_seed(1, "traffic") != derive_seed(1, "permutation")
+    True
+    >>> derive_seed(1, "traffic") == derive_seed(1, "traffic")
+    True
+    """
+    if master_seed < 0:
+        raise ValueError(f"master_seed must be nonnegative, got {master_seed}")
+    tag = zlib.crc32(name.encode("utf-8"))
+    seq = np.random.SeedSequence(entropy=master_seed, spawn_key=(tag,))
+    return int(seq.generate_state(1, dtype=np.uint64)[0])
+
+
+def spawn_generator(master_seed: int, name: str) -> np.random.Generator:
+    """Return a numpy :class:`~numpy.random.Generator` for stream ``name``."""
+    return np.random.default_rng(derive_seed(master_seed, name))
+
+
+class RngRegistry:
+    """A registry of named, independently seeded random generators.
+
+    Components ask the registry for their stream by name; the registry
+    memoizes generators so that repeated lookups return the same stream
+    object (and therefore continue the same random sequence).
+
+    >>> reg = RngRegistry(master_seed=42)
+    >>> g1 = reg.stream("traffic")
+    >>> g1 is reg.stream("traffic")
+    True
+    >>> reg2 = RngRegistry(master_seed=42)
+    >>> float(reg2.stream("traffic").random()) == float(
+    ...     RngRegistry(master_seed=42).stream("traffic").random())
+    True
+    """
+
+    def __init__(self, master_seed: int = 0) -> None:
+        if master_seed < 0:
+            raise ValueError("master_seed must be nonnegative")
+        self.master_seed = int(master_seed)
+        self._streams: Dict[str, np.random.Generator] = {}
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return (creating if needed) the generator for stream ``name``."""
+        if name not in self._streams:
+            self._streams[name] = spawn_generator(self.master_seed, name)
+        return self._streams[name]
+
+    def reset(self) -> None:
+        """Forget all streams; subsequent lookups restart their sequences."""
+        self._streams.clear()
+
+    def names(self) -> Iterator[str]:
+        """Iterate over the names of streams created so far."""
+        return iter(sorted(self._streams))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RngRegistry(master_seed={self.master_seed}, "
+            f"streams={sorted(self._streams)})"
+        )

@@ -1,0 +1,74 @@
+"""The baseline load-balanced switch of Chang et al. (paper reference [2]).
+
+Arriving packets queue in a single FIFO at their input port and are sprayed,
+one per slot, to whichever intermediate port fabric 1 currently connects —
+no per-destination logic at all.  Intermediate ports keep one FIFO per
+output and serve it when fabric 2 polls.
+
+This is the architecture every other switch here descends from: it achieves
+100% throughput for admissible traffic and has the lowest delay of the
+family (the paper uses it as the delay lower envelope in Figs. 6-7), but
+consecutive packets of a flow take different paths with different queueing
+delays, so it reorders packets badly — the very problem Sprinklers solves.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .packet import Packet
+from .ports import FifoQueue, PerOutputBank
+from .switch_base import TwoStageSwitch
+
+__all__ = ["BaselineLoadBalancedSwitch"]
+
+
+class BaselineLoadBalancedSwitch(TwoStageSwitch):
+    """Classic two-stage load-balanced switch (no ordering guarantee).
+
+    ``input_buffer`` optionally caps each input's FIFO (drop-tail); the
+    default is infinite buffering, the regime of the paper's analysis.
+    """
+
+    name = "baseline-lb"
+    guarantees_ordering = False
+
+    def __init__(self, n: int, input_buffer: Optional[int] = None) -> None:
+        super().__init__(n)
+        if input_buffer is not None and input_buffer < 1:
+            raise ValueError("input_buffer must be positive")
+        self.input_buffer = input_buffer
+        self._input_fifos: List[FifoQueue] = [FifoQueue() for _ in range(n)]
+        self._mid_banks: List[PerOutputBank] = [PerOutputBank(n) for _ in range(n)]
+
+    def _accept(self, slot: int, packets: List[Packet]) -> None:
+        for packet in packets:
+            fifo = self._input_fifos[packet.input_port]
+            if self.input_buffer is not None and len(fifo) >= self.input_buffer:
+                self._drop(packet)
+                continue
+            fifo.push(packet)
+
+    def _serve_input(
+        self, slot: int, input_port: int, mid_port: int
+    ) -> Optional[Packet]:
+        fifo = self._input_fifos[input_port]
+        if fifo:
+            return fifo.pop()
+        return None
+
+    def _deliver(self, slot: int, mid_port: int, packet: Packet) -> None:
+        self._mid_banks[mid_port].push(packet)
+
+    def _serve_intermediate(
+        self, slot: int, mid_port: int, output_port: int
+    ) -> Optional[Packet]:
+        queue = self._mid_banks[mid_port].queue(output_port)
+        if queue:
+            return queue.pop()
+        return None
+
+    def buffered_packets(self) -> int:
+        return sum(len(f) for f in self._input_fifos) + sum(
+            bank.occupancy() for bank in self._mid_banks
+        )

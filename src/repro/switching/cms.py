@@ -1,0 +1,162 @@
+"""Concurrent Matching Switch (CMS) — paper §2.3, reference [13].
+
+CMS (Lin & Keslassy) is the matching-based route to reordering-free
+load-balanced switching: instead of constraining *where packets go*
+(hashing, frames, stripes), it constrains *when they are allowed to move*.
+Inputs load-balance **request tokens** — not packets — over the
+intermediate ports; each intermediate port independently solves a small
+matching problem over its local token counts once per frame (N slots, so
+the matching cost is amortized by N); granted packets then flow
+input → intermediate → output along the deterministic fabrics.
+
+Frame pipeline implemented here (frames are ``N``-slot blocks):
+
+* frame F: tokens accumulate; at its start each intermediate ``m``
+  computes a round-robin greedy matching over its counters ``C_m[i][j]``
+  (at most one grant per input and per output);
+* frame F+1: input ``i`` transmits one granted packet to each granting
+  intermediate at the slot fabric 1 visits it;
+* frame F+2: the intermediates release those packets to fabric 2, and
+  output ``j`` collects them in increasing ``(m - j) mod N`` order.
+
+Ordering is by construction: each packet backs exactly one token, a VOQ's
+grants within a frame are filled FCFS in the order the output will read
+them, and frame F's packets all depart strictly before frame F+1's.
+Tokens travel instantly (the real system spends a slot; the abstraction
+only shifts delay by a constant).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .packet import Packet
+from .ports import PerOutputBank, VoqBank
+from .switch_base import TwoStageSwitch
+
+__all__ = ["CmsSwitch"]
+
+
+class CmsSwitch(TwoStageSwitch):
+    """Concurrent Matching Switch (frame-pipelined token matching)."""
+
+    name = "cms"
+    guarantees_ordering = True
+
+    def __init__(self, n: int) -> None:
+        super().__init__(n)
+        self._voqs: List[VoqBank] = [VoqBank(n) for _ in range(n)]
+        # Token counters per intermediate: tokens[m][i][j].
+        self._tokens: List[List[List[int]]] = [
+            [[0] * n for _ in range(n)] for _ in range(n)
+        ]
+        self._token_rr: List[int] = [0] * n  # per-input token spreading
+        self._match_input_rr: List[int] = [0] * n  # per-mid input pointer
+        self._match_output_rr: List[int] = [0] * n  # per-mid output pointer
+        # Granted packets awaiting stage-1 transmission: granted[i][m].
+        self._granted: List[Dict[int, Packet]] = [{} for _ in range(n)]
+        # Packets landed at an intermediate, held until the frame boundary.
+        self._mid_hold: List[List[Packet]] = [[] for _ in range(n)]
+        self._mid_banks: List[PerOutputBank] = [PerOutputBank(n) for _ in range(n)]
+        self.grants_issued = 0
+
+    # -- frame machinery ---------------------------------------------------------
+
+    def step(self, slot: int, arrivals: List[Packet]) -> List[Packet]:
+        if slot % self.n == 0 and slot == self.now:
+            self._frame_boundary()
+        return super().step(slot, arrivals)
+
+    def _frame_boundary(self) -> None:
+        """Release held packets; run all intermediate matchings; grant."""
+        n = self.n
+        for mid in range(n):
+            if self._mid_hold[mid]:
+                for packet in self._mid_hold[mid]:
+                    self._mid_banks[mid].push(packet)
+                self._mid_hold[mid] = []
+
+        # grants_by_voq[(i, j)] = list of granting intermediates.
+        grants_by_voq: Dict[tuple, List[int]] = {}
+        for mid in range(n):
+            matched_outputs = [False] * n
+            tokens = self._tokens[mid]
+            start_i = self._match_input_rr[mid]
+            start_j = self._match_output_rr[mid]
+            matched_any = False
+            for di in range(n):
+                i = (start_i + di) % n
+                row = tokens[i]
+                for dj in range(n):
+                    j = (start_j + dj) % n
+                    if row[j] > 0 and not matched_outputs[j]:
+                        row[j] -= 1
+                        matched_outputs[j] = True
+                        grants_by_voq.setdefault((i, j), []).append(mid)
+                        self.grants_issued += 1
+                        matched_any = True
+                        break
+            if matched_any:
+                self._match_input_rr[mid] = (start_i + 1) % n
+                self._match_output_rr[mid] = (start_j + 1) % n
+
+        # Fill grants FCFS in the order output j will read them: fabric 2
+        # reads intermediate m for output j at in-frame offset (m - j) % n.
+        for (i, j), mids in grants_by_voq.items():
+            mids.sort(key=lambda m: (m - j) % self.n)
+            voq = self._voqs[i].queue(j)
+            for mid in mids:
+                packet = voq.pop()
+                packet.assembled_slot = self.now  # grant instant
+                self._granted[i][mid] = packet
+
+    # -- the TwoStageSwitch hooks -----------------------------------------------
+
+    def _accept(self, slot: int, packets: List[Packet]) -> None:
+        for packet in packets:
+            self._voqs[packet.input_port].push(packet)
+            mid = self._token_rr[packet.input_port]
+            self._token_rr[packet.input_port] = (mid + 1) % self.n
+            self._tokens[mid][packet.input_port][packet.output_port] += 1
+
+    def _serve_input(
+        self, slot: int, input_port: int, mid_port: int
+    ) -> Optional[Packet]:
+        return self._granted[input_port].pop(mid_port, None)
+
+    def _deliver(self, slot: int, mid_port: int, packet: Packet) -> None:
+        # A packet delivered at a frame-boundary slot crossed fabric 1 in
+        # the *last slot of the previous frame* — its read round is the
+        # frame starting now, so it must bypass the hold (which this
+        # frame's boundary has already released).  All other deliveries
+        # wait for the next boundary so no packet is read a frame early.
+        if slot % self.n == 0:
+            self._mid_banks[mid_port].push(packet)
+        else:
+            self._mid_hold[mid_port].append(packet)
+
+    def _serve_intermediate(
+        self, slot: int, mid_port: int, output_port: int
+    ) -> Optional[Packet]:
+        queue = self._mid_banks[mid_port].queue(output_port)
+        if queue:
+            return queue.pop()
+        return None
+
+    # -- accounting -----------------------------------------------------------------
+
+    def outstanding_tokens(self) -> int:
+        """Tokens not yet converted into grants (== packets still in VOQs)."""
+        return sum(
+            count
+            for per_mid in self._tokens
+            for row in per_mid
+            for count in row
+        )
+
+    def buffered_packets(self) -> int:
+        total = sum(bank.occupancy() for bank in self._voqs)
+        total += sum(len(grants) for grants in self._granted)
+        total += sum(len(hold) for hold in self._mid_hold)
+        total += sum(bank.occupancy() for bank in self._mid_banks)
+        return total

@@ -1,0 +1,139 @@
+"""Deterministic periodic connection patterns of the two switching fabrics.
+
+A load-balanced switch (paper Fig. 1) contains two fabrics that each execute
+a fixed periodic sequence of permutation connections, so that every
+input/output pair of a fabric is connected exactly once every N slots — no
+scheduler, no arbitration.
+
+With 0-indexed ports, the paper's patterns (§3.4) become:
+
+* **first fabric** ("increasing"): at slot ``t``, input ``i`` is connected
+  to intermediate port ``(i + t) mod N``;
+* **second fabric** ("decreasing"): at slot ``t``, intermediate port ``m``
+  is connected to output ``(m - t) mod N`` — equivalently, output ``j``
+  receives from intermediate ``(j + t) mod N``.
+
+The pairing matters: from a single input's viewpoint the target intermediate
+port *increases* by one each slot, and from a single output's viewpoint the
+source intermediate port also increases by one each slot.  A stripe written
+to consecutive intermediate ports in consecutive slots is therefore read out
+in consecutive slots as well — the alignment behind Sprinklers' distributed
+Largest-Stripe-First consistency (§3.4.3).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..core.permutation import is_permutation
+
+__all__ = [
+    "increasing_connection",
+    "decreasing_connection",
+    "output_source",
+    "input_poll_slot",
+    "PeriodicFabric",
+    "IncreasingFabric",
+    "DecreasingFabric",
+]
+
+
+def increasing_connection(input_port: int, slot: int, n: int) -> int:
+    """Intermediate port connected to ``input_port`` at ``slot`` (fabric 1)."""
+    return (input_port + slot) % n
+
+
+def decreasing_connection(intermediate_port: int, slot: int, n: int) -> int:
+    """Output port connected to ``intermediate_port`` at ``slot`` (fabric 2)."""
+    return (intermediate_port - slot) % n
+
+
+def output_source(output_port: int, slot: int, n: int) -> int:
+    """Intermediate port that output ``output_port`` reads at ``slot``.
+
+    Inverse view of :func:`decreasing_connection`:
+
+    >>> n = 8
+    >>> all(
+    ...     decreasing_connection(output_source(j, t, n), t, n) == j
+    ...     for j in range(n) for t in range(2 * n)
+    ... )
+    True
+    """
+    return (output_port + slot) % n
+
+
+def input_poll_slot(input_port: int, intermediate_port: int, n: int) -> int:
+    """The smallest nonnegative slot at which fabric 1 connects the pair.
+
+    Fabric 1 reconnects them every ``n`` slots thereafter.
+    """
+    return (intermediate_port - input_port) % n
+
+
+class PeriodicFabric:
+    """A fabric executing an arbitrary periodic sequence of permutations.
+
+    ``sequence[k]`` is the permutation used at slots ``t`` with
+    ``t mod len(sequence) == k``; ``sequence[k][a]`` is the egress port
+    connected to ingress ``a``.  The two standard fabrics are special cases;
+    this generic form supports experimenting with other patterns (e.g.
+    bit-reversal sequences).
+    """
+
+    def __init__(self, sequence: Sequence[Sequence[int]]) -> None:
+        if not sequence:
+            raise ValueError("fabric sequence must be nonempty")
+        n = len(sequence[0])
+        perms: List[List[int]] = []
+        for k, perm in enumerate(sequence):
+            perm = list(perm)
+            if len(perm) != n or not is_permutation(perm):
+                raise ValueError(f"sequence[{k}] is not a permutation of 0..{n-1}")
+            perms.append(perm)
+        self.n = n
+        self.period = len(perms)
+        self._sequence = perms
+
+    def egress(self, ingress: int, slot: int) -> int:
+        """The egress port connected to ``ingress`` at ``slot``."""
+        return self._sequence[slot % self.period][ingress]
+
+    def connects_each_pair_once_per_period(self) -> bool:
+        """Whether every (ingress, egress) pair appears exactly once per period.
+
+        This is the property both standard fabrics have with period N; it is
+        what gives every ingress a dedicated 1/N-rate channel to every
+        egress.
+        """
+        if self.period != self.n:
+            return False
+        for ingress in range(self.n):
+            targets = {self.egress(ingress, t) for t in range(self.period)}
+            if len(targets) != self.n:
+                return False
+        return True
+
+
+class IncreasingFabric(PeriodicFabric):
+    """The first-stage fabric: ``ingress i -> (i + t) mod N``."""
+
+    def __init__(self, n: int) -> None:
+        super().__init__(
+            [[(i + t) % n for i in range(n)] for t in range(n)]
+        )
+
+    def egress(self, ingress: int, slot: int) -> int:
+        return (ingress + slot) % self.n
+
+
+class DecreasingFabric(PeriodicFabric):
+    """The second-stage fabric: ``ingress m -> (m - t) mod N``."""
+
+    def __init__(self, n: int) -> None:
+        super().__init__(
+            [[(m - t) % n for m in range(n)] for t in range(n)]
+        )
+
+    def egress(self, ingress: int, slot: int) -> int:
+        return (ingress - slot) % self.n

@@ -1,0 +1,111 @@
+"""TCP hashing / Application Flow Based Routing — paper §2.1, reference [11].
+
+The simplest reordering fix: force all packets of an application flow
+through one intermediate port, chosen by hashing the flow identifier.  Every
+packet of a flow then sees the same queueing delay, so flows stay in order.
+
+The fatal flaw — and the reason the paper keeps it only as a cautionary
+baseline — is that hashing provides no admission control at the
+intermediate ports: enough large flows can land on the same port, and the
+per-(input, intermediate) queue, served at fixed rate 1/N, overflows.  The
+library keeps this switch precisely to demonstrate that instability (see
+``examples/reordering_demo.py`` and the hashing tests).
+
+Hash granularity:
+
+* ``per_flow=True`` (default) hashes ``packet.flow_id`` (packets without a
+  flow id fall back to their VOQ), modeling real AFBR;
+* ``per_flow=False`` hashes the VOQ, modeling the coarsest variant — this
+  makes the instability easiest to trigger.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import List, Optional
+
+from .packet import Packet
+from .ports import FifoQueue, PerOutputBank
+from .switch_base import TwoStageSwitch
+
+__all__ = ["TcpHashingSwitch"]
+
+
+class TcpHashingSwitch(TwoStageSwitch):
+    """Per-flow hashing load-balanced switch (unstable; kept as baseline)."""
+
+    name = "tcp-hashing"
+    guarantees_ordering = True  # per application flow; VOQs may interleave
+
+    def __init__(
+        self,
+        n: int,
+        salt: int = 0,
+        per_flow: bool = True,
+        input_buffer: Optional[int] = None,
+    ) -> None:
+        super().__init__(n)
+        if input_buffer is not None and input_buffer < 1:
+            raise ValueError("input_buffer must be positive")
+        self.salt = salt
+        self.per_flow = per_flow
+        self.input_buffer = input_buffer
+        # At each input, one FIFO per intermediate port assignment.
+        self._input_fifos: List[List[FifoQueue]] = [
+            [FifoQueue() for _ in range(n)] for _ in range(n)
+        ]
+        self._mid_banks: List[PerOutputBank] = [PerOutputBank(n) for _ in range(n)]
+
+    def assigned_port(self, packet: Packet) -> int:
+        """The intermediate port this packet's flow hashes to."""
+        if self.per_flow and packet.flow_id is not None:
+            key = ("flow", packet.flow_id)
+        else:
+            key = ("voq", packet.input_port, packet.output_port)
+        digest = zlib.crc32(repr((self.salt, key)).encode("utf-8"))
+        return digest % self.n
+
+    def _accept(self, slot: int, packets: List[Packet]) -> None:
+        for packet in packets:
+            port = self.assigned_port(packet)
+            fifo = self._input_fifos[packet.input_port][port]
+            if self.input_buffer is not None and len(fifo) >= self.input_buffer:
+                self._drop(packet)
+                continue
+            fifo.push(packet)
+
+    def _serve_input(
+        self, slot: int, input_port: int, mid_port: int
+    ) -> Optional[Packet]:
+        fifo = self._input_fifos[input_port][mid_port]
+        if fifo:
+            return fifo.pop()
+        return None
+
+    def _deliver(self, slot: int, mid_port: int, packet: Packet) -> None:
+        self._mid_banks[mid_port].push(packet)
+
+    def _serve_intermediate(
+        self, slot: int, mid_port: int, output_port: int
+    ) -> Optional[Packet]:
+        queue = self._mid_banks[mid_port].queue(output_port)
+        if queue:
+            return queue.pop()
+        return None
+
+    def buffered_packets(self) -> int:
+        total = 0
+        for fifos in self._input_fifos:
+            total += sum(len(f) for f in fifos)
+        total += sum(bank.occupancy() for bank in self._mid_banks)
+        return total
+
+    def max_input_backlog(self) -> int:
+        """High-water mark over the per-(input, intermediate) FIFOs.
+
+        An oversubscribed assignment shows up as this growing without bound
+        over the run — the instability witness.
+        """
+        return max(
+            fifo.max_depth for fifos in self._input_fifos for fifo in fifos
+        )

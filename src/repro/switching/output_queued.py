@@ -1,0 +1,80 @@
+"""Ideal output-queued switch: the delay lower bound reference.
+
+An output-queued (OQ) switch places every arriving packet directly into a
+FIFO at its output port, which drains at line rate.  It requires an N-fold
+internal speedup, so it is not buildable at scale — which is the entire
+motivation for load-balanced architectures — but it is the canonical
+performance yardstick: no work-conserving switch can beat its delay.
+
+It is not a two-stage switch, so it implements the ``step`` protocol
+directly rather than inheriting :class:`~repro.switching.switch_base.TwoStageSwitch`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .packet import Packet
+from .ports import FifoQueue
+
+__all__ = ["OutputQueuedSwitch"]
+
+
+class OutputQueuedSwitch:
+    """Ideal output-queued switch (infinite fabric speedup)."""
+
+    name = "output-queued"
+    guarantees_ordering = True
+
+    def __init__(self, n: int) -> None:
+        if n <= 0:
+            raise ValueError(f"switch size must be positive, got {n}")
+        self.n = n
+        self.now = 0
+        self.injected = 0
+        self.departed = 0
+        self.fake_departed = 0
+        self._queues: List[FifoQueue] = [FifoQueue() for _ in range(n)]
+
+    def step(self, slot: int, arrivals: List[Packet]) -> List[Packet]:
+        """One slot: enqueue arrivals at outputs, serve one per output."""
+        if slot != self.now:
+            raise ValueError(f"expected slot {self.now}, got {slot}")
+        for packet in arrivals:
+            if packet.arrival_slot != slot:
+                raise ValueError("packet arrival slot mismatch")
+            self._queues[packet.output_port].push(packet)
+            self.injected += 1
+        departures: List[Packet] = []
+        for queue in self._queues:
+            if queue:
+                packet = queue.pop()
+                packet.departure_slot = slot + 1  # cut-through floor of 1 slot
+                self.departed += 1
+                departures.append(packet)
+        self.now = slot + 1
+        return departures
+
+    def drain(self, max_slots: int) -> List[Packet]:
+        """Step without arrivals until all queues are empty."""
+        departures: List[Packet] = []
+        for _ in range(max_slots):
+            if self.buffered_packets() == 0:
+                break
+            departures.extend(self.step(self.now, []))
+        return departures
+
+    def buffered_packets(self) -> int:
+        """Packets waiting in output queues."""
+        return sum(len(q) for q in self._queues)
+
+    def in_flight(self) -> int:
+        """Injected but not yet departed packets."""
+        return self.injected - self.departed
+
+    def conservation_ok(self) -> bool:
+        """Queued packets must account for every in-flight packet."""
+        return self.buffered_packets() == self.in_flight()
+
+    def __repr__(self) -> str:
+        return f"OutputQueuedSwitch(n={self.n}, t={self.now})"

@@ -1,0 +1,121 @@
+"""Packet (fixed-size cell) model shared by every switch in the library.
+
+The paper operates on fixed-size packets in slotted time: each port can
+receive and transmit exactly one packet per time slot.  A :class:`Packet`
+carries the identity needed by the switches (input, output), the metadata
+needed for measurement (arrival slot, per-VOQ sequence number), and the
+Sprinklers stripe header of the paper's §3.4.3 (stripe size, carried across
+the first fabric in ``log2 log2 N`` bits so intermediate ports can run the
+distributed Largest-Stripe-First policy).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["Packet"]
+
+
+class Packet:
+    """A fixed-size cell traversing a two-stage load-balanced switch.
+
+    Attributes
+    ----------
+    input_port:
+        Index of the ingress line card (0-based).
+    output_port:
+        Index of the egress line card (0-based).
+    arrival_slot:
+        Slot at which the packet arrived at its input port.
+    seq:
+        Per-VOQ sequence number assigned at arrival, used to detect
+        reordering at the outputs.
+    flow_id:
+        Optional application-flow identifier (used by the TCP-hashing switch
+        and by flow-level reordering measurements).
+    stripe_size:
+        Sprinklers stripe header: size of the stripe this packet belongs to
+        (a power of two), or ``0`` for switches that do not stripe.
+    stripe_id:
+        Identifier of the stripe (unique per switch run); lets tests verify
+        stripe continuity at input departure and output arrival.
+    stripe_pos:
+        Position of this packet within its stripe, ``0 .. stripe_size - 1``.
+    fake:
+        ``True`` for padding cells injected by the Padded Frames switch;
+        fakes consume fabric capacity but are dropped at the output and are
+        excluded from all delay/throughput statistics.
+    departure_slot:
+        Slot at which the packet left the switch (set by the switch).
+    assembled_slot:
+        Slot at which the packet's scheduling unit (stripe or frame)
+        finished forming, or -1 for switches without aggregation.  Together
+        with ``tx_slot`` this decomposes the total delay into aggregation
+        wait, input queueing, and intermediate queueing.
+    tx_slot:
+        Slot at which the packet crossed the first fabric (stamped by the
+        base switch), or -1 while still at the input.
+    """
+
+    __slots__ = (
+        "input_port",
+        "output_port",
+        "arrival_slot",
+        "seq",
+        "flow_id",
+        "stripe_size",
+        "stripe_id",
+        "stripe_pos",
+        "fake",
+        "departure_slot",
+        "assembled_slot",
+        "tx_slot",
+    )
+
+    def __init__(
+        self,
+        input_port: int,
+        output_port: int,
+        arrival_slot: int,
+        seq: int = 0,
+        flow_id: Optional[int] = None,
+        fake: bool = False,
+    ) -> None:
+        self.input_port = input_port
+        self.output_port = output_port
+        self.arrival_slot = arrival_slot
+        self.seq = seq
+        self.flow_id = flow_id
+        self.stripe_size = 0
+        self.stripe_id = -1
+        self.stripe_pos = -1
+        self.fake = fake
+        self.departure_slot = -1
+        self.assembled_slot = -1
+        self.tx_slot = -1
+
+    @property
+    def voq(self) -> tuple:
+        """The (input, output) pair identifying this packet's VOQ."""
+        return (self.input_port, self.output_port)
+
+    @property
+    def delay(self) -> int:
+        """Departure minus arrival slot; only valid after departure."""
+        if self.departure_slot < 0:
+            raise ValueError("packet has not departed yet")
+        return self.departure_slot - self.arrival_slot
+
+    def __repr__(self) -> str:
+        tail = ""
+        if self.stripe_size:
+            tail = (
+                f", stripe={self.stripe_id}@{self.stripe_pos}/"
+                f"{self.stripe_size}"
+            )
+        if self.fake:
+            tail += ", fake"
+        return (
+            f"Packet(in={self.input_port}, out={self.output_port}, "
+            f"t={self.arrival_slot}, seq={self.seq}{tail})"
+        )

@@ -1,0 +1,140 @@
+"""Padded Frames (PF) — paper §2.3, reference [9] (Jaramillo, Milan, Srikant).
+
+PF keeps UFS's reordering-free full-frame spreading but avoids waiting
+indefinitely for frames to fill: when an input has no full frame, it finds
+its longest VOQ and — if that VOQ holds at least ``threshold`` packets —
+*pads* it with fake cells up to a full frame of N and spreads it like UFS.
+Fake cells consume fabric and intermediate-buffer capacity exactly like real
+ones (that is the price of padding) and are discarded at the output.
+
+Because every frame, padded or not, contributes exactly one cell to each
+per-output intermediate FIFO, the equal-queue-length invariant of UFS is
+preserved and no resequencer is needed.
+
+``threshold`` defaults to ``N // 2``: low enough to cap the padding wait at
+light load, high enough to bound the fake-cell bandwidth overhead (a padded
+frame is at least half real).  The original paper expresses the same
+trade-off through a threshold parameter T; the exact constant only shifts
+the light-load delay floor.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from .packet import Packet
+from .ports import PerOutputBank, VoqBank
+from .switch_base import TwoStageSwitch
+
+__all__ = ["PaddedFramesSwitch"]
+
+
+class PaddedFramesSwitch(TwoStageSwitch):
+    """Padded Frames load-balanced switch."""
+
+    name = "pf"
+    guarantees_ordering = True
+
+    def __init__(self, n: int, threshold: Optional[int] = None) -> None:
+        super().__init__(n)
+        if threshold is None:
+            threshold = max(1, n // 2)
+        if not 1 <= threshold <= n:
+            raise ValueError(f"threshold must be in [1, {n}], got {threshold}")
+        self.threshold = threshold
+        self._voqs: List[VoqBank] = [VoqBank(n) for _ in range(n)]
+        self._active_frame: List[Optional[Deque[Packet]]] = [None] * n
+        self._full_rr: List[int] = [0] * n
+        self._mid_banks: List[PerOutputBank] = [PerOutputBank(n) for _ in range(n)]
+        self.fakes_injected = 0
+
+    def _accept(self, slot: int, packets: List[Packet]) -> None:
+        for packet in packets:
+            self._voqs[packet.input_port].push(packet)
+
+    def _pick_frame(self, slot: int, input_port: int) -> Optional[Deque[Packet]]:
+        """Full frames first (round-robin); else pad the longest VOQ >= T."""
+        bank = self._voqs[input_port]
+        n = self.n
+        pointer = self._full_rr[input_port]
+        for offset in range(n):
+            j = (pointer + offset) % n
+            voq = bank.queue(j)
+            if len(voq) >= n:
+                self._full_rr[input_port] = (j + 1) % n
+                frame = deque(voq.pop() for _ in range(n))
+                for member in frame:
+                    member.assembled_slot = slot
+                return frame
+        longest = bank.longest()
+        if longest is None:
+            return None
+        voq = bank.queue(longest)
+        if len(voq) < self.threshold:
+            return None
+        count = len(voq)
+        frame: Deque[Packet] = deque(voq.pop() for _ in range(count))
+        for member in frame:
+            member.assembled_slot = slot
+        for _ in range(n - count):
+            fake = Packet(
+                input_port=input_port,
+                output_port=longest,
+                arrival_slot=slot,
+                seq=-1,
+                fake=True,
+            )
+            frame.append(fake)
+            self.fakes_injected += 1
+        return frame
+
+    def _serve_input(
+        self, slot: int, input_port: int, mid_port: int
+    ) -> Optional[Packet]:
+        active = self._active_frame[input_port]
+        if active is None:
+            # Cycle-aligned like UFS: padded frames are always full, so
+            # starting every frame at port 0 preserves the equal-queue
+            # invariant and hence ordering.
+            if mid_port != 0:
+                return None
+            active = self._pick_frame(slot, input_port)
+            if active is None:
+                return None
+            self._active_frame[input_port] = active
+        packet = active.popleft()
+        if not active:
+            self._active_frame[input_port] = None
+        return packet
+
+    def _deliver(self, slot: int, mid_port: int, packet: Packet) -> None:
+        self._mid_banks[mid_port].push(packet)
+
+    def _serve_intermediate(
+        self, slot: int, mid_port: int, output_port: int
+    ) -> Optional[Packet]:
+        queue = self._mid_banks[mid_port].queue(output_port)
+        if queue:
+            return queue.pop()
+        return None
+
+    def buffered_packets(self) -> int:
+        """Real (non-fake) packets buffered in the switch."""
+        total = 0
+        for i in range(self.n):
+            total += self._voqs[i].occupancy()
+            active = self._active_frame[i]
+            if active is not None:
+                total += sum(1 for p in active if not p.fake)
+        for bank in self._mid_banks:
+            for queue in bank.queues:
+                total += sum(1 for p in queue if not p.fake)
+        return total
+
+    def padding_overhead(self) -> float:
+        """Fraction of stage-1 transmissions spent on fake cells so far."""
+        sent = self.departed + self.fake_departed
+        if sent == 0:
+            return 0.0
+        return self.fake_departed / sent

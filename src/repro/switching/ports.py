@@ -1,0 +1,120 @@
+"""Queue primitives shared by every switch implementation.
+
+These are deliberately thin wrappers over :class:`collections.deque` that
+add the occupancy accounting the simulator's metrics and the conservation
+tests rely on (current depth, high-water mark, totals).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterable, List, Optional
+
+from .packet import Packet
+
+__all__ = ["FifoQueue", "VoqBank", "PerOutputBank"]
+
+
+class FifoQueue:
+    """A FIFO of packets with occupancy statistics."""
+
+    __slots__ = ("_items", "max_depth", "total_enqueued", "total_dequeued")
+
+    def __init__(self) -> None:
+        self._items: Deque[Packet] = deque()
+        self.max_depth = 0
+        self.total_enqueued = 0
+        self.total_dequeued = 0
+
+    def push(self, packet: Packet) -> None:
+        """Append a packet at the tail."""
+        self._items.append(packet)
+        self.total_enqueued += 1
+        if len(self._items) > self.max_depth:
+            self.max_depth = len(self._items)
+
+    def pop(self) -> Packet:
+        """Remove and return the head packet."""
+        self.total_dequeued += 1
+        return self._items.popleft()
+
+    def peek(self) -> Packet:
+        """Return (without removing) the head packet."""
+        return self._items[0]
+
+    def extend(self, packets: Iterable[Packet]) -> None:
+        """Append several packets, preserving their order."""
+        for packet in packets:
+            self.push(packet)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def __iter__(self):
+        return iter(self._items)
+
+    def __repr__(self) -> str:
+        return f"FifoQueue(depth={len(self._items)}, max={self.max_depth})"
+
+
+class VoqBank:
+    """The N virtual output queues of one input port."""
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+        self.queues: List[FifoQueue] = [FifoQueue() for _ in range(n)]
+
+    def push(self, packet: Packet) -> None:
+        """Enqueue a packet into the VOQ of its output port."""
+        self.queues[packet.output_port].push(packet)
+
+    def queue(self, output_port: int) -> FifoQueue:
+        """The VOQ holding packets for ``output_port``."""
+        return self.queues[output_port]
+
+    def occupancy(self) -> int:
+        """Total packets across all VOQs."""
+        return sum(len(q) for q in self.queues)
+
+    def longest(self) -> Optional[int]:
+        """Index of the longest nonempty VOQ (ties to the lowest index)."""
+        best_len = 0
+        best: Optional[int] = None
+        for j, q in enumerate(self.queues):
+            if len(q) > best_len:
+                best_len = len(q)
+                best = j
+        return best
+
+    def nonempty_outputs(self) -> List[int]:
+        """Outputs with at least one queued packet."""
+        return [j for j, q in enumerate(self.queues) if q]
+
+    def __repr__(self) -> str:
+        return f"VoqBank(n={self.n}, occupancy={self.occupancy()})"
+
+
+class PerOutputBank:
+    """Per-output FIFOs at an intermediate port (second-stage buffers)."""
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+        self.queues: List[FifoQueue] = [FifoQueue() for _ in range(n)]
+
+    def push(self, packet: Packet) -> None:
+        """Enqueue a packet into the FIFO of its output port."""
+        self.queues[packet.output_port].push(packet)
+
+    def queue(self, output_port: int) -> FifoQueue:
+        """The FIFO of packets heading to ``output_port``."""
+        return self.queues[output_port]
+
+    def occupancy(self) -> int:
+        """Total packets buffered at this intermediate port."""
+        return sum(len(q) for q in self.queues)
+
+    def __repr__(self) -> str:
+        return f"PerOutputBank(n={self.n}, occupancy={self.occupancy()})"

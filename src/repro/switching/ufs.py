@@ -1,0 +1,119 @@
+"""Uniform Frame Spreading (UFS) — paper §2.2, reference [11].
+
+UFS prevents reordering by *full-frame aggregation*: an input may only begin
+transmitting a VOQ's packets once it has accumulated a full frame of N
+packets, and it then spreads the frame over N consecutive slots, one packet
+to each of the N intermediate ports.  Every per-output FIFO at the
+intermediate stage therefore grows by exactly one packet per frame, keeping
+their lengths equal, so every packet of a flow experiences the same
+queueing delay and order is preserved.
+
+The cost is the accumulation delay: a VOQ with arrival rate ``r`` waits
+``Θ(N / r)`` slots to fill a frame — ``O(N^3)`` in the worst admissible
+case, and painfully long at light load (the hockey-stick left end of the
+paper's Figs. 6-7 that motivates Sprinklers' rate-proportional stripes).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from .packet import Packet
+from .ports import PerOutputBank, VoqBank
+from .switch_base import TwoStageSwitch
+
+__all__ = ["UfsSwitch"]
+
+
+class UfsSwitch(TwoStageSwitch):
+    """Uniform Frame Spreading load-balanced switch.
+
+    ``input_buffer`` optionally caps each input line card's total memory
+    (accumulating VOQs + completed frames awaiting service); arrivals to a
+    full input are dropped (drop-tail).  Must be at least N, or no frame
+    could ever form.
+    """
+
+    name = "ufs"
+    guarantees_ordering = True
+
+    def __init__(self, n: int, input_buffer: Optional[int] = None) -> None:
+        super().__init__(n)
+        if input_buffer is not None and input_buffer < n:
+            raise ValueError(
+                f"input_buffer must be at least N={n} to form frames"
+            )
+        self.input_buffer = input_buffer
+        self._input_occupancy = [0] * n
+        self._voqs: List[VoqBank] = [VoqBank(n) for _ in range(n)]
+        # Completed frames per input, FCFS by completion time.
+        self._ready_frames: List[Deque[Deque[Packet]]] = [deque() for _ in range(n)]
+        # Frame currently being spread by each input (one at a time).
+        self._active_frame: List[Optional[Deque[Packet]]] = [None] * n
+        self._mid_banks: List[PerOutputBank] = [PerOutputBank(n) for _ in range(n)]
+
+    def _accept(self, slot: int, packets: List[Packet]) -> None:
+        for packet in packets:
+            i = packet.input_port
+            bank = self._voqs[i]
+            if (
+                self.input_buffer is not None
+                and self._input_occupancy[i] >= self.input_buffer
+            ):
+                self._drop(packet)
+                continue
+            self._input_occupancy[i] += 1
+            bank.push(packet)
+            voq = bank.queue(packet.output_port)
+            if len(voq) >= self.n:
+                frame: Deque[Packet] = deque(voq.pop() for _ in range(self.n))
+                for member in frame:
+                    member.assembled_slot = slot
+                self._ready_frames[packet.input_port].append(frame)
+
+    def _serve_input(
+        self, slot: int, input_port: int, mid_port: int
+    ) -> Optional[Packet]:
+        active = self._active_frame[input_port]
+        if active is None:
+            # Frames are cycle-aligned: packet k of a frame must go to
+            # intermediate port k, so a frame may only start when fabric 1
+            # is at port 0.  This keeps the per-output queue-depth profile
+            # identical across intermediate ports, which is what makes UFS
+            # reordering-free; an unaligned frame wraps the port ring and
+            # the output's cyclic polling would drain it out of order.
+            if mid_port != 0:
+                return None
+            ready = self._ready_frames[input_port]
+            if not ready:
+                return None
+            active = ready.popleft()
+            self._active_frame[input_port] = active
+        packet = active.popleft()
+        self._input_occupancy[input_port] -= 1
+        if not active:
+            self._active_frame[input_port] = None
+        return packet
+
+    def _deliver(self, slot: int, mid_port: int, packet: Packet) -> None:
+        self._mid_banks[mid_port].push(packet)
+
+    def _serve_intermediate(
+        self, slot: int, mid_port: int, output_port: int
+    ) -> Optional[Packet]:
+        queue = self._mid_banks[mid_port].queue(output_port)
+        if queue:
+            return queue.pop()
+        return None
+
+    def buffered_packets(self) -> int:
+        total = 0
+        for i in range(self.n):
+            total += self._voqs[i].occupancy()
+            total += sum(len(f) for f in self._ready_frames[i])
+            active = self._active_frame[i]
+            if active is not None:
+                total += len(active)
+        total += sum(bank.occupancy() for bank in self._mid_banks)
+        return total

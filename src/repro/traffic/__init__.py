@@ -1,0 +1,36 @@
+"""Workload generation: arrival processes, traffic matrices, packet sources."""
+
+from .arrivals import BernoulliArrivals, OnOffArrivals, TraceArrivals
+from .generator import FlowModel, TrafficGenerator, bernoulli_traffic
+from .trace_io import read_trace, record_trace, replay_generator, write_trace
+from .matrices import (
+    diagonal_matrix,
+    hotspot_matrix,
+    is_admissible,
+    lognormal_matrix,
+    permutation_matrix,
+    quasi_diagonal_matrix,
+    scale_to_load,
+    uniform_matrix,
+)
+
+__all__ = [
+    "BernoulliArrivals",
+    "FlowModel",
+    "OnOffArrivals",
+    "TraceArrivals",
+    "TrafficGenerator",
+    "bernoulli_traffic",
+    "read_trace",
+    "record_trace",
+    "replay_generator",
+    "write_trace",
+    "diagonal_matrix",
+    "hotspot_matrix",
+    "is_admissible",
+    "lognormal_matrix",
+    "permutation_matrix",
+    "quasi_diagonal_matrix",
+    "scale_to_load",
+    "uniform_matrix",
+]

@@ -1,0 +1,165 @@
+"""Arrival processes for slotted-time switch simulation.
+
+The paper's §6 uses Bernoulli i.i.d. arrivals: at each input port, a packet
+arrives in each slot independently with probability ``rho``.  This module
+also provides a two-state Markov-modulated (bursty on/off) process — the
+standard stress generalization — and trace replay.
+
+All processes generate arrivals in *chunks* (numpy-vectorized blocks of
+slots) because per-slot Python-level sampling would dominate simulation
+time.  A chunk is a pair of arrays ``(slots, inputs)`` listing, in
+nondecreasing slot order, each arrival event's slot and input port.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "ArrivalProcess",
+    "BernoulliArrivals",
+    "OnOffArrivals",
+    "TraceArrivals",
+]
+
+Chunk = Tuple[np.ndarray, np.ndarray]
+
+
+class ArrivalProcess:
+    """Interface: per-slot packet arrivals at each of ``n`` input ports."""
+
+    n: int
+
+    def chunk(self, start_slot: int, num_slots: int) -> Chunk:
+        """Arrival events for slots ``[start_slot, start_slot + num_slots)``.
+
+        Returns ``(slots, inputs)`` arrays sorted by slot; at most one
+        arrival per (slot, input) pair, matching the line-rate constraint of
+        one packet per slot per input.
+        """
+        raise NotImplementedError
+
+    def events(self, num_slots: int, chunk_slots: int = 4096) -> Iterator[Chunk]:
+        """Iterate chunks covering ``[0, num_slots)``."""
+        start = 0
+        while start < num_slots:
+            size = min(chunk_slots, num_slots - start)
+            yield self.chunk(start, size)
+            start += size
+
+
+class BernoulliArrivals(ArrivalProcess):
+    """I.i.d. Bernoulli arrivals (paper §6).
+
+    In each slot, input ``i`` receives a packet with probability
+    ``loads[i]`` independently of everything else.
+    """
+
+    def __init__(self, loads: Sequence[float], rng: np.random.Generator) -> None:
+        loads = np.asarray(loads, dtype=float)
+        if loads.ndim != 1:
+            raise ValueError("loads must be a 1-D sequence (one per input)")
+        if np.any((loads < 0) | (loads > 1)):
+            raise ValueError("per-slot arrival probabilities must be in [0, 1]")
+        self.n = len(loads)
+        self.loads = loads
+        self._rng = rng
+
+    def chunk(self, start_slot: int, num_slots: int) -> Chunk:
+        draws = self._rng.random((num_slots, self.n)) < self.loads[None, :]
+        rel_slots, inputs = np.nonzero(draws)
+        return rel_slots + start_slot, inputs
+
+
+class OnOffArrivals(ArrivalProcess):
+    """Two-state Markov-modulated (bursty) arrivals.
+
+    Each input alternates between an OFF state (no arrivals) and an ON state
+    (one arrival per slot with probability ``peak_rate``).  State holding
+    times are geometric with mean ``mean_on`` / ``mean_off`` slots.  The
+    long-run arrival rate is ``peak_rate * mean_on / (mean_on + mean_off)``.
+
+    Burstiness is the adversary of load balancing; this process lets
+    experiments push beyond the paper's i.i.d. assumption.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        peak_rate: float,
+        mean_on: float,
+        mean_off: float,
+        rng: np.random.Generator,
+    ) -> None:
+        if n <= 0:
+            raise ValueError("n must be positive")
+        if not 0.0 <= peak_rate <= 1.0:
+            raise ValueError("peak_rate must be in [0, 1]")
+        if mean_on < 1.0 or mean_off < 1.0:
+            raise ValueError("mean sojourn times must be at least one slot")
+        self.n = n
+        self.peak_rate = peak_rate
+        self.p_off = 1.0 / mean_on  # P(on -> off) per slot
+        self.p_on = 1.0 / mean_off  # P(off -> on) per slot
+        self._rng = rng
+        # Start each input in its stationary state distribution.
+        p_stationary_on = self.p_on / (self.p_on + self.p_off)
+        self._state_on = rng.random(n) < p_stationary_on
+
+    @property
+    def mean_rate(self) -> float:
+        """Long-run packets/slot per input."""
+        return self.peak_rate * self.p_on / (self.p_on + self.p_off)
+
+    def chunk(self, start_slot: int, num_slots: int) -> Chunk:
+        rng = self._rng
+        flips = rng.random((num_slots, self.n))
+        emits = rng.random((num_slots, self.n)) < self.peak_rate
+        arrivals = np.zeros((num_slots, self.n), dtype=bool)
+        state = self._state_on
+        for t in range(num_slots):
+            arrivals[t] = state & emits[t]
+            switch_off = state & (flips[t] < self.p_off)
+            switch_on = ~state & (flips[t] < self.p_on)
+            state = (state & ~switch_off) | switch_on
+        self._state_on = state
+        rel_slots, inputs = np.nonzero(arrivals)
+        return rel_slots + start_slot, inputs
+
+
+class TraceArrivals(ArrivalProcess):
+    """Replay an explicit list of (slot, input) arrival events.
+
+    Events must be sorted by slot; at most one arrival per (slot, input).
+    Useful for regression tests and for replaying externally captured
+    workloads.
+    """
+
+    def __init__(self, n: int, events: Sequence[Tuple[int, int]]) -> None:
+        if n <= 0:
+            raise ValueError("n must be positive")
+        self.n = n
+        slots: List[int] = []
+        inputs: List[int] = []
+        seen = set()
+        last_slot = -1
+        for slot, inp in events:
+            if slot < 0 or not 0 <= inp < n:
+                raise ValueError(f"bad event ({slot}, {inp})")
+            if slot < last_slot:
+                raise ValueError("trace events must be sorted by slot")
+            if (slot, inp) in seen:
+                raise ValueError(f"duplicate arrival at slot {slot} input {inp}")
+            seen.add((slot, inp))
+            last_slot = slot
+            slots.append(slot)
+            inputs.append(inp)
+        self._slots = np.asarray(slots, dtype=np.int64)
+        self._inputs = np.asarray(inputs, dtype=np.int64)
+
+    def chunk(self, start_slot: int, num_slots: int) -> Chunk:
+        lo = np.searchsorted(self._slots, start_slot, side="left")
+        hi = np.searchsorted(self._slots, start_slot + num_slots, side="left")
+        return self._slots[lo:hi].copy(), self._inputs[lo:hi].copy()

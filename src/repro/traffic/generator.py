@@ -1,0 +1,180 @@
+"""Traffic generation: arrival process x destination distribution -> packets.
+
+A :class:`TrafficGenerator` combines an arrival process (when packets show
+up at each input) with a traffic matrix (where each packet is headed) and
+produces, slot by slot, fully formed :class:`~repro.switching.packet.Packet`
+objects carrying per-VOQ sequence numbers (for reordering detection) and
+optional application-flow identifiers (for the TCP-hashing experiments).
+
+The implementation pre-draws destinations in vectorized chunks so that the
+per-slot Python work is a dictionary lookup plus object construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..switching.packet import Packet
+from .arrivals import ArrivalProcess, BernoulliArrivals
+from .matrices import validate_matrix
+
+__all__ = ["TrafficGenerator", "FlowModel", "bernoulli_traffic"]
+
+
+class FlowModel:
+    """Synthetic application flows inside each VOQ (for hashing demos).
+
+    TCP hashing routes each *application flow* — not each VOQ — through one
+    intermediate port.  This model labels each generated packet with a flow
+    id drawn Zipf-style from ``flows_per_voq`` candidate flows, so hashing
+    switches have realistic skewed flow sizes to hash on.
+    """
+
+    def __init__(
+        self,
+        flows_per_voq: int,
+        zipf_exponent: float,
+        rng: np.random.Generator,
+    ) -> None:
+        if flows_per_voq <= 0:
+            raise ValueError("flows_per_voq must be positive")
+        if zipf_exponent < 0:
+            raise ValueError("zipf_exponent must be nonnegative")
+        self.flows_per_voq = flows_per_voq
+        weights = np.arange(1, flows_per_voq + 1, dtype=float) ** (-zipf_exponent)
+        self._probs = weights / weights.sum()
+        self._rng = rng
+
+    def draw_flow(self, input_port: int, output_port: int, n: int) -> int:
+        """A globally unique flow id for a packet of VOQ (input, output)."""
+        local = int(self._rng.choice(self.flows_per_voq, p=self._probs))
+        return (input_port * n + output_port) * self.flows_per_voq + local
+
+
+class TrafficGenerator:
+    """Generates packets for a switch simulation, slot by slot.
+
+    Parameters
+    ----------
+    matrix:
+        ``N x N`` VOQ rate matrix.  Row sums are the per-input Bernoulli
+        arrival probabilities; destinations are drawn proportionally to the
+        row's entries.
+    rng:
+        Randomness for destination draws (and arrivals, if the default
+        Bernoulli process is built internally).
+    arrivals:
+        Optional custom arrival process; defaults to Bernoulli with the
+        matrix's row sums.
+    flow_model:
+        Optional application-flow labeling.
+    seq_state:
+        Optional per-VOQ sequence-number state, shared across generators.
+        Pass the same dict to successive generators to keep sequence
+        numbers (and hence reordering measurements) continuous across
+        workload phases.
+    """
+
+    def __init__(
+        self,
+        matrix,
+        rng: np.random.Generator,
+        arrivals: Optional[ArrivalProcess] = None,
+        flow_model: Optional[FlowModel] = None,
+        seq_state: Optional[Dict[Tuple[int, int], int]] = None,
+    ) -> None:
+        matrix = validate_matrix(matrix)
+        self.n = matrix.shape[0]
+        self.matrix = matrix
+        row_sums = matrix.sum(axis=1)
+        if np.any(row_sums > 1.0 + 1e-9):
+            raise ValueError(
+                "matrix row sums exceed 1 packet/slot; not realizable by a "
+                "slotted input line"
+            )
+        self._rng = rng
+        self._dest_dists: List[Optional[np.ndarray]] = []
+        for i in range(self.n):
+            total = row_sums[i]
+            self._dest_dists.append(matrix[i] / total if total > 0 else None)
+        if arrivals is None:
+            arrivals = BernoulliArrivals(row_sums, rng)
+        if arrivals.n != self.n:
+            raise ValueError("arrival process size does not match matrix")
+        self.arrivals = arrivals
+        self.flow_model = flow_model
+        self._seq: Dict[Tuple[int, int], int] = (
+            seq_state if seq_state is not None else {}
+        )
+        self.generated = 0
+
+    def _next_seq(self, input_port: int, output_port: int) -> int:
+        key = (input_port, output_port)
+        seq = self._seq.get(key, 0)
+        self._seq[key] = seq + 1
+        return seq
+
+    def slots(
+        self, num_slots: int, chunk_slots: int = 4096
+    ) -> Iterator[Tuple[int, List[Packet]]]:
+        """Yield ``(slot, packets_arriving_in_slot)`` for each slot in order.
+
+        Slots with no arrivals are yielded with an empty list so callers can
+        drive switches that must step every slot.
+        """
+        slot_cursor = 0
+        for slots, inputs in self.arrivals.events(num_slots, chunk_slots):
+            packets_by_slot: Dict[int, List[Packet]] = {}
+            # Draw destinations for the whole chunk, grouped by input port
+            # so one vectorized choice() call covers each input's events.
+            for inp in np.unique(inputs):
+                dist = self._dest_dists[int(inp)]
+                mask = inputs == inp
+                count = int(mask.sum())
+                if dist is None:
+                    # No configured rate for this input: arrivals here can
+                    # only come from a custom arrival process; spread them
+                    # uniformly so they are not silently dropped.
+                    dests = self._rng.integers(0, self.n, size=count)
+                else:
+                    dests = self._rng.choice(self.n, size=count, p=dist)
+                for slot, dest in zip(slots[mask], dests):
+                    pkt = Packet(
+                        input_port=int(inp),
+                        output_port=int(dest),
+                        arrival_slot=int(slot),
+                        seq=self._next_seq(int(inp), int(dest)),
+                    )
+                    if self.flow_model is not None:
+                        pkt.flow_id = self.flow_model.draw_flow(
+                            pkt.input_port, pkt.output_port, self.n
+                        )
+                    packets_by_slot.setdefault(int(slot), []).append(pkt)
+                    self.generated += 1
+            chunk_end = min(
+                slot_cursor + chunk_slots,
+                num_slots,
+            )
+            # numpy nonzero order is row-major -> already sorted by slot,
+            # but arrivals in the same slot across inputs must keep a
+            # deterministic order: sort each slot's list by input port.
+            for slot in range(slot_cursor, chunk_end):
+                packets = packets_by_slot.get(slot, [])
+                if len(packets) > 1:
+                    packets.sort(key=lambda p: p.input_port)
+                yield slot, packets
+            slot_cursor = chunk_end
+
+    def voq_rate(self, input_port: int, output_port: int) -> float:
+        """The configured arrival rate of VOQ (input, output)."""
+        return float(self.matrix[input_port][output_port])
+
+
+def bernoulli_traffic(
+    matrix, seed: int = 0, flow_model: Optional[FlowModel] = None
+) -> TrafficGenerator:
+    """Convenience constructor: Bernoulli traffic from a matrix and a seed."""
+    rng = np.random.default_rng(seed)
+    return TrafficGenerator(matrix, rng, flow_model=flow_model)

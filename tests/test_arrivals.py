@@ -1,0 +1,109 @@
+"""Unit tests for arrival processes (traffic/arrivals.py)."""
+
+import numpy as np
+import pytest
+
+from repro.traffic.arrivals import BernoulliArrivals, OnOffArrivals, TraceArrivals
+
+
+class TestBernoulli:
+    def test_rate_matches(self, rng):
+        proc = BernoulliArrivals([0.3] * 4, rng)
+        slots, inputs = proc.chunk(0, 20_000)
+        assert len(slots) == pytest.approx(0.3 * 4 * 20_000, rel=0.05)
+
+    def test_per_input_rates(self, rng):
+        proc = BernoulliArrivals([0.1, 0.9], rng)
+        slots, inputs = proc.chunk(0, 20_000)
+        count_0 = int((inputs == 0).sum())
+        count_1 = int((inputs == 1).sum())
+        assert count_0 == pytest.approx(0.1 * 20_000, rel=0.15)
+        assert count_1 == pytest.approx(0.9 * 20_000, rel=0.05)
+
+    def test_at_most_one_arrival_per_slot_input(self, rng):
+        proc = BernoulliArrivals([1.0] * 2, rng)
+        slots, inputs = proc.chunk(0, 100)
+        assert len(set(zip(slots.tolist(), inputs.tolist()))) == len(slots)
+
+    def test_chunks_cover_range(self, rng):
+        proc = BernoulliArrivals([0.5] * 2, rng)
+        seen = []
+        for slots, inputs in proc.events(1000, chunk_slots=64):
+            seen.extend(slots.tolist())
+        assert all(0 <= s < 1000 for s in seen)
+        assert seen == sorted(seen)
+
+    def test_rejects_bad_probabilities(self, rng):
+        with pytest.raises(ValueError):
+            BernoulliArrivals([1.2], rng)
+        with pytest.raises(ValueError):
+            BernoulliArrivals([[0.5]], rng)
+
+
+class TestOnOff:
+    def test_mean_rate_formula(self, rng):
+        proc = OnOffArrivals(2, peak_rate=0.8, mean_on=20, mean_off=60, rng=rng)
+        assert proc.mean_rate == pytest.approx(0.8 * 0.25)
+
+    def test_empirical_rate(self, rng):
+        proc = OnOffArrivals(4, peak_rate=0.9, mean_on=50, mean_off=50, rng=rng)
+        slots, inputs = proc.chunk(0, 40_000)
+        empirical = len(slots) / (4 * 40_000)
+        assert empirical == pytest.approx(proc.mean_rate, rel=0.15)
+
+    def test_burstiness_exceeds_bernoulli(self, rng):
+        # Variance of per-window counts should exceed Bernoulli's at equal
+        # mean rate.
+        onoff = OnOffArrivals(1, peak_rate=1.0, mean_on=50, mean_off=50, rng=rng)
+        bern = BernoulliArrivals([onoff.mean_rate], np.random.default_rng(7))
+        window = 100
+
+        def window_var(proc):
+            slots, _ = proc.chunk(0, 50_000)
+            counts = np.bincount(slots // window, minlength=500)
+            return float(np.var(counts))
+
+        assert window_var(onoff) > 2.0 * window_var(bern)
+
+    def test_state_continuity_across_chunks(self, rng):
+        proc = OnOffArrivals(2, peak_rate=1.0, mean_on=1e9, mean_off=1e9, rng=rng)
+        # With effectively frozen states, chunking must not reset them.
+        first_states = proc._state_on.copy()
+        proc.chunk(0, 100)
+        assert (proc._state_on == first_states).all()
+
+    def test_parameter_validation(self, rng):
+        with pytest.raises(ValueError):
+            OnOffArrivals(0, 0.5, 10, 10, rng)
+        with pytest.raises(ValueError):
+            OnOffArrivals(2, 1.5, 10, 10, rng)
+        with pytest.raises(ValueError):
+            OnOffArrivals(2, 0.5, 0.5, 10, rng)
+
+
+class TestTrace:
+    def test_replay(self):
+        events = [(0, 1), (0, 0), (5, 1), (9, 0)]
+        # must be sorted by slot; same-slot any input order
+        proc = TraceArrivals(2, events)
+        slots, inputs = proc.chunk(0, 10)
+        assert len(slots) == 4
+
+    def test_chunk_windows(self):
+        proc = TraceArrivals(2, [(1, 0), (5, 1), (8, 0)])
+        slots, inputs = proc.chunk(0, 5)
+        assert slots.tolist() == [1]
+        slots, inputs = proc.chunk(5, 5)
+        assert slots.tolist() == [5, 8]
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            TraceArrivals(2, [(5, 0), (1, 0)])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            TraceArrivals(2, [(1, 0), (1, 0)])
+
+    def test_rejects_bad_ports(self):
+        with pytest.raises(ValueError):
+            TraceArrivals(2, [(0, 5)])

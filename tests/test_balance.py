@@ -1,0 +1,85 @@
+"""Tests for the empirical balance study (analysis/balance.py)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.balance import (
+    balance_profile,
+    bound_vs_empirical_rows,
+    empirical_overload_probability,
+)
+from repro.analysis.stability import theorem1_threshold, worst_case_rates
+from repro.core.interval_assignment import PlacementMode
+from repro.traffic.matrices import diagonal_matrix, uniform_matrix
+
+
+def uniform_family(n, rho, rng):
+    return uniform_matrix(n, rho)
+
+
+def diagonal_family(n, rho, rng):
+    return diagonal_matrix(n, rho)
+
+
+class TestBalanceProfile:
+    def test_uniform_workload_is_perfectly_balanced(self, rng):
+        # Uniform rates + any Latin-square placement: all queues equal.
+        profile = balance_profile(uniform_matrix(16, 0.9), 20, rng)
+        assert profile["overload_fraction"] == 0.0
+        assert profile["max_worst_load"] < profile["service_rate"]
+
+    def test_below_threshold_never_overloads(self, rng):
+        n = 16
+        matrix = np.zeros((n, n))
+        matrix[0, :] = worst_case_rates(n, scale=0.99)
+        profile = balance_profile(matrix, 50, rng)
+        assert profile["overload_fraction"] == 0.0
+
+    def test_identity_mode_supported(self, rng):
+        profile = balance_profile(
+            uniform_matrix(8, 0.5), 3, rng, mode=PlacementMode.IDENTITY
+        )
+        assert profile["overload_fraction"] == 0.0
+
+    def test_percentiles_ordered(self, rng):
+        profile = balance_profile(diagonal_matrix(16, 0.9), 30, rng)
+        assert (
+            profile["mean_worst_load"]
+            <= profile["p95_worst_load"]
+            <= profile["max_worst_load"]
+        )
+
+    def test_trials_validated(self, rng):
+        with pytest.raises(ValueError):
+            balance_profile(uniform_matrix(8, 0.5), 0, rng)
+
+
+class TestEmpiricalOverload:
+    def test_structured_workloads_beat_the_bound(self, rng):
+        # The paper's remark: actual overload probabilities are far below
+        # the worst-case bounds.  At N=16 and rho=0.9 the bound is vacuous
+        # (>1) while diagonal traffic measures zero overloads.
+        empirical = empirical_overload_probability(
+            diagonal_family, 16, 0.9, trials=40, rng=rng
+        )
+        assert empirical == 0.0
+
+    def test_rows_structure(self, rng):
+        rows = bound_vs_empirical_rows(
+            uniform_family, 16, rhos=(0.7, 0.9), trials=10, rng=rng
+        )
+        assert len(rows) == 2
+        for row in rows:
+            assert row["per_queue_bound"] <= row["switch_wide_bound"] + 1e-12
+            assert 0.0 <= row["empirical_switch_wide"] <= 1.0
+
+    def test_below_threshold_row_is_zero_everywhere(self, rng):
+        rows = bound_vs_empirical_rows(
+            uniform_family,
+            16,
+            rhos=(theorem1_threshold(16) - 0.05,),
+            trials=10,
+            rng=rng,
+        )
+        assert rows[0]["per_queue_bound"] == 0.0
+        assert rows[0]["empirical_switch_wide"] == 0.0

@@ -1,0 +1,116 @@
+"""Tests for the Theorem 2 / Table 1 machinery (analysis/chernoff.py)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.chernoff import (
+    PAPER_TABLE1,
+    h_function,
+    log10_overload_probability_bound,
+    overload_probability_bound,
+    p_star,
+    switch_wide_bound,
+    table1_rows,
+)
+from repro.analysis.stability import theorem1_threshold
+
+
+class TestHFunction:
+    def test_degenerate_p(self):
+        assert h_function(0.0, 3.0) == 1.0
+        assert h_function(1.0, 3.0) == 1.0
+
+    def test_zero_argument(self):
+        assert h_function(0.5, 0.0) == 1.0
+
+    def test_is_centered_bernoulli_mgf(self):
+        # h(p, a) = E[exp(a (B - p))] for B ~ Bernoulli(p).
+        p, a = 0.3, 1.7
+        direct = p * math.exp(a * (1 - p)) + (1 - p) * math.exp(-a * p)
+        assert h_function(p, a) == pytest.approx(direct)
+
+    def test_p_star_maximizes(self):
+        for a in (0.05, 0.5, 1.0, 3.0):
+            best = h_function(p_star(a), a)
+            for p in np.linspace(0.0, 1.0, 201):
+                assert h_function(float(p), a) <= best + 1e-12
+
+    def test_p_star_small_a_limit(self):
+        assert p_star(1e-10) == pytest.approx(0.5, abs=1e-6)
+
+    def test_p_star_decreases(self):
+        values = [p_star(a) for a in (0.01, 0.1, 1.0, 5.0, 20.0)]
+        assert values == sorted(values, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            h_function(1.5, 1.0)
+        with pytest.raises(ValueError):
+            p_star(-1.0)
+
+
+class TestOverloadBound:
+    def test_zero_below_theorem1_threshold(self):
+        for n in (64, 1024):
+            assert overload_probability_bound(0.5, n) == 0.0
+            just_below = theorem1_threshold(n) - 1e-6
+            assert overload_probability_bound(just_below, n) == 0.0
+
+    def test_reproduces_paper_table1_where_not_floored(self):
+        # The paper's own numbers bottom out around 1e-29 (their
+        # optimizer's numeric floor); compare where they are clearly above
+        # it.  EXPERIMENTS.md discusses the floored cells.
+        for (rho, n), paper_value in PAPER_TABLE1.items():
+            if paper_value < 1e-25:
+                continue
+            ours = overload_probability_bound(rho, n)
+            assert ours == pytest.approx(paper_value, rel=0.1), (rho, n)
+
+    def test_monotone_in_rho(self):
+        values = [overload_probability_bound(rho, 1024) for rho in
+                  (0.90, 0.92, 0.94, 0.96)]
+        assert values == sorted(values)
+
+    def test_decreasing_in_n(self):
+        for rho in (0.92, 0.95):
+            v1 = overload_probability_bound(rho, 1024)
+            v2 = overload_probability_bound(rho, 2048)
+            v3 = overload_probability_bound(rho, 4096)
+            assert v1 > v2 > v3
+
+    def test_bounded_by_one(self):
+        assert overload_probability_bound(0.999, 4) <= 1.0
+
+    def test_log10_consistent_with_linear(self):
+        rho, n = 0.93, 1024
+        linear = overload_probability_bound(rho, n)
+        log10 = log10_overload_probability_bound(rho, n)
+        assert log10 == pytest.approx(math.log10(linear), abs=1e-6)
+
+    def test_log10_below_threshold_is_minus_inf(self):
+        assert log10_overload_probability_bound(0.3, 1024) == -math.inf
+
+    def test_switch_wide_union(self):
+        rho, n = 0.93, 2048
+        per_queue = overload_probability_bound(rho, n)
+        assert switch_wide_bound(rho, n) == pytest.approx(2 * n * n * per_queue)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            overload_probability_bound(1.5, 1024)
+        with pytest.raises(ValueError):
+            overload_probability_bound(0.9, 1000)
+
+
+class TestTable1Rows:
+    def test_default_shape(self):
+        rows = table1_rows()
+        assert len(rows) == 8
+        assert set(rows[0].keys()) == {"rho", "N=1024", "N=2048", "N=4096"}
+
+    def test_custom_grid(self):
+        rows = table1_rows(rhos=(0.93,), ns=(64, 128))
+        assert len(rows) == 1
+        assert "N=64" in rows[0] and "N=128" in rows[0]

@@ -1,0 +1,73 @@
+"""Tests for the command-line interface (cli.py)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        parser = build_parser()
+        for argv in (
+            ["table1"],
+            ["fig5"],
+            ["fig6", "--n", "4"],
+            ["fig7", "--slots", "100"],
+            ["demo"],
+            ["bounds", "--rho", "0.93", "--n", "1024"],
+        ):
+            assert parser.parse_args(argv).command == argv[0]
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "N=2048" in out
+
+    def test_fig5(self, capsys):
+        assert main(["fig5"]) == 0
+        assert "Figure 5" in capsys.readouterr().out
+
+    def test_fig6_tiny(self, capsys):
+        assert main(["fig6", "--n", "4", "--slots", "400", "--loads", "0.5"]) == 0
+        assert "Figure 6" in capsys.readouterr().out
+
+    def test_fig7_csv(self, capsys):
+        assert main(
+            ["fig7", "--n", "4", "--slots", "400", "--loads", "0.5", "--csv"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("switch,load,")
+
+    def test_demo(self, capsys):
+        assert main(["demo", "--n", "4", "--load", "0.5", "--slots", "600"]) == 0
+        out = capsys.readouterr().out
+        assert "sprinklers" in out
+        assert "output-queued" in out
+
+    def test_bounds(self, capsys):
+        assert main(["bounds", "--rho", "0.93", "--n", "1024"]) == 0
+        out = capsys.readouterr().out
+        assert "1.759e-09" in out
+
+    def test_balance(self, capsys):
+        assert main(
+            ["balance", "--n", "16", "--trials", "10", "--loads", "0.9"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "empirical_switch_wide" in out
+
+    def test_validate(self, capsys):
+        assert main(["validate", "--n", "4", "--slots", "1200"]) == 0
+        out = capsys.readouterr().out
+        assert "all checks passed" in out
+
+    def test_bursts_command_parses(self):
+        args = build_parser().parse_args(["bursts", "--n", "8"])
+        assert args.command == "bursts"

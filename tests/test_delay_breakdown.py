@@ -1,0 +1,86 @@
+"""Tests for the per-stage delay decomposition."""
+
+import math
+
+import pytest
+
+from repro.analysis.chernoff import min_switch_size
+from repro.sim.experiment import run_single
+from repro.traffic.matrices import uniform_matrix
+
+
+N = 8
+SLOTS = 8000
+
+
+def breakdown_of(name, load=0.3, slots=SLOTS, seed=2):
+    result = run_single(
+        name, uniform_matrix(N, load), slots, seed=seed,
+        load_label=load, keep_samples=False,
+    )
+    return result, {
+        key.removeprefix("mean_").removesuffix("_delay"): value
+        for key, value in result.extras.items()
+        if key.startswith("mean_") and key.endswith("_delay")
+    }
+
+
+class TestBreakdownStructure:
+    @pytest.mark.parametrize("name", ["sprinklers", "ufs", "pf", "foff", "cms"])
+    def test_components_sum_to_total(self, name):
+        result, parts = breakdown_of(name)
+        assert set(parts) == {"assembly", "input_queue", "transit"}
+        total = parts["assembly"] + parts["input_queue"] + parts["transit"]
+        # The stamped population is the measured population for these
+        # switches, so the components reconstruct the mean exactly.
+        assert total == pytest.approx(result.mean_delay, rel=1e-9)
+
+    def test_baseline_has_no_breakdown(self):
+        result, parts = breakdown_of("load-balanced")
+        assert parts == {}  # no aggregation stage, no stamps
+
+    def test_components_nonnegative(self):
+        _, parts = breakdown_of("sprinklers")
+        assert all(value >= 0 for value in parts.values())
+
+
+class TestBreakdownEconomics:
+    def test_ufs_assembly_dominates_at_light_load(self):
+        _, ufs = breakdown_of("ufs", load=0.2)
+        assert ufs["assembly"] > 3 * (ufs["input_queue"] + ufs["transit"])
+
+    def test_sprinklers_assembly_far_below_ufs_at_light_load(self):
+        _, spr = breakdown_of("sprinklers", load=0.2)
+        _, ufs = breakdown_of("ufs", load=0.2)
+        assert spr["assembly"] < 0.4 * ufs["assembly"]
+
+    def test_foff_transit_includes_resequencing(self):
+        # FOFF's resequencers hold packets at the output: its transit
+        # share must exceed UFS's (same fabric, no resequencer).
+        _, foff = breakdown_of("foff", load=0.3)
+        _, ufs = breakdown_of("ufs", load=0.3)
+        assert foff["transit"] > ufs["transit"]
+
+
+class TestMinSwitchSize:
+    def test_doc_values(self):
+        # switch-wide bound at rho=0.95: 2048 gives ~1e-2, 4096 ~5e-11.
+        assert min_switch_size(0.95, 1e-6) == 4096
+        assert min_switch_size(0.90, 1e-9) == 1024
+
+    def test_monotone_in_target(self):
+        loose = min_switch_size(0.95, 1e-3)
+        tight = min_switch_size(0.95, 1e-12)
+        assert loose <= tight
+
+    def test_unreachable_returns_none(self):
+        assert min_switch_size(0.999999, 1e-300, max_n=64) is None
+
+    def test_per_queue_variant_smaller(self):
+        wide = min_switch_size(0.95, 1e-6, switch_wide=True)
+        per_queue = min_switch_size(0.95, 1e-6, switch_wide=False)
+        assert per_queue <= wide
+
+    def test_target_validated(self):
+        with pytest.raises(ValueError):
+            min_switch_size(0.95, 0.0)

@@ -1,0 +1,40 @@
+"""Execute the doctest examples embedded in the library's docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.analysis.chernoff
+import repro.analysis.delay_model
+import repro.analysis.stability
+import repro.core.dyadic
+import repro.core.latin
+import repro.core.lsf
+import repro.core.permutation
+import repro.core.striping
+import repro.figures.render
+import repro.sim.rng
+import repro.switching.fabric
+import repro.traffic.matrices
+
+MODULES = [
+    repro.analysis.chernoff,
+    repro.analysis.delay_model,
+    repro.analysis.stability,
+    repro.core.dyadic,
+    repro.core.latin,
+    repro.core.lsf,
+    repro.core.permutation,
+    repro.core.striping,
+    repro.figures.render,
+    repro.sim.rng,
+    repro.switching.fabric,
+    repro.traffic.matrices,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.attempted > 0, f"{module.__name__} has no doctest examples"
+    assert result.failed == 0

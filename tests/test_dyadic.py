@@ -1,0 +1,166 @@
+"""Unit tests for dyadic interval algebra (core/dyadic.py)."""
+
+import pytest
+
+from repro.core.dyadic import (
+    DyadicInterval,
+    all_dyadic_intervals,
+    dyadic_interval_for,
+    is_power_of_two,
+    log2_int,
+)
+
+
+class TestPowerOfTwo:
+    def test_powers(self):
+        assert all(is_power_of_two(2**k) for k in range(12))
+
+    def test_non_powers(self):
+        assert not any(is_power_of_two(v) for v in (0, -1, -4, 3, 5, 6, 7, 12))
+
+    def test_log2_int_exact(self):
+        for k in range(10):
+            assert log2_int(2**k) == k
+
+    def test_log2_int_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            log2_int(6)
+
+
+class TestDyadicIntervalConstruction:
+    def test_basic(self):
+        iv = DyadicInterval(4, 4)
+        assert iv.start == 4
+        assert iv.end == 8
+        assert iv.size == 4
+        assert iv.level == 2
+
+    def test_rejects_misaligned_start(self):
+        with pytest.raises(ValueError):
+            DyadicInterval(2, 4)
+
+    def test_rejects_non_power_size(self):
+        with pytest.raises(ValueError):
+            DyadicInterval(0, 3)
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError):
+            DyadicInterval(-4, 4)
+
+    def test_unit_interval(self):
+        iv = DyadicInterval(5, 1)
+        assert list(iv.ports()) == [5]
+        assert iv.level == 0
+
+    def test_paper_notation(self):
+        assert DyadicInterval(8, 4).as_paper_notation() == "(8, 12]"
+
+
+class TestMembership:
+    def test_contains_port(self):
+        iv = DyadicInterval(4, 4)
+        assert not iv.contains_port(3)
+        assert iv.contains_port(4)
+        assert iv.contains_port(7)
+        assert not iv.contains_port(8)
+
+    def test_strictly_inside_excludes_start(self):
+        iv = DyadicInterval(4, 4)
+        assert not iv.strictly_inside(4)
+        assert iv.strictly_inside(5)
+        assert iv.strictly_inside(7)
+        assert not iv.strictly_inside(8)
+
+    def test_dunder_contains_and_iter(self):
+        iv = DyadicInterval(2, 2)
+        assert 3 in iv
+        assert list(iv) == [2, 3]
+        assert len(iv) == 2
+
+
+class TestLaminarRelations:
+    def test_parent(self):
+        assert DyadicInterval(4, 4).parent() == DyadicInterval(0, 8)
+        assert DyadicInterval(6, 2).parent() == DyadicInterval(4, 4)
+
+    def test_children(self):
+        left, right = DyadicInterval(0, 8).children()
+        assert left == DyadicInterval(0, 4)
+        assert right == DyadicInterval(4, 4)
+
+    def test_unit_has_no_children(self):
+        with pytest.raises(ValueError):
+            DyadicInterval(3, 1).children()
+
+    def test_contains_nested(self):
+        assert DyadicInterval(0, 8).contains(DyadicInterval(4, 2))
+        assert not DyadicInterval(4, 2).contains(DyadicInterval(0, 8))
+
+    def test_overlap_is_laminar(self):
+        # Any two dyadic intervals either nest or are disjoint ("bear hug
+        # or don't touch", paper section 3.1).
+        intervals = all_dyadic_intervals(16)
+        for a in intervals:
+            for b in intervals:
+                if a.overlaps(b):
+                    assert a.contains(b) or b.contains(a)
+
+    def test_ancestors_within(self):
+        chain = list(DyadicInterval(6, 2).ancestors_within(8))
+        assert chain == [
+            DyadicInterval(6, 2),
+            DyadicInterval(4, 4),
+            DyadicInterval(0, 8),
+        ]
+
+    def test_equality_and_hash(self):
+        assert DyadicInterval(0, 4) == DyadicInterval(0, 4)
+        assert DyadicInterval(0, 4) != DyadicInterval(0, 8)
+        assert len({DyadicInterval(0, 4), DyadicInterval(0, 4)}) == 1
+
+    def test_ordering(self):
+        assert DyadicInterval(0, 2) < DyadicInterval(0, 4)
+        assert DyadicInterval(0, 4) < DyadicInterval(4, 4)
+
+
+class TestIntervalFor:
+    def test_unique_covering_interval(self):
+        # The size-4 dyadic interval containing port 5 in [0, 8).
+        assert dyadic_interval_for(5, 4, 8) == DyadicInterval(4, 4)
+        assert dyadic_interval_for(5, 8, 8) == DyadicInterval(0, 8)
+        assert dyadic_interval_for(5, 1, 8) == DyadicInterval(5, 1)
+
+    def test_every_port_and_size(self):
+        n = 16
+        for port in range(n):
+            for k in range(5):
+                size = 2**k
+                iv = dyadic_interval_for(port, size, n)
+                assert iv.contains_port(port)
+                assert iv.size == size
+                assert iv.start % size == 0
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            dyadic_interval_for(0, 4, 12)  # n not a power of two
+        with pytest.raises(ValueError):
+            dyadic_interval_for(0, 3, 8)  # size not a power of two
+        with pytest.raises(ValueError):
+            dyadic_interval_for(0, 16, 8)  # size > n
+        with pytest.raises(ValueError):
+            dyadic_interval_for(8, 2, 8)  # port out of range
+
+
+class TestAllDyadicIntervals:
+    def test_count_is_2n_minus_1(self):
+        # The paper's observation behind the 2N-1 FIFO collapse.
+        for n in (1, 2, 4, 8, 16, 32):
+            assert len(all_dyadic_intervals(n)) == 2 * n - 1
+
+    def test_unique(self):
+        intervals = all_dyadic_intervals(32)
+        assert len(set(intervals)) == len(intervals)
+
+    def test_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            all_dyadic_intervals(12)

@@ -1,0 +1,80 @@
+"""Tests for the experiment layer (sim/experiment.py)."""
+
+import pytest
+
+from repro.sim.experiment import (
+    PAPER_SWITCHES,
+    SWITCH_BUILDERS,
+    TRAFFIC_PATTERNS,
+    build_switch,
+    delay_vs_load_sweep,
+    run_single,
+)
+from repro.traffic.matrices import uniform_matrix
+
+
+class TestRegistry:
+    def test_paper_switches_all_registered(self):
+        for name in PAPER_SWITCHES:
+            assert name in SWITCH_BUILDERS
+
+    def test_build_each_switch(self):
+        matrix = uniform_matrix(8, 0.5)
+        for name in SWITCH_BUILDERS:
+            switch = build_switch(name, 8, matrix, seed=0)
+            assert switch.n == 8
+
+    def test_unknown_switch_rejected(self):
+        with pytest.raises(ValueError, match="unknown switch"):
+            build_switch("bogus", 8, uniform_matrix(8, 0.5), 0)
+
+    def test_patterns(self):
+        assert set(TRAFFIC_PATTERNS) == {"uniform", "diagonal"}
+
+
+class TestRunSingle:
+    def test_produces_result(self):
+        result = run_single(
+            "sprinklers", uniform_matrix(8, 0.6), 1500, seed=1, load_label=0.6
+        )
+        assert result.switch_name == "sprinklers"
+        assert result.load == 0.6
+        assert result.is_ordered
+
+    def test_deterministic(self):
+        a = run_single("ufs", uniform_matrix(8, 0.5), 1200, seed=4)
+        b = run_single("ufs", uniform_matrix(8, 0.5), 1200, seed=4)
+        assert a.mean_delay == b.mean_delay
+
+    def test_seeds_differ(self):
+        a = run_single("load-balanced", uniform_matrix(8, 0.5), 1500, seed=1)
+        b = run_single("load-balanced", uniform_matrix(8, 0.5), 1500, seed=2)
+        assert a.mean_delay != b.mean_delay
+
+
+class TestSweep:
+    def test_grid_shape(self):
+        results = delay_vs_load_sweep(
+            "uniform",
+            n=8,
+            loads=(0.3, 0.6),
+            num_slots=800,
+            switches=("load-balanced", "sprinklers"),
+        )
+        assert len(results) == 4
+        # Registry keys build the switches; results carry the switches'
+        # own names ("load-balanced" builds the "baseline-lb" switch).
+        assert {r.switch_name for r in results} == {"baseline-lb", "sprinklers"}
+        assert {r.load for r in results} == {0.3, 0.6}
+
+    def test_unknown_pattern_rejected(self):
+        with pytest.raises(ValueError, match="unknown pattern"):
+            delay_vs_load_sweep("bogus", n=8)
+
+    def test_default_switches_are_papers(self):
+        results = delay_vs_load_sweep(
+            "uniform", n=4, loads=(0.5,), num_slots=400
+        )
+        assert [r.switch_name for r in results] == [
+            "baseline-lb", "ufs", "foff", "pf", "sprinklers",
+        ]

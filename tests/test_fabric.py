@@ -1,0 +1,100 @@
+"""Unit tests for the periodic fabrics (switching/fabric.py)."""
+
+import pytest
+
+from repro.switching.fabric import (
+    DecreasingFabric,
+    IncreasingFabric,
+    PeriodicFabric,
+    decreasing_connection,
+    increasing_connection,
+    input_poll_slot,
+    output_source,
+)
+
+
+class TestConnectionFunctions:
+    def test_increasing_is_permutation_each_slot(self):
+        n = 8
+        for t in range(2 * n):
+            targets = [increasing_connection(i, t, n) for i in range(n)]
+            assert sorted(targets) == list(range(n))
+
+    def test_decreasing_is_permutation_each_slot(self):
+        n = 8
+        for t in range(2 * n):
+            targets = [decreasing_connection(m, t, n) for m in range(n)]
+            assert sorted(targets) == list(range(n))
+
+    def test_each_pair_connected_once_per_period(self):
+        n = 8
+        for i in range(n):
+            mids = {increasing_connection(i, t, n) for t in range(n)}
+            assert mids == set(range(n))
+        for m in range(n):
+            outs = {decreasing_connection(m, t, n) for t in range(n)}
+            assert outs == set(range(n))
+
+    def test_output_source_inverts_decreasing(self):
+        n = 8
+        for j in range(n):
+            for t in range(2 * n):
+                m = output_source(j, t, n)
+                assert decreasing_connection(m, t, n) == j
+
+    def test_stripe_alignment_property(self):
+        # The heart of Sprinklers' consistency: if an input writes to
+        # consecutive intermediate ports in consecutive slots, the output
+        # reads those ports in consecutive slots too.
+        n = 8
+        for j in range(n):
+            for t in range(2 * n):
+                assert output_source(j, t + 1, n) == (output_source(j, t, n) + 1) % n
+        for i in range(n):
+            for t in range(2 * n):
+                assert (
+                    increasing_connection(i, t + 1, n)
+                    == (increasing_connection(i, t, n) + 1) % n
+                )
+
+    def test_input_poll_slot(self):
+        n = 8
+        for i in range(n):
+            for m in range(n):
+                t = input_poll_slot(i, m, n)
+                assert 0 <= t < n
+                assert increasing_connection(i, t, n) == m
+
+
+class TestPeriodicFabric:
+    def test_standard_fabrics_connect_each_pair_once(self):
+        assert IncreasingFabric(8).connects_each_pair_once_per_period()
+        assert DecreasingFabric(8).connects_each_pair_once_per_period()
+
+    def test_subclass_fast_paths_match_sequences(self):
+        n = 8
+        inc = IncreasingFabric(n)
+        dec = DecreasingFabric(n)
+        for t in range(3 * n):
+            for a in range(n):
+                assert inc.egress(a, t) == PeriodicFabric.egress(inc, a, t)
+                assert dec.egress(a, t) == PeriodicFabric.egress(dec, a, t)
+
+    def test_generic_fabric_periodicity(self):
+        fabric = PeriodicFabric([[1, 0], [0, 1]])
+        assert fabric.period == 2
+        assert fabric.egress(0, 0) == 1
+        assert fabric.egress(0, 1) == 0
+        assert fabric.egress(0, 2) == 1
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(ValueError):
+            PeriodicFabric([[0, 0]])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            PeriodicFabric([])
+
+    def test_short_period_lacks_full_connectivity(self):
+        fabric = PeriodicFabric([[0, 1]])  # identity only
+        assert not fabric.connects_each_pair_once_per_period()

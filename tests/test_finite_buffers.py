@@ -1,0 +1,121 @@
+"""Tests for finite-buffer (drop-tail) operation across switches.
+
+The paper analyzes infinite buffers; real line cards do not have them.
+Finite-buffer mode must (a) drop precisely when the configured structure
+is full, (b) keep the conservation equation balanced through the
+``dropped`` counter, and (c) never compromise the ordering guarantee of
+the surviving packets.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.sprinklers_switch import SprinklersSwitch
+from repro.switching.baseline import BaselineLoadBalancedSwitch
+from repro.switching.hashing import TcpHashingSwitch
+from repro.switching.ufs import UfsSwitch
+from repro.traffic.matrices import uniform_matrix
+
+from conftest import drive_switch, make_packets
+
+
+N = 8
+
+
+class TestBaselineBuffers:
+    def test_burst_beyond_buffer_is_dropped(self):
+        switch = BaselineLoadBalancedSwitch(N, input_buffer=4)
+        switch.step(0, make_packets([(0, j % N) for j in range(10)]))
+        # Arrivals are accepted before stage-1 service runs, so exactly
+        # the buffer's worth (4) survives the 10-packet burst.
+        assert switch.dropped == 10 - 4
+        assert switch.conservation_ok()
+
+    def test_no_drops_when_unconstrained(self):
+        switch = BaselineLoadBalancedSwitch(N)
+        drive_switch(switch, uniform_matrix(N, 0.9), 3000)
+        assert switch.dropped == 0
+
+    def test_drops_counted_out_of_in_flight(self):
+        switch = BaselineLoadBalancedSwitch(N, input_buffer=2)
+        switch.step(0, make_packets([(0, 0)] * 6))
+        switch.drain(10 * N)
+        assert switch.in_flight() == 0
+        assert switch.injected == switch.departed + switch.dropped
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BaselineLoadBalancedSwitch(N, input_buffer=0)
+
+
+class TestHashingBuffers:
+    def test_oversubscription_now_drops_instead_of_growing(self):
+        # The instability demo, buffered: the melted-down port now sheds
+        # load instead of queueing forever.
+        switch = TcpHashingSwitch(N, salt=0, per_flow=False, input_buffer=32)
+        probe = make_packets([(0, j) for j in range(N)])
+        target = switch.assigned_port(probe[0])
+        victims = [
+            p.output_port for p in probe if switch.assigned_port(p) == target
+        ]
+        matrix = np.zeros((N, N))
+        for j in victims:
+            matrix[0][j] = 0.8 / len(victims)
+        drive_switch(switch, matrix, 6000)
+        assert switch.max_input_backlog() <= 32
+        assert switch.dropped > 1000
+        assert switch.conservation_ok()
+
+
+class TestUfsBuffers:
+    def test_input_cap_enforced(self):
+        switch = UfsSwitch(N, input_buffer=N)
+        switch.step(0, make_packets([(0, 0)] * (2 * N)))
+        # The input's memory holds one frame's worth; the rest drop (the
+        # frame only leaves the card as it is served, one slot at a time).
+        assert switch.dropped == N
+        assert switch.conservation_ok()
+
+    def test_cap_must_fit_a_frame(self):
+        with pytest.raises(ValueError):
+            UfsSwitch(N, input_buffer=N - 1)
+
+    def test_ordering_survives_drops(self):
+        # A tight buffer under heavy load must shed packets, and the
+        # survivors must still depart in order.
+        switch = UfsSwitch(N, input_buffer=2 * N)
+        metrics = drive_switch(
+            switch, uniform_matrix(N, 0.95), 6000, drain_slots=5000
+        )
+        assert switch.dropped > 0
+        assert metrics.reordering.late_packets == 0
+        assert switch.conservation_ok()
+
+
+class TestSprinklersBuffers:
+    def test_shared_input_cap(self):
+        switch = SprinklersSwitch.from_rates(
+            uniform_matrix(N, 0.8), seed=1, input_buffer=16
+        )
+        metrics = drive_switch(switch, uniform_matrix(N, 0.95), 4000)
+        assert max(switch._input_occupancy) <= 16
+        assert metrics.reordering.late_packets == 0
+        assert switch.conservation_ok()
+
+    def test_small_buffer_drops_under_pressure(self):
+        switch = SprinklersSwitch.from_rates(
+            uniform_matrix(N, 0.9), seed=1, input_buffer=4
+        )
+        drive_switch(switch, uniform_matrix(N, 0.9), 4000)
+        assert switch.dropped > 0
+
+    def test_unconstrained_mode_never_drops(self):
+        switch = SprinklersSwitch.from_rates(uniform_matrix(N, 0.9), seed=1)
+        drive_switch(switch, uniform_matrix(N, 0.9), 3000)
+        assert switch.dropped == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SprinklersSwitch.from_rates(
+                uniform_matrix(N, 0.5), seed=0, input_buffer=0
+            )

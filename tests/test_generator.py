@@ -1,0 +1,112 @@
+"""Unit tests for the packet source (traffic/generator.py)."""
+
+import numpy as np
+import pytest
+
+from repro.traffic.arrivals import TraceArrivals
+from repro.traffic.generator import FlowModel, TrafficGenerator, bernoulli_traffic
+from repro.traffic.matrices import diagonal_matrix, uniform_matrix
+
+
+class TestTrafficGenerator:
+    def test_slot_stream_is_complete_and_ordered(self, rng):
+        gen = TrafficGenerator(uniform_matrix(4, 0.5), rng)
+        slots_seen = [slot for slot, _ in gen.slots(100)]
+        assert slots_seen == list(range(100))
+
+    def test_sequence_numbers_per_voq(self, rng):
+        gen = TrafficGenerator(uniform_matrix(4, 0.9), rng)
+        seqs = {}
+        for slot, packets in gen.slots(2000):
+            for p in packets:
+                expected = seqs.get(p.voq, 0)
+                assert p.seq == expected
+                seqs[p.voq] = expected + 1
+
+    def test_arrival_rate_matches_matrix(self, rng):
+        gen = TrafficGenerator(uniform_matrix(4, 0.6), rng)
+        total = sum(len(pkts) for _, pkts in gen.slots(20_000))
+        assert total == pytest.approx(0.6 * 4 * 20_000, rel=0.05)
+
+    def test_destination_distribution(self, rng):
+        matrix = diagonal_matrix(4, 0.8)
+        gen = TrafficGenerator(matrix, rng)
+        diag = 0
+        total = 0
+        for _, packets in gen.slots(20_000):
+            for p in packets:
+                total += 1
+                if p.output_port == p.input_port:
+                    diag += 1
+        assert diag / total == pytest.approx(0.5, abs=0.02)
+
+    def test_rejects_oversubscribed_rows(self, rng):
+        with pytest.raises(ValueError):
+            TrafficGenerator(uniform_matrix(4, 1.2), rng)
+
+    def test_custom_arrival_process(self, rng):
+        trace = TraceArrivals(2, [(0, 0), (3, 1)])
+        gen = TrafficGenerator(
+            uniform_matrix(2, 0.5), rng, arrivals=trace
+        )
+        packets = [p for _, pkts in gen.slots(5) for p in pkts]
+        assert len(packets) == 2
+        assert packets[0].arrival_slot == 0
+        assert packets[1].arrival_slot == 3
+
+    def test_arrival_size_mismatch_rejected(self, rng):
+        trace = TraceArrivals(3, [])
+        with pytest.raises(ValueError):
+            TrafficGenerator(uniform_matrix(2, 0.5), rng, arrivals=trace)
+
+    def test_same_slot_packets_sorted_by_input(self, rng):
+        gen = TrafficGenerator(uniform_matrix(8, 1.0), rng)
+        for _, packets in gen.slots(50):
+            inputs = [p.input_port for p in packets]
+            assert inputs == sorted(inputs)
+
+    def test_deterministic_for_seed(self):
+        def collect(seed):
+            gen = bernoulli_traffic(uniform_matrix(4, 0.5), seed=seed)
+            return [
+                (slot, p.input_port, p.output_port)
+                for slot, pkts in gen.slots(200)
+                for p in pkts
+            ]
+
+        assert collect(5) == collect(5)
+        assert collect(5) != collect(6)
+
+
+class TestFlowModel:
+    def test_flow_ids_unique_across_voqs(self, rng):
+        model = FlowModel(flows_per_voq=10, zipf_exponent=1.0, rng=rng)
+        id_a = model.draw_flow(0, 0, 4)
+        id_b = model.draw_flow(1, 0, 4)
+        # Different VOQs occupy disjoint id ranges.
+        assert id_a // 10 != id_b // 10
+
+    def test_zipf_skew(self, rng):
+        model = FlowModel(flows_per_voq=20, zipf_exponent=1.5, rng=rng)
+        draws = [model.draw_flow(0, 0, 4) % 20 for _ in range(3000)]
+        top = sum(1 for d in draws if d == 0)
+        assert top > 0.3 * len(draws)  # heavy head
+
+    def test_zero_exponent_is_uniform(self, rng):
+        model = FlowModel(flows_per_voq=4, zipf_exponent=0.0, rng=rng)
+        draws = [model.draw_flow(0, 0, 4) % 4 for _ in range(4000)]
+        counts = np.bincount(draws, minlength=4)
+        assert counts.min() > 0.8 * counts.max()
+
+    def test_packets_get_flow_ids(self, rng):
+        model = FlowModel(flows_per_voq=5, zipf_exponent=1.0, rng=np.random.default_rng(1))
+        gen = TrafficGenerator(uniform_matrix(4, 0.8), rng, flow_model=model)
+        packets = [p for _, pkts in gen.slots(100) for p in pkts]
+        assert packets
+        assert all(p.flow_id is not None for p in packets)
+
+    def test_parameter_validation(self, rng):
+        with pytest.raises(ValueError):
+            FlowModel(0, 1.0, rng)
+        with pytest.raises(ValueError):
+            FlowModel(5, -1.0, rng)

@@ -1,0 +1,109 @@
+"""Unit tests for Latin-square generation (core/latin.py)."""
+
+import numpy as np
+import pytest
+
+from repro.core.latin import (
+    JacobsonMatthewsSampler,
+    circulant_ols,
+    column_permutations,
+    is_latin_square,
+    row_permutations,
+    weakly_uniform_ols,
+)
+
+
+class TestIsLatinSquare:
+    def test_accepts_circulant(self):
+        for n in (2, 4, 8):
+            assert is_latin_square(circulant_ols(n))
+
+    def test_rejects_repeated_row_entry(self):
+        assert not is_latin_square([[0, 0], [1, 1]])
+
+    def test_rejects_repeated_column_entry(self):
+        assert not is_latin_square([[0, 1], [0, 1]])
+
+    def test_rejects_ragged(self):
+        assert not is_latin_square([[0, 1], [1]])
+
+
+class TestWeaklyUniformOls:
+    def test_is_latin_square(self, rng):
+        for n in (2, 4, 8, 32):
+            assert is_latin_square(weakly_uniform_ols(n, rng))
+
+    def test_deterministic_for_seed(self):
+        a = weakly_uniform_ols(16, np.random.default_rng(3))
+        b = weakly_uniform_ols(16, np.random.default_rng(3))
+        assert a == b
+
+    def test_rows_and_columns_are_permutations(self, rng):
+        square = weakly_uniform_ols(8, rng)
+        for row in row_permutations(square):
+            assert sorted(row) == list(range(8))
+        for col in column_permutations(square):
+            assert sorted(col) == list(range(8))
+
+    def test_marginal_uniformity_of_cells(self, rng):
+        # Weak uniformity: each cell value should be uniform over 0..n-1
+        # across independent draws (the property section 4 relies on).
+        n = 4
+        trials = 4000
+        counts = np.zeros((n, n, n))
+        for _ in range(trials):
+            square = weakly_uniform_ols(n, rng)
+            for i in range(n):
+                for j in range(n):
+                    counts[i][j][square[i][j]] += 1
+        expected = trials / n
+        worst_chi2 = 0.0
+        for i in range(n):
+            for j in range(n):
+                chi2 = float(((counts[i][j] - expected) ** 2 / expected).sum())
+                worst_chi2 = max(worst_chi2, chi2)
+        # 3 dof per cell; 16 cells; generous bound to keep flake-free.
+        assert worst_chi2 < 30.0
+
+    def test_structure_row_shifts(self, rng):
+        # A[i][j] = (sR[i] + sC[j]) mod n: any two rows differ by a
+        # constant cyclic shift.
+        square = weakly_uniform_ols(8, rng)
+        delta = (square[1][0] - square[0][0]) % 8
+        for j in range(8):
+            assert (square[1][j] - square[0][j]) % 8 == delta
+
+
+class TestJacobsonMatthews:
+    def test_stays_latin_after_sampling(self, rng):
+        sampler = JacobsonMatthewsSampler(5, rng)
+        square = sampler.sample(mixing_steps=200)
+        assert is_latin_square(square)
+
+    def test_multiple_samples_all_latin(self, rng):
+        sampler = JacobsonMatthewsSampler(4, rng)
+        for _ in range(5):
+            assert is_latin_square(sampler.sample(mixing_steps=64))
+
+    def test_reaches_many_squares(self, rng):
+        # Order 4 has 576 Latin squares; the chain should visit plenty.
+        sampler = JacobsonMatthewsSampler(4, rng)
+        seen = set()
+        for _ in range(60):
+            seen.add(tuple(map(tuple, sampler.sample(mixing_steps=32))))
+        assert len(seen) > 20
+
+    def test_rejects_bad_initial(self, rng):
+        with pytest.raises(ValueError):
+            JacobsonMatthewsSampler(3, rng, initial=[[0, 1, 2]] * 3)
+
+    def test_rejects_tiny_order(self, rng):
+        with pytest.raises(ValueError):
+            JacobsonMatthewsSampler(1, rng)
+
+    def test_improper_states_resolve(self, rng):
+        sampler = JacobsonMatthewsSampler(4, rng)
+        # Run raw steps; chain may pass through improper states but
+        # run_until_proper must land on a proper square.
+        sampler.run_until_proper(min_steps=100)
+        assert sampler.is_proper

@@ -1,0 +1,136 @@
+"""Unit tests for the LSF scheduling structures (core/lsf.py)."""
+
+import pytest
+
+from repro.core.dyadic import DyadicInterval
+from repro.core.lsf import (
+    LsfInputScheduler,
+    LsfIntermediateScheduler,
+    highest_set_bit,
+)
+from repro.core.striping import Stripe
+from repro.switching.packet import Packet
+
+
+def make_stripe(stripe_id, start, size, output=0, input_port=0):
+    packets = [
+        Packet(input_port=input_port, output_port=output, arrival_slot=0, seq=k)
+        for k in range(size)
+    ]
+    return Stripe(stripe_id, input_port, output, DyadicInterval(start, size), packets)
+
+
+class TestHighestSetBit:
+    def test_empty(self):
+        assert highest_set_bit(0) == -1
+
+    def test_values(self):
+        assert highest_set_bit(1) == 0
+        assert highest_set_bit(0b1010) == 3
+        assert highest_set_bit(1 << 17) == 17
+
+    def test_matches_naive(self):
+        for bitmap in range(1, 512):
+            naive = max(k for k in range(10) if bitmap & (1 << k))
+            assert highest_set_bit(bitmap) == naive
+
+
+class TestLsfInputScheduler:
+    def test_insert_and_serve_single_stripe(self):
+        lsf = LsfInputScheduler(8)
+        stripe = make_stripe(0, 4, 4)
+        lsf.insert(stripe)
+        assert lsf.occupancy == 4
+        served = [lsf.serve(port) for port in range(4, 8)]
+        assert [p.stripe_pos for p in served] == [0, 1, 2, 3]
+        assert lsf.occupancy == 0
+
+    def test_serve_empty_row(self):
+        lsf = LsfInputScheduler(8)
+        assert lsf.serve(0) is None
+
+    def test_largest_stripe_first(self):
+        lsf = LsfInputScheduler(8)
+        small = make_stripe(0, 0, 2)
+        big = make_stripe(1, 0, 8)
+        lsf.insert(small)
+        lsf.insert(big)
+        # Row 0 holds both; the size-8 stripe must be served first.
+        assert lsf.serve(0).stripe_id == 1
+        # Row 1 likewise.
+        assert lsf.serve(1).stripe_id == 1
+
+    def test_fifo_within_same_size(self):
+        lsf = LsfInputScheduler(8)
+        first = make_stripe(0, 0, 4)
+        second = make_stripe(1, 0, 4)
+        lsf.insert(first)
+        lsf.insert(second)
+        assert lsf.serve(0).stripe_id == 0
+        assert lsf.serve(0).stripe_id == 1
+
+    def test_can_insert_safe_positions(self):
+        lsf = LsfInputScheduler(8)
+        stripe = make_stripe(0, 4, 2)  # interval [4, 6)
+        # Safe: pointer at or before the start, or at/after the end.
+        for pointer in (0, 3, 4, 6, 7):
+            assert lsf.can_insert(stripe, pointer)
+        # Unsafe: strictly inside.
+        assert not lsf.can_insert(stripe, 5)
+
+    def test_can_insert_full_width_only_at_start(self):
+        lsf = LsfInputScheduler(8)
+        stripe = make_stripe(0, 0, 8)
+        assert lsf.can_insert(stripe, 0)
+        for pointer in range(1, 8):
+            assert not lsf.can_insert(stripe, pointer)
+
+    def test_row_occupancy(self):
+        lsf = LsfInputScheduler(8)
+        lsf.insert(make_stripe(0, 0, 2))
+        lsf.insert(make_stripe(1, 0, 4))
+        assert lsf.row_occupancy(0) == 2
+        assert lsf.row_occupancy(1) == 2
+        assert lsf.row_occupancy(2) == 1
+        assert lsf.row_occupancy(4) == 0
+
+
+class TestLsfIntermediateScheduler:
+    def deliver_stripe_packet(self, lsf, output, size, seq=0, stripe_id=0):
+        packet = Packet(input_port=0, output_port=output, arrival_slot=0, seq=seq)
+        packet.stripe_size = size
+        packet.stripe_id = stripe_id
+        lsf.deliver(packet)
+        return packet
+
+    def test_deliver_and_serve(self):
+        lsf = LsfIntermediateScheduler(8)
+        self.deliver_stripe_packet(lsf, output=3, size=4)
+        assert lsf.occupancy == 1
+        assert lsf.serve(3).output_port == 3
+        assert lsf.serve(3) is None
+
+    def test_largest_size_class_first(self):
+        lsf = LsfIntermediateScheduler(8)
+        small = self.deliver_stripe_packet(lsf, output=2, size=1, stripe_id=0)
+        big = self.deliver_stripe_packet(lsf, output=2, size=8, stripe_id=1)
+        assert lsf.serve(2) is big
+        assert lsf.serve(2) is small
+
+    def test_outputs_independent(self):
+        lsf = LsfIntermediateScheduler(8)
+        self.deliver_stripe_packet(lsf, output=1, size=2)
+        assert lsf.serve(0) is None
+        assert lsf.serve(1) is not None
+
+    def test_rejects_headerless_packet(self):
+        lsf = LsfIntermediateScheduler(8)
+        with pytest.raises(ValueError):
+            lsf.deliver(Packet(input_port=0, output_port=0, arrival_slot=0))
+
+    def test_output_occupancy(self):
+        lsf = LsfIntermediateScheduler(8)
+        self.deliver_stripe_packet(lsf, output=5, size=2, seq=0)
+        self.deliver_stripe_packet(lsf, output=5, size=4, seq=1)
+        assert lsf.output_occupancy(5) == 2
+        assert lsf.output_occupancy(4) == 0

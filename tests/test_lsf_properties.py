@@ -1,0 +1,119 @@
+"""Property-based stress of the LSF structures under random operation mixes."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dyadic import DyadicInterval
+from repro.core.lsf import LsfInputScheduler, LsfIntermediateScheduler
+from repro.core.striping import Stripe
+from repro.switching.packet import Packet
+
+
+def make_stripe(stripe_id, start, size, output=0):
+    packets = [
+        Packet(input_port=0, output_port=output, arrival_slot=0, seq=k)
+        for k in range(size)
+    ]
+    return Stripe(stripe_id, 0, output, DyadicInterval(start, size), packets)
+
+
+@st.composite
+def stripe_specs(draw, n=8):
+    size = draw(st.sampled_from([1, 2, 4, 8]))
+    start = draw(st.integers(0, n // size - 1)) * size
+    return (start, size)
+
+
+class TestInputSchedulerProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(stripe_specs(), min_size=1, max_size=20), st.integers(0, 100))
+    def test_no_loss_no_duplication(self, specs, seed):
+        # Insert random stripes, serve rows round-robin until empty:
+        # every packet comes out exactly once.
+        n = 8
+        lsf = LsfInputScheduler(n)
+        inserted = 0
+        for sid, (start, size) in enumerate(specs):
+            lsf.insert(make_stripe(sid, start, size))
+            inserted += size
+        seen = set()
+        # Worst case every stripe shares one row, visited once per n sweeps.
+        for sweep in range(n * (inserted + 1)):
+            row = sweep % n
+            packet = lsf.serve(row)
+            if packet is not None:
+                key = (packet.stripe_id, packet.stripe_pos)
+                assert key not in seen
+                seen.add(key)
+        assert len(seen) == inserted
+        assert lsf.occupancy == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(stripe_specs(), min_size=2, max_size=16))
+    def test_fifo_order_within_size_class(self, specs):
+        # For stripes of equal interval, service order on any row must be
+        # insertion order.
+        n = 8
+        lsf = LsfInputScheduler(n)
+        for sid, (start, size) in enumerate(specs):
+            lsf.insert(make_stripe(sid, start, size))
+        last_per_class = {}
+        for sweep in range(200):
+            row = sweep % n
+            packet = lsf.serve(row)
+            if packet is None:
+                continue
+            cls = (row, packet.stripe_size)
+            if cls in last_per_class:
+                assert packet.stripe_id > last_per_class[cls]
+            last_per_class[cls] = packet.stripe_id
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(stripe_specs(), min_size=1, max_size=16))
+    def test_largest_first_on_every_row(self, specs):
+        # Immediately after inserting everything, the first packet served
+        # on each row belongs to the largest class queued on that row.
+        n = 8
+        lsf = LsfInputScheduler(n)
+        largest_on_row = {}
+        for sid, (start, size) in enumerate(specs):
+            lsf.insert(make_stripe(sid, start, size))
+            for port in range(start, start + size):
+                largest_on_row[port] = max(largest_on_row.get(port, 0), size)
+        for row in range(n):
+            packet = lsf.serve(row)
+            if row in largest_on_row:
+                assert packet is not None
+                assert packet.stripe_size == largest_on_row[row]
+            else:
+                assert packet is None
+
+
+class TestIntermediateSchedulerProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 7),  # output
+                st.sampled_from([1, 2, 4, 8]),  # stripe size
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_no_loss_per_output(self, deliveries):
+        n = 8
+        lsf = LsfIntermediateScheduler(n)
+        per_output = {}
+        for k, (output, size) in enumerate(deliveries):
+            packet = Packet(input_port=0, output_port=output, arrival_slot=0, seq=k)
+            packet.stripe_size = size
+            packet.stripe_id = k
+            lsf.deliver(packet)
+            per_output[output] = per_output.get(output, 0) + 1
+        for output, count in per_output.items():
+            for _ in range(count):
+                assert lsf.serve(output) is not None
+            assert lsf.serve(output) is None
+        assert lsf.occupancy == 0

@@ -1,0 +1,131 @@
+"""Unit tests for measurement instruments (sim/metrics.py)."""
+
+import math
+
+import pytest
+
+from repro.sim.metrics import DelayStats, SimulationMetrics, SimulationResult
+from repro.switching.packet import Packet
+
+
+def departed_packet(arrival, departure, seq=0, fake=False, i=0, j=0):
+    p = Packet(input_port=i, output_port=j, arrival_slot=arrival, seq=seq, fake=fake)
+    p.departure_slot = departure
+    return p
+
+
+class TestDelayStats:
+    def test_mean_std(self):
+        stats = DelayStats()
+        for d in (2, 4, 6):
+            stats.add(d)
+        assert stats.mean == 4.0
+        assert stats.std == pytest.approx(math.sqrt(8 / 3))
+        assert stats.min == 2 and stats.max == 6
+
+    def test_empty_is_nan(self):
+        stats = DelayStats()
+        assert math.isnan(stats.mean)
+        assert math.isnan(stats.std)
+
+    def test_percentiles(self):
+        stats = DelayStats()
+        for d in range(101):
+            stats.add(d)
+        assert stats.percentile(0) == 0
+        assert stats.percentile(50) == 50
+        assert stats.percentile(100) == 100
+        assert stats.percentile(99) == pytest.approx(99)
+
+    def test_percentile_without_samples_rejected(self):
+        stats = DelayStats(keep_samples=False)
+        stats.add(5)
+        with pytest.raises(ValueError):
+            stats.percentile(50)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            DelayStats().add(-1)
+
+    def test_percentile_range_validated(self):
+        with pytest.raises(ValueError):
+            DelayStats().percentile(101)
+
+
+class TestSimulationMetrics:
+    def test_warmup_gating(self):
+        metrics = SimulationMetrics()
+        metrics.observe_departure(departed_packet(0, 5, seq=0), measure=False)
+        metrics.observe_departure(departed_packet(10, 15, seq=1), measure=True)
+        assert metrics.delays.count == 1
+        assert metrics.delays.mean == 5.0
+
+    def test_ordering_checked_even_during_warmup(self):
+        metrics = SimulationMetrics()
+        metrics.observe_departure(departed_packet(0, 5, seq=3), measure=False)
+        metrics.observe_departure(departed_packet(1, 6, seq=0), measure=False)
+        assert metrics.reordering.late_packets == 1
+
+    def test_fakes_not_measured(self):
+        metrics = SimulationMetrics()
+        metrics.observe_departure(departed_packet(0, 5, fake=True), measure=True)
+        assert metrics.delays.count == 0
+        assert metrics.fake_departures == 1
+
+
+class TestSimulationResult:
+    def make_result(self, **overrides):
+        metrics = SimulationMetrics()
+        for k in range(10):
+            metrics.observe_departure(departed_packet(k, k + 7, seq=k), True)
+        kwargs = dict(
+            switch_name="test",
+            n=8,
+            load=0.5,
+            slots=100,
+            warmup=10,
+            metrics=metrics,
+            injected=12,
+            departed=10,
+        )
+        kwargs.update(overrides)
+        return SimulationResult(**kwargs)
+
+    def test_summary_fields(self):
+        result = self.make_result()
+        assert result.mean_delay == 7.0
+        assert result.is_ordered
+        assert result.throughput == pytest.approx(0.1)
+        assert result.measured_packets == 10
+
+    def test_as_row_flat_dict(self):
+        row = self.make_result(extras={"padding": 0.25}).as_row()
+        assert row["switch"] == "test"
+        assert row["padding"] == 0.25
+        assert "mean_delay" in row
+
+
+class TestDelayConfidenceInterval:
+    def test_ci_from_retained_samples(self):
+        from repro.sim.experiment import run_single
+        from repro.traffic.matrices import uniform_matrix
+
+        result = run_single(
+            "load-balanced", uniform_matrix(8, 0.6), 4000, seed=1,
+            keep_samples=True,
+        )
+        ci = result.delay_ci(batches=10)
+        low, high = ci.interval
+        assert low < result.mean_delay * 1.1
+        assert high > result.mean_delay * 0.9
+
+    def test_ci_requires_samples(self):
+        from repro.sim.experiment import run_single
+        from repro.traffic.matrices import uniform_matrix
+
+        result = run_single(
+            "load-balanced", uniform_matrix(8, 0.6), 1000, seed=1,
+            keep_samples=False,
+        )
+        with pytest.raises(ValueError):
+            result.delay_ci()

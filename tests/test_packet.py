@@ -1,0 +1,42 @@
+"""Unit tests for the packet model (switching/packet.py)."""
+
+import pytest
+
+from repro.switching.packet import Packet
+
+
+class TestPacket:
+    def test_fields(self):
+        p = Packet(input_port=1, output_port=2, arrival_slot=3, seq=4, flow_id=5)
+        assert p.voq == (1, 2)
+        assert p.arrival_slot == 3
+        assert p.seq == 4
+        assert p.flow_id == 5
+        assert not p.fake
+
+    def test_delay_requires_departure(self):
+        p = Packet(input_port=0, output_port=0, arrival_slot=10)
+        with pytest.raises(ValueError):
+            _ = p.delay
+        p.departure_slot = 25
+        assert p.delay == 15
+
+    def test_stripe_defaults(self):
+        p = Packet(input_port=0, output_port=0, arrival_slot=0)
+        assert p.stripe_size == 0
+        assert p.stripe_id == -1
+        assert p.stripe_pos == -1
+
+    def test_repr_mentions_stripe_and_fake(self):
+        p = Packet(input_port=0, output_port=1, arrival_slot=2, fake=True)
+        p.stripe_size = 4
+        p.stripe_id = 9
+        p.stripe_pos = 2
+        text = repr(p)
+        assert "stripe=9@2/4" in text
+        assert "fake" in text
+
+    def test_slots_prevent_new_attributes(self):
+        p = Packet(input_port=0, output_port=0, arrival_slot=0)
+        with pytest.raises(AttributeError):
+            p.color = "red"

@@ -1,0 +1,50 @@
+"""Tests for the multiprocess sweep runner (sim/parallel.py)."""
+
+import pytest
+
+from repro.sim.experiment import delay_vs_load_sweep
+from repro.sim.parallel import SweepJob, parallel_delay_sweep, run_jobs
+from repro.traffic.matrices import uniform_matrix
+
+
+class TestRunJobs:
+    def test_inline_single_worker(self):
+        jobs = [
+            SweepJob("load-balanced", uniform_matrix(4, 0.5), 400, 1, 0.5),
+            SweepJob("sprinklers", uniform_matrix(4, 0.5), 400, 1, 0.5),
+        ]
+        results = run_jobs(jobs, max_workers=1)
+        assert [r.switch_name for r in results] == ["baseline-lb", "sprinklers"]
+
+    def test_pool_matches_inline(self):
+        jobs = [
+            SweepJob("ufs", uniform_matrix(4, 0.6), 600, 2, 0.6),
+            SweepJob("pf", uniform_matrix(4, 0.6), 600, 2, 0.6),
+            SweepJob("foff", uniform_matrix(4, 0.6), 600, 2, 0.6),
+        ]
+        inline = run_jobs(jobs, max_workers=1)
+        pooled = run_jobs(jobs, max_workers=2)
+        for a, b in zip(inline, pooled):
+            assert a.switch_name == b.switch_name
+            assert a.mean_delay == b.mean_delay
+            assert a.measured_packets == b.measured_packets
+
+
+class TestParallelSweep:
+    def test_matches_sequential_sweep(self):
+        kwargs = dict(
+            n=4, loads=(0.4, 0.7), num_slots=500,
+            switches=("load-balanced", "sprinklers"), seed=3,
+        )
+        sequential = delay_vs_load_sweep("uniform", **kwargs)
+        parallel = parallel_delay_sweep(
+            "uniform", max_workers=2, **kwargs
+        )
+        assert len(sequential) == len(parallel)
+        seq_map = {(r.switch_name, r.load): r.mean_delay for r in sequential}
+        par_map = {(r.switch_name, r.load): r.mean_delay for r in parallel}
+        assert seq_map == par_map
+
+    def test_unknown_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            parallel_delay_sweep("bogus")

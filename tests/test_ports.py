@@ -1,0 +1,88 @@
+"""Unit tests for queue primitives (switching/ports.py)."""
+
+from repro.switching.packet import Packet
+from repro.switching.ports import FifoQueue, PerOutputBank, VoqBank
+
+
+def make_packet(i=0, j=0, seq=0):
+    return Packet(input_port=i, output_port=j, arrival_slot=0, seq=seq)
+
+
+class TestFifoQueue:
+    def test_fifo_order(self):
+        q = FifoQueue()
+        packets = [make_packet(seq=k) for k in range(5)]
+        q.extend(packets)
+        assert [q.pop().seq for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_peek_does_not_remove(self):
+        q = FifoQueue()
+        q.push(make_packet(seq=9))
+        assert q.peek().seq == 9
+        assert len(q) == 1
+
+    def test_statistics(self):
+        q = FifoQueue()
+        for k in range(3):
+            q.push(make_packet(seq=k))
+        q.pop()
+        assert q.max_depth == 3
+        assert q.total_enqueued == 3
+        assert q.total_dequeued == 1
+        assert len(q) == 2
+
+    def test_truthiness(self):
+        q = FifoQueue()
+        assert not q
+        q.push(make_packet())
+        assert q
+
+    def test_iteration(self):
+        q = FifoQueue()
+        q.extend(make_packet(seq=k) for k in range(3))
+        assert [p.seq for p in q] == [0, 1, 2]
+
+
+class TestVoqBank:
+    def test_routes_by_output(self):
+        bank = VoqBank(4)
+        bank.push(make_packet(j=2))
+        bank.push(make_packet(j=2, seq=1))
+        bank.push(make_packet(j=0))
+        assert len(bank.queue(2)) == 2
+        assert len(bank.queue(0)) == 1
+        assert bank.occupancy() == 3
+
+    def test_longest(self):
+        bank = VoqBank(4)
+        assert bank.longest() is None
+        bank.push(make_packet(j=1))
+        bank.push(make_packet(j=3))
+        bank.push(make_packet(j=3, seq=1))
+        assert bank.longest() == 3
+
+    def test_longest_ties_to_lowest_index(self):
+        bank = VoqBank(4)
+        bank.push(make_packet(j=2))
+        bank.push(make_packet(j=1))
+        assert bank.longest() == 1
+
+    def test_nonempty_outputs(self):
+        bank = VoqBank(4)
+        bank.push(make_packet(j=0))
+        bank.push(make_packet(j=3))
+        assert bank.nonempty_outputs() == [0, 3]
+
+
+class TestPerOutputBank:
+    def test_routes_by_output(self):
+        bank = PerOutputBank(4)
+        bank.push(make_packet(j=1))
+        assert len(bank.queue(1)) == 1
+        assert bank.occupancy() == 1
+
+    def test_occupancy_across_queues(self):
+        bank = PerOutputBank(4)
+        for j in range(4):
+            bank.push(make_packet(j=j))
+        assert bank.occupancy() == 4

@@ -1,0 +1,47 @@
+"""The public API surface: imports, exports, and the README's quickstart."""
+
+import importlib
+
+import numpy as np
+import pytest
+
+import repro
+
+
+class TestExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.core",
+            "repro.switching",
+            "repro.traffic",
+            "repro.analysis",
+            "repro.sim",
+            "repro.figures",
+            "repro.cli",
+        ],
+    )
+    def test_subpackage_alls_resolve(self, module):
+        mod = importlib.import_module(module)
+        for name in getattr(mod, "__all__", []):
+            assert hasattr(mod, name), f"{module}.{name}"
+
+
+class TestReadmeQuickstart:
+    def test_quickstart_snippet_runs(self):
+        from repro import SprinklersSwitch, TrafficGenerator, simulate
+        from repro.traffic.matrices import uniform_matrix
+
+        matrix = uniform_matrix(32, 0.8)
+        switch = SprinklersSwitch.from_rates(matrix, seed=1)
+        traffic = TrafficGenerator(matrix, np.random.default_rng(2))
+        result = simulate(switch, traffic, num_slots=3000, load_label=0.8)
+        assert result.is_ordered
+        assert result.mean_delay > 0

@@ -1,0 +1,73 @@
+"""Tests for discrete-time queueing utilities (analysis/queueing.py)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.delay_model import expected_queue_length
+from repro.analysis.queueing import GeoGeo1, batch_queue_mean, lindley_waits
+
+
+class TestLindley:
+    def test_known_sequence(self):
+        # arrivals 1 apart, service 2 -> waits build by 1 per customer.
+        waits = lindley_waits([1, 1, 1], [2, 2, 2])
+        assert list(waits) == [0.0, 1.0, 2.0, 3.0]
+
+    def test_idle_gap_resets(self):
+        waits = lindley_waits([1, 10, 1], [2, 2, 2])
+        assert waits[2] == 0.0  # the long gap drains the queue
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            lindley_waits([1, 2], [1])
+
+    def test_nonnegative(self, rng):
+        inter = rng.exponential(2.0, 200)
+        serv = rng.exponential(1.0, 200)
+        assert (lindley_waits(inter, serv) >= 0).all()
+
+
+class TestGeoGeo1:
+    def test_closed_form_matches_simulation(self, rng):
+        for p, s in [(0.3, 0.5), (0.1, 0.2)]:
+            q = GeoGeo1(p, s)
+            mc = q.simulate_mean_queue(300_000, rng, warmup=20_000)
+            assert mc == pytest.approx(q.mean_queue_length(), rel=0.1)
+
+    def test_utilization(self):
+        assert GeoGeo1(0.2, 0.4).utilization == pytest.approx(0.5)
+
+    def test_heavy_traffic_blowup(self):
+        light = GeoGeo1(0.1, 0.5).mean_queue_length()
+        heavy = GeoGeo1(0.48, 0.5).mean_queue_length()
+        assert heavy > 10 * light
+
+    def test_rejects_unstable(self):
+        with pytest.raises(ValueError):
+            GeoGeo1(0.5, 0.5)
+        with pytest.raises(ValueError):
+            GeoGeo1(0.6, 0.5)
+        with pytest.raises(ValueError):
+            GeoGeo1(-0.1, 0.5)
+
+
+class TestBatchQueue:
+    def test_matches_delay_model_special_case(self):
+        # A in {0, N} w.p. {1 - rho/N, rho/N} is exactly the section-5 chain.
+        n, rho = 16, 0.8
+        pmf = [0.0] * (n + 1)
+        pmf[0] = 1 - rho / n
+        pmf[n] = rho / n
+        assert batch_queue_mean(pmf) == pytest.approx(
+            expected_queue_length(n, rho)
+        )
+
+    def test_bernoulli_arrivals_have_no_queue(self):
+        # A in {0, 1}: at most one arrival and one service per slot.
+        assert batch_queue_mean([0.4, 0.6]) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            batch_queue_mean([0.5, 0.4])  # doesn't sum to 1
+        with pytest.raises(ValueError):
+            batch_queue_mean([0.0, 1.0])  # E[A] = 1, unstable

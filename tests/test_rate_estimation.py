@@ -1,0 +1,95 @@
+"""Unit tests for rate estimation and hysteresis sizing (core/rate_estimation.py)."""
+
+import pytest
+
+from repro.core.rate_estimation import EwmaRateEstimator, HysteresisSizer
+from repro.core.striping import stripe_size_for_rate
+
+
+class TestEwmaRateEstimator:
+    def test_converges_to_true_rate(self):
+        est = EwmaRateEstimator(beta=0.05)
+        # Deterministic arrival every 4 slots -> rate 0.25.
+        for slot in range(0, 4000, 4):
+            est.observe_arrival((0, 0), slot)
+        assert abs(est.rate((0, 0), 4000) - 0.25) < 0.05
+
+    def test_decays_when_idle(self):
+        est = EwmaRateEstimator(beta=0.1)
+        for slot in range(100):
+            est.observe_arrival((0, 0), slot)
+        busy = est.rate((0, 0), 100)
+        assert busy > 0.9
+        assert est.rate((0, 0), 400) < 0.01 * busy
+
+    def test_unknown_voq_has_initial_rate(self):
+        est = EwmaRateEstimator(beta=0.1, initial_rate=0.5)
+        assert est.rate((3, 4), 100) == 0.5
+
+    def test_lazy_update_matches_dense_recursion(self):
+        beta = 0.1
+        est = EwmaRateEstimator(beta=beta)
+        arrivals = {0, 3, 4, 9, 15, 16, 17, 30}
+        dense = 0.0
+        for slot in range(31):
+            x = 1.0 if slot in arrivals else 0.0
+            dense = (1 - beta) * dense + beta * x
+            if x:
+                est.observe_arrival((0, 0), slot)
+        assert abs(est.rate((0, 0), 31) - dense) < 1e-12
+
+    def test_rejects_out_of_order(self):
+        est = EwmaRateEstimator(beta=0.1)
+        est.observe_arrival((0, 0), 10)
+        with pytest.raises(ValueError):
+            est.observe_arrival((0, 0), 5)
+
+    def test_rejects_bad_beta(self):
+        for beta in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ValueError):
+                EwmaRateEstimator(beta=beta)
+
+
+class TestHysteresisSizer:
+    def test_no_resize_when_target_matches(self):
+        sizer = HysteresisSizer(32, patience=3)
+        current = stripe_size_for_rate(0.1, 32)
+        assert sizer.evaluate((0, 0), current, 0.1) is None
+
+    def test_resize_after_patience(self):
+        sizer = HysteresisSizer(32, patience=3)
+        target = stripe_size_for_rate(0.2, 32)
+        assert sizer.evaluate((0, 0), 1, 0.2) is None
+        assert sizer.evaluate((0, 0), 1, 0.2) is None
+        assert sizer.evaluate((0, 0), 1, 0.2) == target
+
+    def test_agreement_resets_streak(self):
+        sizer = HysteresisSizer(32, patience=2)
+        target = stripe_size_for_rate(0.2, 32)
+        assert sizer.evaluate((0, 0), 1, 0.2) is None
+        # A rate matching the current size resets the disagreement streak.
+        assert sizer.evaluate((0, 0), 1, 0.5 / (32 * 32)) is None
+        assert sizer.evaluate((0, 0), 1, 0.2) is None
+        assert sizer.evaluate((0, 0), 1, 0.2) == target
+
+    def test_flapping_rate_never_resizes(self):
+        # Alternating between two targets never accumulates patience.
+        sizer = HysteresisSizer(32, patience=2)
+        n2 = 32 * 32
+        for _ in range(50):
+            assert sizer.evaluate((0, 0), 2, 3.0 / n2) is None  # target 4
+            assert sizer.evaluate((0, 0), 2, 9.0 / n2) is None  # target 16
+
+    def test_voqs_tracked_independently(self):
+        sizer = HysteresisSizer(32, patience=2)
+        assert sizer.evaluate((0, 0), 1, 0.2) is None
+        assert sizer.evaluate((1, 1), 1, 0.2) is None
+        assert sizer.evaluate((0, 0), 1, 0.2) is not None
+
+    def test_patience_one_resizes_immediately(self):
+        sizer = HysteresisSizer(32, patience=1)
+        assert sizer.evaluate((0, 0), 1, 0.2) == stripe_size_for_rate(0.2, 32)
+
+    def test_rejects_bad_patience(self):
+        with pytest.raises(ValueError):
+            HysteresisSizer(32, patience=0)

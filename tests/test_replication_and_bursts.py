@@ -1,0 +1,82 @@
+"""Tests for replication methodology and the burst-sensitivity extension."""
+
+import pytest
+
+from repro.figures.burst_sensitivity import generate as burst_generate
+from repro.sim.replication import replicate
+from repro.traffic.matrices import uniform_matrix
+
+
+class TestReplicate:
+    def test_summary_structure(self):
+        result = replicate(
+            "load-balanced", uniform_matrix(8, 0.6), 1200, replications=4,
+        )
+        assert result.replications == 4
+        assert len(result.values) == 4
+        low, high = result.interval
+        assert low <= result.mean <= high
+
+    def test_interval_covers_long_run_value(self):
+        # The replication CI for baseline delay should cover the estimate
+        # from a much longer single run.
+        from repro.sim.experiment import run_single
+
+        matrix = uniform_matrix(8, 0.5)
+        rep = replicate(
+            "load-balanced", matrix, 4000, replications=8, base_seed=10,
+        )
+        long_run = run_single(
+            "load-balanced", matrix, 40_000, seed=99, keep_samples=False
+        )
+        low, high = rep.interval
+        # Generous slack: both are estimates.
+        assert low - 3 * rep.half_width <= long_run.mean_delay
+        assert long_run.mean_delay <= high + 3 * rep.half_width
+
+    def test_custom_metric(self):
+        result = replicate(
+            "sprinklers",
+            uniform_matrix(8, 0.7),
+            1500,
+            replications=3,
+            metric=lambda r: float(r.late_packets),
+            metric_name="late",
+        )
+        assert result.metric == "late"
+        assert result.mean == 0.0  # never reorders, any seed
+
+    def test_needs_two_replications(self):
+        with pytest.raises(ValueError):
+            replicate("ufs", uniform_matrix(4, 0.5), 500, replications=1)
+
+
+class TestBurstSensitivity:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return burst_generate(
+            n=8, load=0.5, bursts=(1.0, 128.0), num_slots=12_000,
+            switches=("load-balanced", "sprinklers"), seed=1,
+        )
+
+    def test_grid_shape(self, rows):
+        assert len(rows) == 4
+        assert {row["switch"] for row in rows} == {"baseline-lb", "sprinklers"}
+
+    def test_ordering_survives_bursts(self, rows):
+        for row in rows:
+            if row["switch"] == "sprinklers":
+                assert row["late_packets"] == 0
+
+    def test_aggregation_switches_pay_for_bursts(self, rows):
+        # Burst trains inflate the stripe fill-time variance, so the
+        # aggregating switch's delay grows with burst length...
+        by_key = {(r["switch"], r["mean_burst"]): r["mean_delay"] for r in rows}
+        assert (
+            by_key[("sprinklers", 128.0)] > 1.05 * by_key[("sprinklers", 1.0)]
+        )
+        # ...while the non-aggregating baseline, whose input serves at
+        # line rate >= the burst peak, barely notices.
+        assert (
+            by_key[("baseline-lb", 128.0)] < 2.0 * by_key[("baseline-lb", 1.0)]
+        )

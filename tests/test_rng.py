@@ -1,0 +1,54 @@
+"""Unit tests for seeded randomness management (sim/rng.py)."""
+
+import pytest
+
+from repro.sim.rng import RngRegistry, derive_seed, spawn_generator
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(7, "traffic") == derive_seed(7, "traffic")
+
+    def test_names_distinct(self):
+        assert derive_seed(7, "traffic") != derive_seed(7, "placement")
+
+    def test_masters_distinct(self):
+        assert derive_seed(7, "traffic") != derive_seed(8, "traffic")
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            derive_seed(-1, "x")
+
+
+class TestSpawnGenerator:
+    def test_streams_reproducible(self):
+        a = spawn_generator(3, "s").random(5)
+        b = spawn_generator(3, "s").random(5)
+        assert (a == b).all()
+
+    def test_streams_independent_names(self):
+        a = spawn_generator(3, "s1").random(5)
+        b = spawn_generator(3, "s2").random(5)
+        assert (a != b).any()
+
+
+class TestRegistry:
+    def test_memoizes(self):
+        reg = RngRegistry(1)
+        assert reg.stream("a") is reg.stream("a")
+
+    def test_reset_restarts_sequences(self):
+        reg = RngRegistry(1)
+        first = reg.stream("a").random()
+        reg.reset()
+        assert reg.stream("a").random() == first
+
+    def test_names_listed_sorted(self):
+        reg = RngRegistry(1)
+        reg.stream("b")
+        reg.stream("a")
+        assert list(reg.names()) == ["a", "b"]
+
+    def test_negative_master_rejected(self):
+        with pytest.raises(ValueError):
+            RngRegistry(-2)

@@ -1,0 +1,54 @@
+"""Tests for the schedule-grid renderers (core/schedule_grid.py)."""
+
+import numpy as np
+
+from repro.core.schedule_grid import (
+    grid_occupancy_by_stripe,
+    render_fifo_array,
+    render_input_grid,
+)
+from repro.core.sprinklers_switch import SprinklersSwitch
+from repro.traffic.generator import TrafficGenerator
+from repro.traffic.matrices import uniform_matrix
+
+
+def loaded_switch(n=8, load=0.8, slots=300):
+    matrix = uniform_matrix(n, load)
+    switch = SprinklersSwitch.from_rates(matrix, seed=1)
+    traffic = TrafficGenerator(matrix, np.random.default_rng(2))
+    for slot, packets in traffic.slots(slots):
+        switch.step(slot, packets)
+    return switch
+
+
+class TestRenderers:
+    def test_grid_lists_every_port(self):
+        switch = loaded_switch()
+        text = render_input_grid(switch, 0)
+        for port in range(8):
+            assert f"port {port:2d}" in text
+
+    def test_grid_reflects_occupancy(self):
+        switch = loaded_switch()
+        text = render_input_grid(switch, 0)
+        queued = switch._input_lsf[0].occupancy
+        # Every queued packet appears as exactly one label cell.
+        body = text.splitlines()[1:]
+        cells = "".join(line.split("|")[1] for line in body if "|" in line)
+        assert sum(1 for c in cells if c != ".") == queued
+
+    def test_fifo_array_shows_columns(self):
+        switch = loaded_switch()
+        text = render_fifo_array(switch, 0)
+        assert "2^0" in text and "2^3" in text
+
+    def test_occupancy_by_stripe_matches_total(self):
+        switch = loaded_switch()
+        counts = grid_occupancy_by_stripe(switch, 0)
+        assert sum(counts.values()) == switch._input_lsf[0].occupancy
+
+    def test_empty_switch_renders(self):
+        matrix = uniform_matrix(4, 0.5)
+        switch = SprinklersSwitch.from_rates(matrix, seed=0)
+        text = render_input_grid(switch, 0)
+        assert "||" in text.replace(" ", "") or "|" in text

@@ -1,0 +1,195 @@
+"""Behavioral tests for the Sprinklers switch (core/sprinklers_switch.py)."""
+
+import numpy as np
+import pytest
+
+from repro.core.dyadic import DyadicInterval
+from repro.core.interval_assignment import PlacementMode, StripeIntervalAssignment
+from repro.core.sprinklers_switch import SprinklersSwitch, VoqPipeline
+from repro.core.striping import Stripe, StripeAssembler
+from repro.switching.packet import Packet
+from repro.traffic.matrices import diagonal_matrix, uniform_matrix
+
+from conftest import drive_switch, make_packets
+
+
+N = 8
+MATRIX = uniform_matrix(N, 0.7)
+
+
+def make_switch(matrix=MATRIX, seed=1, **kwargs) -> SprinklersSwitch:
+    return SprinklersSwitch.from_rates(matrix, seed=seed, **kwargs)
+
+
+class TestBasicOperation:
+    def test_never_reorders_uniform(self):
+        switch = make_switch()
+        metrics = drive_switch(switch, MATRIX, 4000, drain_slots=4000)
+        assert metrics.reordering.late_packets == 0
+
+    def test_never_reorders_diagonal(self):
+        matrix = diagonal_matrix(N, 0.85)
+        switch = make_switch(matrix)
+        metrics = drive_switch(switch, matrix, 4000, drain_slots=4000)
+        assert metrics.reordering.late_packets == 0
+
+    def test_conservation(self):
+        switch = make_switch()
+        drive_switch(switch, MATRIX, 1000)
+        assert switch.conservation_ok()
+
+    def test_full_stripes_eventually_depart(self):
+        switch = make_switch()
+        size = switch.stripe_size(0, 0)
+        switch.step(0, make_packets([(0, 0)] * size))
+        departures = switch.drain(40 * N)
+        assert len(departures) == size
+
+    def test_partial_stripes_wait(self):
+        switch = make_switch()
+        size = switch.stripe_size(0, 0)
+        if size == 1:
+            pytest.skip("stripe size 1 at this rate; nothing partial")
+        switch.step(0, make_packets([(0, 0)] * (size - 1)))
+        assert switch.drain(40 * N) == []
+        assert switch.assembly_backlog() == size - 1
+
+    def test_stripe_sizes_match_assignment(self):
+        switch = make_switch()
+        for i in range(N):
+            for j in range(N):
+                assert switch.stripe_size(i, j) == switch.assignment.stripe_size(i, j)
+
+    def test_throughput_at_high_load(self):
+        # 90% uniform load is far above the 2/3 worst-case threshold but
+        # overwhelmingly safe under random placement; the switch must keep
+        # up (departures track injections up to buffering).
+        matrix = uniform_matrix(N, 0.9)
+        switch = make_switch(matrix, seed=5)
+        metrics = drive_switch(switch, matrix, 12_000, drain_slots=10_000)
+        assert switch.departed >= 0.99 * switch.injected - N * N * N
+
+    def test_fixed_stripe_size_mode(self):
+        switch = make_switch(fixed_stripe_size=4)
+        for i in range(N):
+            for j in range(N):
+                assert switch.stripe_size(i, j) == 4
+        metrics = drive_switch(switch, MATRIX, 3000, drain_slots=4000)
+        assert metrics.reordering.late_packets == 0
+
+    def test_identity_placement_mode(self):
+        switch = SprinklersSwitch.from_rates(
+            MATRIX, seed=0, mode=PlacementMode.IDENTITY
+        )
+        metrics = drive_switch(switch, MATRIX, 3000, drain_slots=4000)
+        # Identity placement is still reordering-free (ordering never
+        # depended on randomization; only load balance does).
+        assert metrics.reordering.late_packets == 0
+
+
+class TestStagingDiscipline:
+    def test_staging_drains_within_a_frame(self):
+        switch = make_switch()
+        size = switch.stripe_size(0, 0)
+        switch.step(0, make_packets([(0, 0)] * size))
+        # After at most N slots the staged stripe must have been inserted.
+        for slot in range(1, N + 1):
+            switch.step(slot, [])
+        assert switch.staging_backlog() == 0
+
+    def test_no_lsf_insertion_mid_interval(self):
+        # Directly probe the safe-insertion rule through the scheduler.
+        switch = make_switch()
+        lsf = switch._input_lsf[0]
+        packets = [
+            Packet(input_port=0, output_port=0, arrival_slot=0, seq=k)
+            for k in range(4)
+        ]
+        stripe = Stripe(99, 0, 0, DyadicInterval(4, 4), packets)
+        assert lsf.can_insert(stripe, 4)
+        assert not lsf.can_insert(stripe, 6)
+
+
+class TestVoqPipeline:
+    def make_stripe(self, stripe_id, interval, voq=(0, 0)):
+        packets = [
+            Packet(input_port=voq[0], output_port=voq[1], arrival_slot=0, seq=k)
+            for k in range(interval.size)
+        ]
+        return Stripe(stripe_id, voq[0], voq[1], interval, packets)
+
+    def test_same_interval_releases_immediately(self):
+        pipeline = VoqPipeline(StripeAssembler(0, 0, DyadicInterval(0, 2)))
+        stripe = self.make_stripe(0, DyadicInterval(0, 2))
+        assert pipeline.on_stripe_complete(stripe) == [stripe]
+        assert pipeline.inflight == 2
+
+    def test_resize_holds_until_clearance(self):
+        pipeline = VoqPipeline(StripeAssembler(0, 0, DyadicInterval(0, 2)))
+        old = self.make_stripe(0, DyadicInterval(0, 2))
+        assert pipeline.on_stripe_complete(old) == [old]
+        new = self.make_stripe(1, DyadicInterval(0, 4))
+        assert pipeline.on_stripe_complete(new) == []  # held: old in flight
+        assert pipeline.on_packet_departed() == []
+        released = pipeline.on_packet_departed()  # old fully departed
+        assert released == [new]
+        assert pipeline.release_interval == DyadicInterval(0, 4)
+
+    def test_mixed_generations_release_in_order(self):
+        pipeline = VoqPipeline(StripeAssembler(0, 0, DyadicInterval(0, 2)))
+        a = self.make_stripe(0, DyadicInterval(0, 2))
+        b = self.make_stripe(1, DyadicInterval(0, 4))
+        c = self.make_stripe(2, DyadicInterval(0, 2))
+        assert pipeline.on_stripe_complete(a) == [a]
+        assert pipeline.on_stripe_complete(b) == []
+        assert pipeline.on_stripe_complete(c) == []
+        # Drain a's two packets: only b may be released (c is a later
+        # generation and must wait for b to clear).
+        pipeline.on_packet_departed()
+        assert pipeline.on_packet_departed() == [b]
+        for _ in range(3):
+            assert pipeline.on_packet_departed() == []
+        assert pipeline.on_packet_departed() == [c]
+
+    def test_departure_without_inflight_is_error(self):
+        pipeline = VoqPipeline(StripeAssembler(0, 0, DyadicInterval(0, 2)))
+        with pytest.raises(AssertionError):
+            pipeline.on_packet_departed()
+
+
+class TestAdaptiveMode:
+    def test_adaptive_never_reorders(self):
+        # Start every VOQ at size 1 (zero-rate assignment) and let the
+        # estimator discover the real rates: resizes must not reorder.
+        zero = np.zeros((N, N))
+        rng = np.random.default_rng(3)
+        assignment = StripeIntervalAssignment(zero, rng=rng)
+        switch = SprinklersSwitch(
+            assignment, adaptive=True, estimator_beta=0.05, sizer_patience=4
+        )
+        metrics = drive_switch(switch, uniform_matrix(N, 0.6), 8000, drain_slots=6000)
+        assert metrics.reordering.late_packets == 0
+        assert switch.resizes > 0
+
+    def test_adaptive_sizes_approach_oracle(self):
+        matrix = uniform_matrix(N, 0.6)
+        zero = np.zeros((N, N))
+        assignment = StripeIntervalAssignment(zero, rng=np.random.default_rng(3))
+        switch = SprinklersSwitch(
+            assignment, adaptive=True, estimator_beta=0.02, sizer_patience=4
+        )
+        drive_switch(switch, matrix, 15_000)
+        oracle = SprinklersSwitch.from_rates(matrix, seed=3)
+        matches = sum(
+            switch.stripe_size(i, j) == oracle.stripe_size(i, j)
+            for i in range(N)
+            for j in range(N)
+        )
+        # EWMA noise straddles the dyadic boundaries, so demand a strong
+        # majority rather than exactness.
+        assert matches >= 0.6 * N * N
+
+    def test_oracle_mode_never_resizes(self):
+        switch = make_switch()
+        drive_switch(switch, MATRIX, 3000)
+        assert switch.resizes == 0

@@ -1,0 +1,119 @@
+"""Tests for Theorem 1 and the Monte-Carlo overload machinery (analysis/stability.py)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.chernoff import overload_probability_bound
+from repro.analysis.stability import (
+    max_load_over_permutations_mc,
+    overload_probability_mc,
+    queue_arrival_rate,
+    theorem1_threshold,
+    worst_case_rates,
+)
+from repro.core.permutation import random_permutation
+
+
+class TestTheorem1Threshold:
+    def test_value(self):
+        assert theorem1_threshold(2) == pytest.approx(0.75)
+        assert theorem1_threshold(1024) == pytest.approx(2 / 3, abs=1e-5)
+
+    def test_approaches_two_thirds(self):
+        assert theorem1_threshold(4096) > 2 / 3
+        assert theorem1_threshold(4096) - 2 / 3 < 1e-7
+
+
+class TestWorstCaseRates:
+    @pytest.mark.parametrize("n", [4, 8, 16, 64, 256])
+    def test_total_equals_threshold(self, n):
+        assert sum(worst_case_rates(n)) == pytest.approx(theorem1_threshold(n))
+
+    @pytest.mark.parametrize("n", [4, 8, 16, 64])
+    def test_attains_exactly_one_over_n(self, n):
+        # Under the identity placement the extremal vector drives the
+        # queue to exactly its service rate 1/N (the Lemma 1 construction).
+        rates = worst_case_rates(n)
+        x = queue_arrival_rate(rates, list(range(n)), n)
+        assert x == pytest.approx(1.0 / n)
+
+    def test_scale(self):
+        rates = worst_case_rates(8, scale=0.5)
+        assert sum(rates) == pytest.approx(0.5 * theorem1_threshold(8))
+
+    def test_small_n_rejected(self):
+        with pytest.raises(ValueError):
+            worst_case_rates(2)
+        with pytest.raises(ValueError):
+            worst_case_rates(12)
+
+
+class TestQueueArrivalRate:
+    def test_single_voq_full_width(self):
+        # A rate-1/2 VOQ stripes across all N ports: contributes 1/(2N)
+        # wherever its primary lands.
+        n = 8
+        rates = [0.5] + [0.0] * (n - 1)
+        for primary in range(n):
+            sigma = list(range(n))
+            sigma[0], sigma[primary] = sigma[primary], sigma[0]
+            assert queue_arrival_rate(rates, sigma, n) == pytest.approx(
+                0.5 / n
+            )
+
+    def test_narrow_stripe_misses_queue(self):
+        # A small VOQ placed away from port 0 contributes nothing.
+        n = 8
+        rates = [1.0 / (n * n)] + [0.0] * (n - 1)  # size-1 stripe
+        sigma = list(range(n))
+        sigma[0], sigma[5] = sigma[5], sigma[0]  # primary port 5
+        assert queue_arrival_rate(rates, sigma, n) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            queue_arrival_rate([0.1], [0, 1], 2)
+
+
+class TestTheorem1MonteCarlo:
+    def test_below_threshold_never_overloads(self, rng):
+        # Theorem 1 is an almost-sure statement: every sampled placement
+        # of a below-threshold rate vector stays under 1/N.
+        n = 32
+        rates = worst_case_rates(n, scale=0.999)
+        worst = max_load_over_permutations_mc(rates, n, 2000, rng)
+        assert worst < 1.0 / n
+
+    def test_generic_below_threshold_vectors(self, rng):
+        n = 16
+        for trial in range(5):
+            raw = rng.random(n)
+            rates = raw / raw.sum() * 0.6  # total load 0.6 < 2/3
+            worst = max_load_over_permutations_mc(list(rates), n, 500, rng)
+            assert worst < 1.0 / n
+
+    def test_above_threshold_can_overload(self, rng):
+        # At scale 1 the extremal vector overloads under *some* placements
+        # (e.g. identity); MC over enough trials should find one for small N.
+        n = 8
+        rates = worst_case_rates(n)
+        prob = overload_probability_mc(rates, n, 4000, rng)
+        assert prob > 0.0
+
+    def test_mc_probability_within_chernoff_bound(self, rng):
+        # The empirical overload probability of any specific rate vector
+        # must respect the worst-case bound... the bound is worst-case over
+        # vectors, so it dominates (sampling noise aside).
+        n = 64
+        rho = 0.95
+        raw = rng.random(n)
+        rates = list(raw / raw.sum() * rho)
+        empirical = overload_probability_mc(rates, n, 2000, rng)
+        bound = overload_probability_bound(rho, n)
+        # For such small N the bound is weak (can exceed 1); just demand
+        # consistency.
+        assert empirical <= min(bound, 1.0) + 0.05
+
+    def test_shares_zeroed_for_idle_voqs(self, rng):
+        n = 8
+        rates = [0.0] * n
+        assert overload_probability_mc(rates, n, 10, rng) == 0.0

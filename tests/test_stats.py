@@ -1,0 +1,72 @@
+"""Tests for simulation output analysis (sim/stats.py)."""
+
+import numpy as np
+import pytest
+
+from repro.sim.stats import batch_means, compare_means, mser_truncation
+
+
+class TestMser:
+    def test_finds_obvious_transient(self, rng):
+        series = [1000.0] * 50 + list(10 + rng.random(1000))
+        cut = mser_truncation(series)
+        assert 40 <= cut <= 120
+
+    def test_stationary_series_keeps_everything(self, rng):
+        series = list(5 + rng.random(1000))
+        cut = mser_truncation(series)
+        assert cut < 200  # no big truncation without a transient
+
+    def test_tiny_series(self):
+        assert mser_truncation([1.0, 2.0]) == 0
+
+    def test_respects_max_fraction(self, rng):
+        series = list(rng.random(100))
+        assert mser_truncation(series, max_fraction=0.3) <= 30
+
+
+class TestBatchMeans:
+    def test_covers_true_mean_iid(self, rng):
+        series = 7.0 + rng.standard_normal(4000)
+        result = batch_means(series, batches=20)
+        assert result.contains(7.0)
+        assert result.half_width < 0.2
+
+    def test_interval_narrows_with_data(self, rng):
+        short = batch_means(5 + rng.standard_normal(400), batches=10)
+        long = batch_means(5 + rng.standard_normal(40_000), batches=10)
+        assert long.half_width < short.half_width
+
+    def test_confidence_widens_interval(self, rng):
+        series = rng.standard_normal(2000)
+        narrow = batch_means(series, batches=20, confidence=0.9)
+        wide = batch_means(series, batches=20, confidence=0.99)
+        assert wide.half_width > narrow.half_width
+
+    def test_interval_tuple(self, rng):
+        result = batch_means(rng.standard_normal(400), batches=10)
+        low, high = result.interval
+        assert low < result.mean < high
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            batch_means([1.0] * 100, batches=1)
+        with pytest.raises(ValueError):
+            batch_means([1.0] * 10, batches=20)
+        with pytest.raises(ValueError):
+            batch_means([1.0] * 100, confidence=1.5)
+
+
+class TestCompareMeans:
+    def test_detects_real_difference(self, rng):
+        a = 10 + rng.standard_normal(4000)
+        b = 12 + rng.standard_normal(4000)
+        diff, half_width = compare_means(a, b)
+        assert diff == pytest.approx(-2.0, abs=0.3)
+        assert abs(diff) > half_width  # significant
+
+    def test_no_false_positive_on_equal_means(self, rng):
+        a = 3 + rng.standard_normal(4000)
+        b = 3 + rng.standard_normal(4000)
+        diff, half_width = compare_means(a, b)
+        assert abs(diff) < 3 * half_width

@@ -1,0 +1,168 @@
+"""Unit tests for stripe sizing and assembly (core/striping.py)."""
+
+import math
+
+import pytest
+
+from repro.core.dyadic import DyadicInterval
+from repro.core.striping import (
+    Stripe,
+    StripeAssembler,
+    load_per_share,
+    per_port_budget,
+    stripe_size_for_rate,
+)
+from repro.switching.packet import Packet
+
+
+def make_packet(i=0, j=0, slot=0, seq=0):
+    return Packet(input_port=i, output_port=j, arrival_slot=slot, seq=seq)
+
+
+class TestStripeSizeRule:
+    """Equation (1): F(r) = min(N, 2^ceil(log2(r N^2)))."""
+
+    def test_zero_rate(self):
+        assert stripe_size_for_rate(0.0, 32) == 1
+
+    def test_at_most_alpha_gives_one(self):
+        n = 32
+        assert stripe_size_for_rate(per_port_budget(n), n) == 1
+        assert stripe_size_for_rate(per_port_budget(n) * 0.5, n) == 1
+
+    def test_just_above_alpha_gives_two(self):
+        n = 32
+        assert stripe_size_for_rate(per_port_budget(n) * 1.01, n) == 2
+
+    def test_cap_at_n(self):
+        n = 32
+        assert stripe_size_for_rate(1.0, n) == n
+        assert stripe_size_for_rate(0.5, n) == n
+
+    def test_exact_powers(self):
+        n = 32
+        # r N^2 = 8 exactly -> ceil(log2 8) = 3 -> size 8.
+        assert stripe_size_for_rate(8.0 / (n * n), n) == 8
+        # Just above -> 16.
+        assert stripe_size_for_rate(8.2 / (n * n), n) == 16
+
+    def test_monotone_in_rate(self):
+        n = 64
+        rates = [k / 10000.0 for k in range(0, 10001, 7)]
+        sizes = [stripe_size_for_rate(r, n) for r in rates]
+        assert sizes == sorted(sizes)
+
+    def test_always_power_of_two_within_n(self):
+        n = 64
+        for k in range(1, 200):
+            size = stripe_size_for_rate(k / 200.0, n)
+            assert size & (size - 1) == 0
+            assert 1 <= size <= n
+
+    def test_matches_paper_formula(self):
+        n = 64
+        for k in range(1, 400):
+            r = k / 400.0
+            expected = min(n, 2 ** math.ceil(math.log2(r * n * n)))
+            if r * n * n <= 1.0:
+                expected = 1
+            assert stripe_size_for_rate(r, n) == expected
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            stripe_size_for_rate(-0.1, 32)
+        with pytest.raises(ValueError):
+            stripe_size_for_rate(0.5, 33)
+
+
+class TestLoadPerShare:
+    def test_below_budget_when_not_capped(self):
+        n = 32
+        alpha = per_port_budget(n)
+        for k in range(1, 100):
+            r = k / 100.0 * (1.0 / n)  # rates up to 1/N are never capped
+            if stripe_size_for_rate(r, n) < n:
+                assert load_per_share(r, n) <= alpha + 1e-15
+
+    def test_above_half_budget_when_size_above_one(self):
+        # Dyadic rounding wastes at most a factor 2: s > alpha/2 when f >= 2.
+        n = 32
+        alpha = per_port_budget(n)
+        for k in range(1, 1000):
+            r = k / 1000.0
+            size = stripe_size_for_rate(r, n)
+            if 2 <= size < n:
+                assert load_per_share(r, n) > alpha / 2 - 1e-15
+
+    def test_budget_value(self):
+        assert per_port_budget(4) == 1.0 / 16.0
+        with pytest.raises(ValueError):
+            per_port_budget(0)
+
+
+class TestStripe:
+    def test_labels_packets(self):
+        packets = [make_packet(slot=k, seq=k) for k in range(4)]
+        stripe = Stripe(7, 0, 0, DyadicInterval(4, 4), packets)
+        for pos, pkt in enumerate(packets):
+            assert pkt.stripe_id == 7
+            assert pkt.stripe_size == 4
+            assert pkt.stripe_pos == pos
+
+    def test_packet_for_port(self):
+        packets = [make_packet(seq=k) for k in range(4)]
+        stripe = Stripe(1, 0, 0, DyadicInterval(4, 4), packets)
+        assert stripe.packet_for_port(4) is packets[0]
+        assert stripe.packet_for_port(7) is packets[3]
+        with pytest.raises(KeyError):
+            stripe.packet_for_port(3)
+
+    def test_size_must_match_interval(self):
+        with pytest.raises(ValueError):
+            Stripe(0, 0, 0, DyadicInterval(0, 4), [make_packet()])
+
+    def test_len(self):
+        stripe = Stripe(0, 0, 0, DyadicInterval(0, 2), [make_packet(), make_packet()])
+        assert len(stripe) == 2
+
+
+class TestStripeAssembler:
+    def test_accumulates_until_full(self):
+        asm = StripeAssembler(0, 0, DyadicInterval(0, 4))
+        for k in range(3):
+            assert asm.push(make_packet(seq=k), next_stripe_id=0) is None
+        assert asm.pending_count == 3
+        stripe = asm.push(make_packet(seq=3), next_stripe_id=0)
+        assert stripe is not None
+        assert stripe.size == 4
+        assert asm.pending_count == 0
+
+    def test_packets_kept_in_arrival_order(self):
+        asm = StripeAssembler(0, 0, DyadicInterval(0, 4))
+        stripe = None
+        for k in range(4):
+            stripe = asm.push(make_packet(seq=k), next_stripe_id=5) or stripe
+        assert [p.seq for p in stripe.packets] == [0, 1, 2, 3]
+
+    def test_size_one_immediate(self):
+        asm = StripeAssembler(0, 0, DyadicInterval(3, 1))
+        stripe = asm.push(make_packet(), next_stripe_id=0)
+        assert stripe is not None and stripe.size == 1
+
+    def test_interval_change_recuts_pending(self):
+        asm = StripeAssembler(0, 0, DyadicInterval(0, 4))
+        asm.push(make_packet(seq=0), 0)
+        asm.push(make_packet(seq=1), 0)
+        asm.set_interval(DyadicInterval(0, 2))
+        stripe = asm.push(make_packet(seq=2), 1)
+        # The first two pending packets become the first size-2 stripe.
+        assert stripe is not None
+        assert [p.seq for p in stripe.packets] == [0, 1]
+        assert asm.pending_count == 1
+
+    def test_rejects_wrong_voq(self):
+        asm = StripeAssembler(0, 1, DyadicInterval(0, 1))
+        with pytest.raises(ValueError):
+            asm.push(make_packet(i=1, j=1), 0)
+        with pytest.raises(ValueError):
+            asm.push(make_packet(i=0, j=0), 0)
