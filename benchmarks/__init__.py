@@ -1,0 +1,6 @@
+"""Benchmark harness package.
+
+Benchmarks import their shared knobs as ``from benchmarks.conftest import
+...`` — an absolute path that cannot collide with ``tests/conftest.py``
+under pytest's importlib import mode.
+"""

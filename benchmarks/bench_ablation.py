@@ -14,7 +14,7 @@ from repro.sim.experiment import run_single
 from repro.analysis.stability import worst_case_rates
 from repro.traffic.matrices import diagonal_matrix, lognormal_matrix
 
-from conftest import bench_n, bench_slots, emit
+from benchmarks.conftest import bench_n, bench_slots, emit
 
 
 def max_load(matrix, mode, seed=0, fixed=None):

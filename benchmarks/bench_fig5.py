@@ -12,7 +12,7 @@ from repro.analysis.delay_model import (
 )
 from repro.figures import fig5
 
-from conftest import emit
+from benchmarks.conftest import emit
 
 
 def test_fig5_series(benchmark):

@@ -10,7 +10,7 @@ import pytest
 from repro.figures.delay_figures import generate
 from repro.figures.render import format_table
 
-from conftest import bench_loads, bench_n, bench_slots, emit
+from benchmarks.conftest import bench_loads, bench_n, bench_slots, emit
 
 
 @pytest.fixture(scope="module")

@@ -10,7 +10,7 @@ import pytest
 from repro.analysis.chernoff import PAPER_TABLE1, overload_probability_bound
 from repro.figures import table1
 
-from conftest import emit
+from benchmarks.conftest import emit
 
 
 def test_table1_regeneration(benchmark):

@@ -31,6 +31,7 @@ from .core.sprinklers_switch import SprinklersSwitch
 from .core.striping import Stripe, StripeAssembler, stripe_size_for_rate
 from .sim.engine import SimulationEngine, simulate
 from .sim.experiment import delay_vs_load_sweep, run_single
+from .sim.fast_engine import run_single_fast
 from .sim.metrics import SimulationResult
 from .switching.baseline import BaselineLoadBalancedSwitch
 from .switching.foff import FoffSwitch
@@ -63,6 +64,7 @@ __all__ = [
     "delay_vs_load_sweep",
     "dyadic_interval_for",
     "run_single",
+    "run_single_fast",
     "simulate",
     "stripe_size_for_rate",
     "weakly_uniform_ols",

@@ -23,7 +23,7 @@ from .analysis.chernoff import overload_probability_bound, switch_wide_bound
 from .figures import fig5, fig6, fig7, table1
 from .figures.delay_figures import DEFAULT_LOADS
 from .figures.render import rows_to_csv
-from .sim.experiment import PAPER_SWITCHES, run_single
+from .sim.experiment import ENGINES, PAPER_SWITCHES, run_single
 from .traffic.matrices import uniform_matrix
 
 __all__ = ["main", "build_parser"]
@@ -62,12 +62,23 @@ def build_parser() -> argparse.ArgumentParser:
             help="load levels to sweep",
         )
         p.add_argument("--csv", action="store_true", help="emit CSV rows")
+        p.add_argument(
+            "--engine",
+            choices=ENGINES,
+            default="object",
+            help=(
+                "simulation engine: the per-packet object model or the "
+                "NumPy batch engine (same seeds, same results, built for "
+                "paper-scale --slots)"
+            ),
+        )
 
     demo = sub.add_parser("demo", help="run every switch once, show a summary")
     demo.add_argument("--n", type=int, default=16)
     demo.add_argument("--load", type=float, default=0.8)
     demo.add_argument("--slots", type=int, default=20_000)
     demo.add_argument("--seed", type=int, default=0)
+    demo.add_argument("--engine", choices=ENGINES, default="object")
 
     bounds = sub.add_parser("bounds", help="overload bound for one (rho, N)")
     bounds.add_argument("--rho", type=float, required=True)
@@ -109,11 +120,19 @@ def _cmd_fig(args: argparse.Namespace, module) -> str:
     loads = tuple(args.loads) if args.loads else DEFAULT_LOADS
     if args.csv:
         rows = module.generate(
-            n=args.n, loads=loads, num_slots=args.slots, seed=args.seed
+            n=args.n,
+            loads=loads,
+            num_slots=args.slots,
+            seed=args.seed,
+            engine=args.engine,
         )
         return rows_to_csv(rows)
     return module.render(
-        n=args.n, loads=loads, num_slots=args.slots, seed=args.seed
+        n=args.n,
+        loads=loads,
+        num_slots=args.slots,
+        seed=args.seed,
+        engine=args.engine,
     )
 
 
@@ -126,7 +145,12 @@ def _cmd_demo(args: argparse.Namespace) -> str:
     ]
     for name in list(PAPER_SWITCHES) + ["cms", "output-queued"]:
         result = run_single(
-            name, matrix, args.slots, seed=args.seed, load_label=args.load
+            name,
+            matrix,
+            args.slots,
+            seed=args.seed,
+            load_label=args.load,
+            engine=args.engine,
         )
         lines.append(
             f"{name:16s} {result.mean_delay:11.2f} "

@@ -58,6 +58,8 @@ def stripe_size_for_rate(rate: float, n: int) -> int:
     """
     if not is_power_of_two(n):
         raise ValueError(f"switch size must be a power of two, got {n}")
+    if not math.isfinite(rate):
+        raise ValueError(f"rate must be finite, got {rate}")
     if rate < 0:
         raise ValueError(f"rate must be nonnegative, got {rate}")
     if rate == 0.0:

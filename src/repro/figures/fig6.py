@@ -14,9 +14,17 @@ def generate(
     loads: Sequence[float] = DEFAULT_LOADS,
     num_slots: int = 50_000,
     seed: int = 0,
+    engine: str = "object",
 ) -> List[Dict[str, float]]:
     """Figure 6 rows (uniform destinations)."""
-    return _generate("uniform", n=n, loads=loads, num_slots=num_slots, seed=seed)
+    return _generate(
+        "uniform",
+        n=n,
+        loads=loads,
+        num_slots=num_slots,
+        seed=seed,
+        engine=engine,
+    )
 
 
 def render(
@@ -24,8 +32,15 @@ def render(
     loads: Sequence[float] = DEFAULT_LOADS,
     num_slots: int = 50_000,
     seed: int = 0,
+    engine: str = "object",
 ) -> str:
     """Figure 6 table + chart."""
     return _render(
-        "uniform", "Figure 6", n=n, loads=loads, num_slots=num_slots, seed=seed
+        "uniform",
+        "Figure 6",
+        n=n,
+        loads=loads,
+        num_slots=num_slots,
+        seed=seed,
+        engine=engine,
     )

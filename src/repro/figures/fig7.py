@@ -14,9 +14,17 @@ def generate(
     loads: Sequence[float] = DEFAULT_LOADS,
     num_slots: int = 50_000,
     seed: int = 0,
+    engine: str = "object",
 ) -> List[Dict[str, float]]:
     """Figure 7 rows (diagonal destinations: P(j=i) = 1/2)."""
-    return _generate("diagonal", n=n, loads=loads, num_slots=num_slots, seed=seed)
+    return _generate(
+        "diagonal",
+        n=n,
+        loads=loads,
+        num_slots=num_slots,
+        seed=seed,
+        engine=engine,
+    )
 
 
 def render(
@@ -24,8 +32,15 @@ def render(
     loads: Sequence[float] = DEFAULT_LOADS,
     num_slots: int = 50_000,
     seed: int = 0,
+    engine: str = "object",
 ) -> str:
     """Figure 7 table + chart."""
     return _render(
-        "diagonal", "Figure 7", n=n, loads=loads, num_slots=num_slots, seed=seed
+        "diagonal",
+        "Figure 7",
+        n=n,
+        loads=loads,
+        num_slots=num_slots,
+        seed=seed,
+        engine=engine,
     )

@@ -2,12 +2,18 @@
 
 from .engine import SimulationEngine, simulate
 from .experiment import (
+    ENGINES,
     PAPER_SWITCHES,
     SWITCH_BUILDERS,
     TRAFFIC_PATTERNS,
     build_switch,
     delay_vs_load_sweep,
     run_single,
+)
+from .fast_engine import (
+    FAST_ENGINE_SWITCHES,
+    run_single_fast,
+    supports_fast_engine,
 )
 from .metrics import DelayStats, SimulationMetrics, SimulationResult
 from .parallel import SweepJob, parallel_delay_sweep, run_jobs
@@ -18,6 +24,8 @@ from .rng import RngRegistry, derive_seed, spawn_generator
 __all__ = [
     "BatchMeansResult",
     "DelayStats",
+    "ENGINES",
+    "FAST_ENGINE_SWITCHES",
     "PAPER_SWITCHES",
     "ReplicatedResult",
     "RngRegistry",
@@ -37,6 +45,8 @@ __all__ = [
     "replicate",
     "run_jobs",
     "run_single",
+    "run_single_fast",
     "simulate",
+    "supports_fast_engine",
     "spawn_generator",
 ]

@@ -14,6 +14,7 @@ import numpy as np
 from ..core.interval_assignment import PlacementMode, StripeIntervalAssignment
 from ..core.sprinklers_switch import SprinklersSwitch
 from ..sim.engine import SimulationEngine
+from ..sim.fast_engine import run_single_fast, supports_fast_engine
 from ..sim.metrics import SimulationResult
 from ..sim.rng import derive_seed
 from ..switching.baseline import BaselineLoadBalancedSwitch
@@ -27,6 +28,7 @@ from ..traffic.generator import TrafficGenerator
 from ..traffic.matrices import diagonal_matrix, uniform_matrix
 
 __all__ = [
+    "ENGINES",
     "SWITCH_BUILDERS",
     "PAPER_SWITCHES",
     "TRAFFIC_PATTERNS",
@@ -34,6 +36,18 @@ __all__ = [
     "run_single",
     "delay_vs_load_sweep",
 ]
+
+#: Simulation engines: the per-packet object model (the auditable
+#: reference and ordering oracle) and the NumPy batch replay of
+#: :mod:`repro.sim.fast_engine` (identical results, built for the paper's
+#: 200k-slot scale).
+ENGINES: Sequence[str] = ("object", "vectorized")
+
+
+def _check_engine(engine: str) -> None:
+    if engine not in ENGINES:
+        known = ", ".join(ENGINES)
+        raise ValueError(f"unknown engine {engine!r}; known: {known}")
 
 SwitchBuilder = Callable[[int, np.ndarray, int], object]
 
@@ -100,8 +114,28 @@ def run_single(
     load_label: float = float("nan"),
     warmup_fraction: float = 0.1,
     keep_samples: bool = True,
+    engine: str = "object",
 ) -> SimulationResult:
-    """Build switch + traffic from a seed and simulate one configuration."""
+    """Build switch + traffic from a seed and simulate one configuration.
+
+    ``engine="vectorized"`` routes through the NumPy batch engine
+    (:mod:`repro.sim.fast_engine`), which reproduces the object engine's
+    results exactly for the switches it models; switches without a
+    vectorized data path (FOFF, PF, CMS, hashing, adaptive Sprinklers)
+    transparently fall back to the object engine so mixed sweeps keep
+    working.
+    """
+    _check_engine(engine)
+    if engine == "vectorized" and supports_fast_engine(switch_name):
+        return run_single_fast(
+            switch_name,
+            matrix,
+            num_slots,
+            seed=seed,
+            load_label=load_label,
+            warmup_fraction=warmup_fraction,
+            keep_samples=keep_samples,
+        )
     n = matrix.shape[0]
     switch = build_switch(switch_name, n, matrix, seed)
     traffic_rng = np.random.default_rng(derive_seed(seed, "traffic"))
@@ -123,15 +157,19 @@ def delay_vs_load_sweep(
     switches: Optional[Sequence[str]] = None,
     seed: int = 0,
     keep_samples: bool = False,
+    engine: str = "object",
 ) -> List[SimulationResult]:
     """The paper's §6 experiment grid: all switches across a load sweep.
 
     ``pattern`` is a :data:`TRAFFIC_PATTERNS` key ("uniform" for Fig. 6,
     "diagonal" for Fig. 7).  Returns one result per (switch, load).
+    ``engine="vectorized"`` runs each supported switch on the fast batch
+    engine (same seeds, same results, paper-scale wall-clock).
     """
     if pattern not in TRAFFIC_PATTERNS:
         known = ", ".join(sorted(TRAFFIC_PATTERNS))
         raise ValueError(f"unknown pattern {pattern!r}; known: {known}")
+    _check_engine(engine)
     if switches is None:
         switches = PAPER_SWITCHES
     make_matrix = TRAFFIC_PATTERNS[pattern]
@@ -147,6 +185,7 @@ def delay_vs_load_sweep(
                     seed=seed,
                     load_label=load,
                     keep_samples=keep_samples,
+                    engine=engine,
                 )
             )
     return results

@@ -50,12 +50,15 @@ def replicate(
     confidence: float = 0.95,
     load_label: float = float("nan"),
     max_workers: Optional[int] = 1,
+    engine: str = "object",
 ) -> ReplicatedResult:
     """Run ``replications`` independent seeds of one configuration.
 
     Seeds are ``base_seed .. base_seed + R - 1``; each seed independently
     redraws the placement *and* the traffic, so the interval covers both
-    sources of randomness.
+    sources of randomness.  ``engine="vectorized"`` runs each replication
+    on the batch engine — identical per-seed results, so identical
+    intervals, at paper-scale speed.
 
     >>> from repro.traffic.matrices import uniform_matrix
     >>> res = replicate("load-balanced", uniform_matrix(4, 0.5), 800,
@@ -66,7 +69,9 @@ def replicate(
     if replications < 2:
         raise ValueError("need at least 2 replications for an interval")
     jobs = [
-        SweepJob(switch_name, matrix, num_slots, base_seed + r, load_label)
+        SweepJob(
+            switch_name, matrix, num_slots, base_seed + r, load_label, engine
+        )
         for r in range(replications)
     ]
     results = run_jobs(jobs, max_workers=max_workers)

@@ -1,6 +1,7 @@
 """Workload generation: arrival processes, traffic matrices, packet sources."""
 
 from .arrivals import BernoulliArrivals, OnOffArrivals, TraceArrivals
+from .batch import ArrivalBatch, BatchTrafficGenerator, bernoulli_batch
 from .generator import FlowModel, TrafficGenerator, bernoulli_traffic
 from .trace_io import read_trace, record_trace, replay_generator, write_trace
 from .matrices import (
@@ -15,11 +16,14 @@ from .matrices import (
 )
 
 __all__ = [
+    "ArrivalBatch",
+    "BatchTrafficGenerator",
     "BernoulliArrivals",
     "FlowModel",
     "OnOffArrivals",
     "TraceArrivals",
     "TrafficGenerator",
+    "bernoulli_batch",
     "bernoulli_traffic",
     "read_trace",
     "record_trace",

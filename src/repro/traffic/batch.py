@@ -1,0 +1,170 @@
+"""Batched (structure-of-arrays) traffic generation for the fast engine.
+
+:class:`~repro.traffic.generator.TrafficGenerator` materializes one
+:class:`~repro.switching.packet.Packet` object per arrival — the right
+interface for the object-model switches, but pure overhead for the
+vectorized engine, which wants the whole workload as flat NumPy arrays.
+
+:class:`BatchTrafficGenerator` produces exactly the same arrival stream as
+``TrafficGenerator`` for the same random generator and matrix — it draws
+from the RNG in the identical order (arrival-process chunks of
+``chunk_slots`` slots, then one destination draw per input present in the
+chunk, inputs in ascending order) — but returns an :class:`ArrivalBatch`
+of arrays instead of objects.  That equivalence is what makes seeded
+object-vs-vectorized engine parity *exact*, and it is pinned by tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Optional
+
+import numpy as np
+
+from .arrivals import ArrivalProcess, BernoulliArrivals
+from .generator import destination_distributions, draw_destinations
+
+__all__ = [
+    "ArrivalBatch",
+    "BatchTrafficGenerator",
+    "bernoulli_batch",
+    "stable_voq_argsort",
+]
+
+
+def stable_voq_argsort(voqs: np.ndarray, n: int) -> np.ndarray:
+    """Stable argsort of flat VOQ ids, radix-accelerated when they fit.
+
+    NumPy's stable sort is an O(P) radix sort for 16-bit integers but an
+    O(P log P) mergesort for wider ones; VOQ ids are below ``n^2``, so for
+    every realistic switch size the cheap path applies.  Grouping packets
+    by VOQ is the backbone of both sequence numbering and the fast
+    engine's stripe/frame assembly, so this is worth the cast.
+    """
+    if n * n <= np.iinfo(np.uint16).max:
+        return np.argsort(voqs.astype(np.uint16), kind="stable")
+    return np.argsort(voqs, kind="stable")
+
+
+class ArrivalBatch(NamedTuple):
+    """One batch of arrivals in structure-of-arrays form.
+
+    All arrays have one entry per packet and are sorted by
+    ``(slot, input)`` — the exact order in which ``TrafficGenerator``
+    hands packets to a switch (its per-slot lists are sorted by input
+    port).
+    """
+
+    #: Switch size.
+    n: int
+    #: Number of slots the batch covers (``[0, num_slots)`` of this draw).
+    num_slots: int
+    #: Arrival slot of each packet.
+    slots: np.ndarray
+    #: Input port of each packet.
+    inputs: np.ndarray
+    #: Output port (destination) of each packet.
+    outputs: np.ndarray
+    #: Per-VOQ sequence number of each packet (assigned at arrival).
+    seqs: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.slots)
+
+    @property
+    def voqs(self) -> np.ndarray:
+        """Flat VOQ id ``input * n + output`` of each packet."""
+        return self.inputs * self.n + self.outputs
+
+
+class BatchTrafficGenerator:
+    """Vectorized twin of :class:`~repro.traffic.generator.TrafficGenerator`.
+
+    Parameters mirror ``TrafficGenerator`` (flow models are not supported:
+    the fast engine covers the non-hashing switches, which never read flow
+    ids).  Successive :meth:`draw` calls continue per-VOQ sequence numbers,
+    like successive ``slots()`` sweeps of a shared-``seq_state`` generator.
+    """
+
+    def __init__(
+        self,
+        matrix,
+        rng: np.random.Generator,
+        arrivals: Optional[ArrivalProcess] = None,
+        chunk_slots: int = 4096,
+    ) -> None:
+        matrix, row_sums, dest_dists = destination_distributions(matrix)
+        self.n = matrix.shape[0]
+        self.matrix = matrix
+        self._rng = rng
+        self._dest_dists = dest_dists
+        if arrivals is None:
+            arrivals = BernoulliArrivals(row_sums, rng)
+        if arrivals.n != self.n:
+            raise ValueError("arrival process size does not match matrix")
+        self.arrivals = arrivals
+        self.chunk_slots = chunk_slots
+        self._seq_next = np.zeros(self.n * self.n, dtype=np.int64)
+        self.generated = 0
+
+    def draw(self, num_slots: int) -> ArrivalBatch:
+        """Draw ``num_slots`` slots of arrivals as one batch of arrays."""
+        if num_slots <= 0:
+            raise ValueError("num_slots must be positive")
+        n = self.n
+        slot_parts: List[np.ndarray] = []
+        input_parts: List[np.ndarray] = []
+        output_parts: List[np.ndarray] = []
+        for slots, inputs in self.arrivals.events(num_slots, self.chunk_slots):
+            # `np.nonzero` emits chunk events in row-major (slot, input)
+            # order already; destinations come from the same shared helper
+            # (hence the same RNG consumption) as TrafficGenerator.slots().
+            dests = draw_destinations(self._rng, inputs, self._dest_dists, n)
+            slot_parts.append(np.asarray(slots, dtype=np.int64))
+            input_parts.append(np.asarray(inputs, dtype=np.int64))
+            output_parts.append(dests)
+
+        slots_all = (
+            np.concatenate(slot_parts) if slot_parts else np.empty(0, np.int64)
+        )
+        inputs_all = (
+            np.concatenate(input_parts) if input_parts else np.empty(0, np.int64)
+        )
+        outputs_all = (
+            np.concatenate(output_parts)
+            if output_parts
+            else np.empty(0, np.int64)
+        )
+        seqs = self._assign_seqs(inputs_all * n + outputs_all)
+        self.generated += len(slots_all)
+        return ArrivalBatch(
+            n=n,
+            num_slots=num_slots,
+            slots=slots_all,
+            inputs=inputs_all,
+            outputs=outputs_all,
+            seqs=seqs,
+        )
+
+    def _assign_seqs(self, voqs: np.ndarray) -> np.ndarray:
+        """Per-VOQ consecutive sequence numbers, in generation order."""
+        seqs = np.empty(len(voqs), dtype=np.int64)
+        if len(voqs) == 0:
+            return seqs
+        order = stable_voq_argsort(voqs, self.n)
+        sorted_voqs = voqs[order]
+        counts = np.bincount(voqs, minlength=self.n * self.n)
+        group_starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        # Rank within each voq group: position minus the group's start.
+        positions = np.arange(len(voqs)) - group_starts[sorted_voqs]
+        seqs[order] = positions + self._seq_next[sorted_voqs]
+        self._seq_next += counts
+        return seqs
+
+    def voq_rate(self, input_port: int, output_port: int) -> float:
+        """The configured arrival rate of VOQ (input, output)."""
+        return float(self.matrix[input_port][output_port])
+
+
+def bernoulli_batch(matrix, seed: int = 0) -> BatchTrafficGenerator:
+    """Convenience constructor: Bernoulli batch traffic from matrix + seed."""
+    return BatchTrafficGenerator(matrix, np.random.default_rng(seed))

@@ -20,7 +20,62 @@ from ..switching.packet import Packet
 from .arrivals import ArrivalProcess, BernoulliArrivals
 from .matrices import validate_matrix
 
-__all__ = ["TrafficGenerator", "FlowModel", "bernoulli_traffic"]
+__all__ = [
+    "TrafficGenerator",
+    "FlowModel",
+    "bernoulli_traffic",
+    "destination_distributions",
+    "draw_destinations",
+]
+
+
+def destination_distributions(matrix):
+    """Validate a rate matrix; return ``(matrix, row_sums, dest_dists)``.
+
+    ``dest_dists[i]`` is input ``i``'s destination distribution (its
+    matrix row normalized by the row sum), or ``None`` for an idle input.
+    Shared by :class:`TrafficGenerator` and the batch generator in
+    :mod:`repro.traffic.batch` — the two must stay in lock-step for
+    seeded object/vectorized engine parity to hold.
+    """
+    matrix = validate_matrix(matrix)
+    row_sums = matrix.sum(axis=1)
+    if np.any(row_sums > 1.0 + 1e-9):
+        raise ValueError(
+            "matrix row sums exceed 1 packet/slot; not realizable by a "
+            "slotted input line"
+        )
+    dists: List[Optional[np.ndarray]] = []
+    for i in range(matrix.shape[0]):
+        total = row_sums[i]
+        dists.append(matrix[i] / total if total > 0 else None)
+    return matrix, row_sums, dists
+
+
+def draw_destinations(
+    rng: np.random.Generator,
+    inputs: np.ndarray,
+    dest_dists: List[Optional[np.ndarray]],
+    n: int,
+) -> np.ndarray:
+    """Destination ports for one chunk of arrival events.
+
+    This is the *canonical RNG consumption order* both traffic generators
+    follow: one vectorized draw per input present in the chunk, inputs
+    ascending.  An input with no configured rate can only see arrivals
+    from a custom arrival process; those are spread uniformly so they are
+    not silently dropped.
+    """
+    dests = np.empty(len(inputs), dtype=np.int64)
+    for inp in np.unique(inputs):
+        dist = dest_dists[int(inp)]
+        mask = inputs == inp
+        count = int(mask.sum())
+        if dist is None:
+            dests[mask] = rng.integers(0, n, size=count)
+        else:
+            dests[mask] = rng.choice(n, size=count, p=dist)
+    return dests
 
 
 class FlowModel:
@@ -85,20 +140,11 @@ class TrafficGenerator:
         flow_model: Optional[FlowModel] = None,
         seq_state: Optional[Dict[Tuple[int, int], int]] = None,
     ) -> None:
-        matrix = validate_matrix(matrix)
+        matrix, row_sums, dest_dists = destination_distributions(matrix)
         self.n = matrix.shape[0]
         self.matrix = matrix
-        row_sums = matrix.sum(axis=1)
-        if np.any(row_sums > 1.0 + 1e-9):
-            raise ValueError(
-                "matrix row sums exceed 1 packet/slot; not realizable by a "
-                "slotted input line"
-            )
         self._rng = rng
-        self._dest_dists: List[Optional[np.ndarray]] = []
-        for i in range(self.n):
-            total = row_sums[i]
-            self._dest_dists.append(matrix[i] / total if total > 0 else None)
+        self._dest_dists = dest_dists
         if arrivals is None:
             arrivals = BernoulliArrivals(row_sums, rng)
         if arrivals.n != self.n:
@@ -127,20 +173,14 @@ class TrafficGenerator:
         slot_cursor = 0
         for slots, inputs in self.arrivals.events(num_slots, chunk_slots):
             packets_by_slot: Dict[int, List[Packet]] = {}
-            # Draw destinations for the whole chunk, grouped by input port
-            # so one vectorized choice() call covers each input's events.
+            # Draw destinations for the whole chunk (one vectorized call
+            # per input present), then build packets input by input.
+            all_dests = draw_destinations(
+                self._rng, inputs, self._dest_dists, self.n
+            )
             for inp in np.unique(inputs):
-                dist = self._dest_dists[int(inp)]
                 mask = inputs == inp
-                count = int(mask.sum())
-                if dist is None:
-                    # No configured rate for this input: arrivals here can
-                    # only come from a custom arrival process; spread them
-                    # uniformly so they are not silently dropped.
-                    dests = self._rng.integers(0, self.n, size=count)
-                else:
-                    dests = self._rng.choice(self.n, size=count, p=dist)
-                for slot, dest in zip(slots[mask], dests):
+                for slot, dest in zip(slots[mask], all_dests[mask]):
                     pkt = Packet(
                         input_port=int(inp),
                         output_port=int(dest),

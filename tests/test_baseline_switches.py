@@ -11,7 +11,7 @@ from repro.switching.pf import PaddedFramesSwitch
 from repro.switching.ufs import UfsSwitch
 from repro.traffic.matrices import uniform_matrix
 
-from conftest import drive_switch, make_packets
+from tests.helpers import drive_switch, make_packets
 
 
 N = 8

@@ -6,7 +6,7 @@ import pytest
 from repro.switching.cms import CmsSwitch
 from repro.traffic.matrices import diagonal_matrix, uniform_matrix
 
-from conftest import drive_switch, make_packets
+from tests.helpers import drive_switch, make_packets
 
 
 N = 8

@@ -1,0 +1,75 @@
+"""Collection health: every test module must be importable.
+
+The seed repo shipped six test modules that pytest could not even
+collect — a conftest shadowing bug turned them into ImportErrors, and
+40+ tests of the paper's core contribution silently stopped running.
+This meta-test makes that whole bug class loud: it imports every
+``tests/test_*.py`` file directly, so any import-time breakage surfaces
+as one clear failure naming the module, even if someone reintroduces a
+sys.path/conftest hazard that pytest's own collection happens to survive.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+TESTS_DIR = Path(__file__).resolve().parent
+TEST_MODULES = sorted(p.name for p in TESTS_DIR.glob("test_*.py"))
+
+#: The six modules the shadowing bug knocked out of collection; their
+#: presence here guards against the suite silently shrinking again.
+ONCE_SHADOWED = [
+    "test_baseline_switches.py",
+    "test_cms.py",
+    "test_finite_buffers.py",
+    "test_sprinklers_invariants.py",
+    "test_sprinklers_switch.py",
+    "test_switch_base.py",
+]
+
+
+def test_expected_modules_present():
+    assert set(ONCE_SHADOWED) <= set(TEST_MODULES)
+
+
+@pytest.mark.parametrize("filename", TEST_MODULES)
+def test_module_imports_cleanly(filename):
+    path = TESTS_DIR / filename
+    alias = f"_collection_health.{filename[:-3]}"
+    spec = importlib.util.spec_from_file_location(alias, path)
+    module = importlib.util.module_from_spec(spec)
+    # Register before exec so dataclass/pickle-style self-references work.
+    sys.modules[alias] = module
+    try:
+        spec.loader.exec_module(module)
+    except ImportError as exc:  # pragma: no cover - the failure mode itself
+        pytest.fail(
+            f"{filename} cannot be imported ({exc}); its tests are "
+            "invisible to pytest — fix the import before anything else"
+        )
+    finally:
+        sys.modules.pop(alias, None)
+
+
+def test_helpers_not_importable_as_bare_conftest():
+    """The bug pattern itself: helper imports must be package-qualified.
+
+    A bare ``from conftest import ...`` resolves against whichever
+    conftest.py got onto sys.path first — that is how six modules went
+    dark.  No test module may use it.
+    """
+    offenders = [
+        name
+        for name in TEST_MODULES
+        for line in (TESTS_DIR / name).read_text().splitlines()
+        if line.strip().startswith("from conftest import")
+        or line.strip() == "import conftest"
+    ]
+    assert not offenders, (
+        f"bare conftest imports found in {offenders}; import from "
+        "tests.helpers instead"
+    )

@@ -16,7 +16,7 @@ from repro.switching.hashing import TcpHashingSwitch
 from repro.switching.ufs import UfsSwitch
 from repro.traffic.matrices import uniform_matrix
 
-from conftest import drive_switch, make_packets
+from tests.helpers import drive_switch, make_packets
 
 
 N = 8

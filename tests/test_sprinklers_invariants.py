@@ -20,7 +20,7 @@ from repro.traffic.matrices import (
     uniform_matrix,
 )
 
-from conftest import assert_consecutive, drive_switch
+from tests.helpers import assert_consecutive, drive_switch
 
 
 def run_instrumented(matrix, slots, seed=1, traffic_seed=9, **kwargs):

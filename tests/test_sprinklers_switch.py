@@ -10,7 +10,7 @@ from repro.core.striping import Stripe, StripeAssembler
 from repro.switching.packet import Packet
 from repro.traffic.matrices import diagonal_matrix, uniform_matrix
 
-from conftest import drive_switch, make_packets
+from tests.helpers import drive_switch, make_packets
 
 
 N = 8

@@ -6,7 +6,7 @@ from repro.switching.baseline import BaselineLoadBalancedSwitch
 from repro.switching.packet import Packet
 from repro.switching.switch_base import TwoStageSwitch
 
-from conftest import make_packets
+from tests.helpers import make_packets
 
 
 class TestSlotProtocol:
