@@ -1,0 +1,106 @@
+"""Benchmark: the scenario registry on the vectorized engine + the store.
+
+Runs every registered scenario on the Sprinklers data path (vectorized
+engine) at one hot load and reports the per-scenario delay profile — the
+extension counterpart of the paper's Figs. 6-7 rows.  A second pass
+through the experiment store then demonstrates (and asserts) the cache:
+identical configurations are served from disk with zero recomputation,
+orders of magnitude faster than simulating.
+
+    REPRO_BENCH_N=32 REPRO_BENCH_SLOTS=200000 \
+        python -m pytest -q -s benchmarks/bench_scenarios.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.scenarios import get_scenario, list_scenarios
+from repro.sim.experiment import run_single
+from repro.store import ExperimentStore
+
+from benchmarks.conftest import bench_n, bench_slots, emit
+
+LOAD = 0.9
+SWITCH = "sprinklers"
+
+
+@pytest.fixture(scope="module")
+def scenario_rows(tmp_path_factory):
+    store = ExperimentStore(tmp_path_factory.mktemp("bench-store"))
+    n = bench_n()
+    slots = bench_slots()
+    rows = []
+    for name in list_scenarios():
+        start = time.perf_counter()
+        result = run_single(
+            SWITCH,
+            scenario=name,
+            n=n,
+            load=LOAD,
+            num_slots=slots,
+            seed=0,
+            engine="vectorized",
+            keep_samples=False,
+            store=store,
+        )
+        cold = time.perf_counter() - start
+        start = time.perf_counter()
+        cached = run_single(
+            SWITCH,
+            scenario=name,
+            n=n,
+            load=LOAD,
+            num_slots=slots,
+            seed=0,
+            engine="vectorized",
+            keep_samples=False,
+            store=store,
+        )
+        warm = time.perf_counter() - start
+        rows.append(
+            {
+                "scenario": name,
+                "result": result,
+                "cached": cached,
+                "cold_s": cold,
+                "warm_s": warm,
+            }
+        )
+    rows.append({"store": store})
+    return rows
+
+
+def test_scenario_profiles(scenario_rows):
+    """Every scenario simulates, measures packets, and keeps ordering."""
+    lines = [
+        f"{'scenario':20s} {'mean delay':>11s} {'measured':>9s} "
+        f"{'late':>5s} {'cold':>8s} {'cached':>8s}"
+    ]
+    for row in scenario_rows[:-1]:
+        r = row["result"]
+        lines.append(
+            f"{row['scenario']:20s} {r.mean_delay:11.2f} "
+            f"{r.measured_packets:9d} {r.late_packets:5d} "
+            f"{row['cold_s']:7.2f}s {row['warm_s']:7.3f}s"
+        )
+        assert r.measured_packets > 0, row["scenario"]
+        assert r.is_ordered, row["scenario"]  # Sprinklers never reorders
+    emit(
+        f"Scenario sweep ({SWITCH}, N={bench_n()}, load {LOAD}, "
+        f"{bench_slots()} slots, vectorized engine + store)",
+        "\n".join(lines),
+    )
+
+
+def test_store_serves_cache_hits(scenario_rows):
+    """The second pass is all hits and returns identical numbers."""
+    store = scenario_rows[-1]["store"]
+    scenarios = scenario_rows[:-1]
+    assert store.hits == len(scenarios)
+    assert store.misses == len(scenarios)
+    for row in scenarios:
+        assert row["cached"].mean_delay == row["result"].mean_delay
+        assert row["cached"].measured_packets == row["result"].measured_packets

@@ -33,6 +33,11 @@ from .sim.engine import SimulationEngine, simulate
 from .sim.experiment import delay_vs_load_sweep, run_single
 from .sim.fast_engine import run_single_fast
 from .sim.metrics import SimulationResult
+
+# Imported after .sim on purpose: sim.experiment pulls in scenarios.build,
+# which reaches back for sim.rng — loading sim first keeps that resolvable.
+from .scenarios import ScenarioSpec, get_scenario, list_scenarios
+from .store import ExperimentStore
 from .switching.baseline import BaselineLoadBalancedSwitch
 from .switching.foff import FoffSwitch
 from .switching.hashing import TcpHashingSwitch
@@ -47,11 +52,13 @@ __version__ = "1.0.0"
 __all__ = [
     "BaselineLoadBalancedSwitch",
     "DyadicInterval",
+    "ExperimentStore",
     "FoffSwitch",
     "OutputQueuedSwitch",
     "Packet",
     "PaddedFramesSwitch",
     "PlacementMode",
+    "ScenarioSpec",
     "SimulationEngine",
     "SimulationResult",
     "SprinklersSwitch",
@@ -63,6 +70,8 @@ __all__ = [
     "UfsSwitch",
     "delay_vs_load_sweep",
     "dyadic_interval_for",
+    "get_scenario",
+    "list_scenarios",
     "run_single",
     "run_single_fast",
     "simulate",

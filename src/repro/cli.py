@@ -6,16 +6,22 @@ Usage (also installed as the ``sprinklers`` console script)::
     python -m repro fig5
     python -m repro fig6 --slots 200000 --n 32
     python -m repro fig7 --loads 0.1 0.5 0.9
+    python -m repro fig6 --scenario mmpp-bursty --engine vectorized
     python -m repro demo --n 16 --load 0.8
     python -m repro bounds --rho 0.93 --n 2048
+    python -m repro scenarios list
+    python -m repro scenarios run --scenario hotspot-4x --switch sprinklers
 
 Figure commands accept ``--csv`` to emit machine-readable rows instead of
-the rendered table/chart.
+the rendered table/chart.  Simulation commands accept ``--store [DIR]``
+(cache results in the experiment store; default directory
+``.repro-store`` or ``$REPRO_STORE_DIR``) and ``--no-store``.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -23,10 +29,42 @@ from .analysis.chernoff import overload_probability_bound, switch_wide_bound
 from .figures import fig5, fig6, fig7, table1
 from .figures.delay_figures import DEFAULT_LOADS
 from .figures.render import rows_to_csv
-from .sim.experiment import ENGINES, PAPER_SWITCHES, run_single
+from .scenarios import apply_overrides, list_scenarios, resolve_scenario
+from .sim.experiment import ENGINES, PAPER_SWITCHES, SWITCH_BUILDERS, run_single
 from .traffic.matrices import uniform_matrix
 
 __all__ = ["main", "build_parser"]
+
+#: Default experiment-store directory for ``--store`` with no argument.
+DEFAULT_STORE_DIR = ".repro-store"
+
+
+def _add_store_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store",
+        nargs="?",
+        const=DEFAULT_STORE_DIR,
+        default=None,
+        metavar="DIR",
+        help=(
+            "cache results in the experiment store at DIR "
+            f"(default {DEFAULT_STORE_DIR!r}; $REPRO_STORE_DIR also enables)"
+        ),
+    )
+    parser.add_argument(
+        "--no-store",
+        action="store_true",
+        help="disable the experiment store (overrides --store and the env)",
+    )
+
+
+def _resolve_store(args: argparse.Namespace) -> Optional[str]:
+    """The store directory for a command, honoring flag/env precedence."""
+    if getattr(args, "no_store", False):
+        return None
+    if getattr(args, "store", None) is not None:
+        return args.store
+    return os.environ.get("REPRO_STORE_DIR") or None
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -72,6 +110,15 @@ def build_parser() -> argparse.ArgumentParser:
                 "paper-scale --slots)"
             ),
         )
+        p.add_argument(
+            "--scenario",
+            default=None,
+            help=(
+                "replace the figure's traffic pattern with a registered "
+                "scenario (see `scenarios list`) or a .toml/.json spec file"
+            ),
+        )
+        _add_store_flags(p)
 
     demo = sub.add_parser("demo", help="run every switch once, show a summary")
     demo.add_argument("--n", type=int, default=16)
@@ -113,26 +160,110 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--slots", type=int, default=3000)
     validate.add_argument("--seed", type=int, default=0)
 
+    scen = sub.add_parser(
+        "scenarios",
+        help="the declarative workload-scenario registry",
+    )
+    scen_sub = scen.add_subparsers(dest="scenario_command", required=True)
+
+    scen_sub.add_parser("list", help="list registered scenarios")
+
+    show = scen_sub.add_parser("show", help="dump one scenario's spec")
+    show.add_argument("name", help="registry name or .toml/.json spec file")
+
+    run = scen_sub.add_parser(
+        "run",
+        help="simulate one scenario on one switch",
+    )
+    run.add_argument(
+        "--scenario",
+        required=True,
+        help="registry name or .toml/.json spec file",
+    )
+    run.add_argument(
+        "--switch",
+        default="sprinklers",
+        choices=sorted(SWITCH_BUILDERS),
+    )
+    run.add_argument("--n", type=int, default=16, help="switch size")
+    run.add_argument("--load", type=float, default=0.8, help="target load")
+    run.add_argument("--slots", type=int, default=20_000)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--engine", choices=ENGINES, default="object")
+    run.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help=(
+            "override a spec field before running, dotted paths allowed "
+            "(e.g. --set schedule.kind=sine --set schedule.depth=0.4)"
+        ),
+    )
+    _add_store_flags(run)
+
     return parser
 
 
 def _cmd_fig(args: argparse.Namespace, module) -> str:
     loads = tuple(args.loads) if args.loads else DEFAULT_LOADS
-    if args.csv:
-        rows = module.generate(
-            n=args.n,
-            loads=loads,
-            num_slots=args.slots,
-            seed=args.seed,
-            engine=args.engine,
-        )
-        return rows_to_csv(rows)
-    return module.render(
+    kwargs = dict(
         n=args.n,
         loads=loads,
         num_slots=args.slots,
         seed=args.seed,
         engine=args.engine,
+        scenario=args.scenario,
+        store=_resolve_store(args),
+    )
+    if args.csv:
+        return rows_to_csv(module.generate(**kwargs))
+    return module.render(**kwargs)
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> str:
+    import json
+
+    if args.scenario_command == "list":
+        lines = [f"{'scenario':20s} summary"]
+        for name in list_scenarios():
+            spec = resolve_scenario(name)
+            summary = spec.description
+            if len(summary) > 76:
+                summary = summary[:75].rstrip() + "…"
+            lines.append(f"{name:20s} {summary}")
+        lines.append(
+            "\nrun one: python -m repro scenarios run --scenario NAME "
+            "[--switch sprinklers] [--engine vectorized]"
+        )
+        return "\n".join(lines)
+    if args.scenario_command == "show":
+        return json.dumps(resolve_scenario(args.name).to_dict(), indent=2)
+    if args.scenario_command == "run":
+        spec = resolve_scenario(args.scenario)
+        if args.overrides:
+            spec = apply_overrides(spec, args.overrides)
+        result = run_single(
+            args.switch,
+            scenario=spec,
+            n=args.n,
+            load=args.load,
+            num_slots=args.slots,
+            seed=args.seed,
+            engine=args.engine,
+            store=_resolve_store(args),
+        )
+        lines = [
+            f"Scenario {spec.name!r} on {args.switch} "
+            f"(N={args.n}, load {args.load}, {args.slots} slots, "
+            f"engine {args.engine})",
+        ]
+        for key, value in result.as_row().items():
+            lines.append(f"  {key:20s} {value}")
+        return "\n".join(lines)
+    raise AssertionError(  # pragma: no cover - argparse enforces choices
+        f"unhandled scenarios command {args.scenario_command}"
     )
 
 
@@ -249,6 +380,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         output = burst_render(
             n=args.n, load=args.load, num_slots=args.slots, seed=args.seed
         )
+    elif args.command == "scenarios":
+        output = _cmd_scenarios(args)
     elif args.command == "validate":
         output, ok = _cmd_validate(args)
         print(output)

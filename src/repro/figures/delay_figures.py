@@ -30,12 +30,15 @@ def generate(
     switches: Sequence[str] = PAPER_SWITCHES,
     seed: int = 0,
     engine: str = "object",
+    store=None,
 ) -> List[Dict[str, float]]:
     """One row per (switch, load): mean delay plus ordering diagnostics.
 
+    ``pattern`` is a §6 pattern name or any registered scenario.
     ``engine="vectorized"`` regenerates the figure at the paper's full
     scale in a fraction of the object engine's wall-clock (same seeds,
-    same numbers for the switches both engines model).
+    same numbers for the switches both engines model); ``store`` caches
+    every cell so re-rendering a figure is free.
     """
     results = delay_vs_load_sweep(
         pattern,
@@ -45,6 +48,7 @@ def generate(
         switches=switches,
         seed=seed,
         engine=engine,
+        store=store,
     )
     rows: List[Dict[str, float]] = []
     for result in results:
@@ -68,6 +72,7 @@ def render(
     num_slots: int = 50_000,
     seed: int = 0,
     engine: str = "object",
+    store=None,
 ) -> str:
     """Delay-vs-load table and log-scale chart for one traffic pattern."""
     rows = generate(
@@ -77,6 +82,7 @@ def render(
         num_slots=num_slots,
         seed=seed,
         engine=engine,
+        store=store,
     )
     series: Dict[str, List[tuple]] = {}
     for row in rows:

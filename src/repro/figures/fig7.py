@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from .delay_figures import DEFAULT_LOADS, generate as _generate, render as _render
 
@@ -15,15 +15,18 @@ def generate(
     num_slots: int = 50_000,
     seed: int = 0,
     engine: str = "object",
+    scenario: Optional[str] = None,
+    store=None,
 ) -> List[Dict[str, float]]:
-    """Figure 7 rows (diagonal destinations: P(j=i) = 1/2)."""
+    """Figure 7 rows (diagonal destinations, or any scenario override)."""
     return _generate(
-        "diagonal",
+        scenario or "diagonal",
         n=n,
         loads=loads,
         num_slots=num_slots,
         seed=seed,
         engine=engine,
+        store=store,
     )
 
 
@@ -33,14 +36,17 @@ def render(
     num_slots: int = 50_000,
     seed: int = 0,
     engine: str = "object",
+    scenario: Optional[str] = None,
+    store=None,
 ) -> str:
-    """Figure 7 table + chart."""
+    """Figure 7 table + chart (titled with the scenario when overridden)."""
     return _render(
-        "diagonal",
-        "Figure 7",
+        scenario or "diagonal",
+        "Figure 7" if scenario is None else f"Figure 7 [{scenario}]",
         n=n,
         loads=loads,
         num_slots=num_slots,
         seed=seed,
         engine=engine,
+        store=store,
     )

@@ -1,0 +1,64 @@
+"""Declarative workload scenarios.
+
+A :class:`~repro.scenarios.spec.ScenarioSpec` composes a traffic-matrix
+family, a load schedule, a burstiness model, an optional flow-size
+distribution, and an optional matrix drift into one named, serializable
+workload description.  The registry ships the paper's §6 patterns plus a
+battery of stress scenarios (hotspots, bursts, ramps, drift, adversarial
+concentration), each runnable on both simulation engines with bit-identical
+seeded results.
+
+Specs are plain data: load them from TOML/JSON files, build them from CLI
+flags, or construct them in Python; :mod:`repro.scenarios.build` turns a
+spec into the object- or batch-traffic generator with identical RNG
+consumption for both.
+"""
+
+from .build import build_batch_traffic, build_traffic
+from .registry import (
+    SCENARIOS,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+    resolve_scenario,
+)
+from .schedules import (
+    ConstantSchedule,
+    LoadSchedule,
+    RampSchedule,
+    SineSchedule,
+    StepSchedule,
+    make_schedule,
+)
+from .spec import (
+    MATRIX_FAMILIES,
+    ScenarioSpec,
+    apply_overrides,
+    effective_matrix,
+    load_scenario_file,
+    matrix_shape,
+    save_scenario_file,
+)
+
+__all__ = [
+    "MATRIX_FAMILIES",
+    "SCENARIOS",
+    "ScenarioSpec",
+    "apply_overrides",
+    "ConstantSchedule",
+    "LoadSchedule",
+    "RampSchedule",
+    "SineSchedule",
+    "StepSchedule",
+    "build_batch_traffic",
+    "build_traffic",
+    "effective_matrix",
+    "get_scenario",
+    "list_scenarios",
+    "load_scenario_file",
+    "make_schedule",
+    "matrix_shape",
+    "register_scenario",
+    "resolve_scenario",
+    "save_scenario_file",
+]

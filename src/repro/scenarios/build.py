@@ -1,0 +1,164 @@
+"""Turn a :class:`~repro.scenarios.spec.ScenarioSpec` into traffic.
+
+One builder per engine family — :func:`build_traffic` (object packets) and
+:func:`build_batch_traffic` (structure-of-arrays) — constructed from the
+*same* components in the *same* order with the *same* derived seeds, so a
+scenario produces an identical seeded arrival stream on both engines.
+That lock-step is the foundation of the scenario parity tests.
+
+RNG discipline
+--------------
+* ``derive_seed(seed, "traffic")`` feeds one shared generator used by the
+  arrival process and the destination sampler, interleaved chunk-wise —
+  exactly the pre-scenario convention of ``run_single``.
+* Flow labeling (object engine only) draws from
+  ``derive_seed(seed, "flows")``: a disjoint stream, so labeled and
+  unlabeled runs of a scenario see the same packets, and the batch
+  generator's ignorance of flows cannot break parity.
+* Schedules are deterministic in the slot index and consume no RNG.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..sim.rng import derive_seed
+from ..traffic.arrivals import (
+    ArrivalProcess,
+    ModulatedBernoulliArrivals,
+    OnOffArrivals,
+)
+from ..traffic.batch import BatchTrafficGenerator
+from ..traffic.generator import (
+    DestinationSampler,
+    DriftingDestinations,
+    FlowModel,
+    TrafficGenerator,
+)
+from ..traffic.matrices import scale_to_load
+from .schedules import make_schedule
+from .spec import ScenarioSpec, effective_matrix, matrix_shape
+
+__all__ = ["build_traffic", "build_batch_traffic"]
+
+#: Longest geometric mean ON period of the on/off model (slots).
+_ONOFF_MEAN_ON = 48.0
+#: Duty cycle floor: bursts stay at least this peaky until the offered
+#: load itself exceeds the floor.
+_ONOFF_DUTY_FLOOR = 0.75
+
+
+def _make_arrivals(
+    spec: ScenarioSpec,
+    matrix: np.ndarray,
+    num_slots: int,
+    rng: np.random.Generator,
+) -> Optional[ArrivalProcess]:
+    """The scenario's arrival process, or None for plain Bernoulli.
+
+    Returning None lets the generator build its default
+    ``BernoulliArrivals`` from the matrix row sums — the exact historical
+    path, byte-identical seeds for stationary scenarios.
+    """
+    kind = spec.arrivals.get("kind", "bernoulli")
+    n = matrix.shape[0]
+    if kind == "bernoulli":
+        sched_kind = spec.schedule.get("kind", "constant")
+        if sched_kind == "constant" and spec.schedule.get("value", 1.0) == 1.0:
+            return None
+        schedule = make_schedule(spec.schedule, num_slots)
+        return ModulatedBernoulliArrivals(matrix.sum(axis=1), schedule, rng)
+    if kind == "onoff":
+        mean_on = float(spec.arrivals.get("mean_on", _ONOFF_MEAN_ON))
+        duty_floor = float(
+            spec.arrivals.get("duty_floor", _ONOFF_DUTY_FLOOR)
+        )
+        row_rates = matrix.sum(axis=1)
+        row_peak = float(row_rates.max()) if n else 0.0
+        # One duty cycle for the whole switch (a common burst cadence),
+        # sized so the heaviest input's peak stays feasible: at least the
+        # floor (bursty at low loads), at least the offered load, and low
+        # enough that the mean OFF period is a full slot.  Peaks are then
+        # *per input* — a skewed matrix's light rows burst at their own
+        # rate, keeping every input's long-run rate at its row sum (so
+        # admissibility of the effective matrix is preserved).
+        duty = min(max(duty_floor, row_peak), mean_on / (mean_on + 1.0))
+        peaks = (
+            np.minimum(1.0, row_rates / duty)
+            if duty > 0
+            else np.zeros(n)
+        )
+        mean_off = max(1.0, mean_on * (1.0 - duty) / duty)
+        return OnOffArrivals(n, peaks, mean_on, mean_off, rng)
+    raise ValueError(f"unknown arrival kind {kind!r}")  # pragma: no cover
+
+
+def _make_destinations(
+    spec: ScenarioSpec, n: int, load: float, num_slots: int
+) -> Optional[DestinationSampler]:
+    """The drift sampler, or None for stationary matrix destinations."""
+    if spec.drift is None:
+        return None
+    start = scale_to_load(matrix_shape(spec.matrix, n), load)
+    end = scale_to_load(matrix_shape(spec.drift, n), load)
+    return DriftingDestinations(start, end, num_slots)
+
+
+def _components(
+    spec: ScenarioSpec, n: int, load: float, seed: int, num_slots: int
+) -> Tuple[np.ndarray, np.random.Generator, Optional[ArrivalProcess],
+           Optional[DestinationSampler]]:
+    """The shared (matrix, rng, arrivals, destinations) quadruple.
+
+    Both engine builders call this exactly once, so any future component
+    that consumes RNG at construction time stays at the same stream
+    position for both.
+    """
+    if num_slots <= 0:
+        raise ValueError("num_slots must be positive")
+    matrix = effective_matrix(spec, n, load)
+    rng = np.random.default_rng(derive_seed(seed, "traffic"))
+    arrivals = _make_arrivals(spec, matrix, num_slots, rng)
+    destinations = _make_destinations(spec, n, load, num_slots)
+    return matrix, rng, arrivals, destinations
+
+
+def build_traffic(
+    spec: ScenarioSpec, n: int, load: float, seed: int, num_slots: int
+) -> TrafficGenerator:
+    """The scenario as an object-engine packet source."""
+    matrix, rng, arrivals, destinations = _components(
+        spec, n, load, seed, num_slots
+    )
+    flow_model = None
+    if spec.flows is not None:
+        flow_model = FlowModel(
+            flows_per_voq=int(spec.flows.get("flows_per_voq", 32)),
+            zipf_exponent=float(spec.flows.get("zipf_exponent", 1.2)),
+            rng=np.random.default_rng(derive_seed(seed, "flows")),
+        )
+    return TrafficGenerator(
+        matrix,
+        rng,
+        arrivals=arrivals,
+        flow_model=flow_model,
+        destinations=destinations,
+    )
+
+
+def build_batch_traffic(
+    spec: ScenarioSpec, n: int, load: float, seed: int, num_slots: int
+) -> BatchTrafficGenerator:
+    """The scenario as a batch (vectorized-engine) packet source.
+
+    Flow labels are object-engine-only; everything that determines packet
+    timing and destinations is built identically to :func:`build_traffic`.
+    """
+    matrix, rng, arrivals, destinations = _components(
+        spec, n, load, seed, num_slots
+    )
+    return BatchTrafficGenerator(
+        matrix, rng, arrivals=arrivals, destinations=destinations
+    )

@@ -1,0 +1,210 @@
+"""The named-scenario registry.
+
+Every entry is a :class:`~repro.scenarios.spec.ScenarioSpec` whose
+``description`` documents what stress it applies to variable-size striping
+(the registry's one-line summaries are reproduced in EXPERIMENTS.md).  Use
+:func:`get_scenario` / :func:`list_scenarios` programmatically,
+``repro scenarios list`` from the shell, and :func:`resolve_scenario` to
+accept "anything scenario-shaped" (name, file path, dict, or spec) at API
+boundaries.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Mapping, Tuple, Union
+
+from .spec import ScenarioSpec, load_scenario_file
+
+__all__ = [
+    "SCENARIOS",
+    "get_scenario",
+    "list_scenarios",
+    "register_scenario",
+    "resolve_scenario",
+]
+
+#: All registered scenarios, by name.
+SCENARIOS: Dict[str, ScenarioSpec] = {}
+
+
+def register_scenario(spec: ScenarioSpec, replace: bool = False) -> ScenarioSpec:
+    """Add a scenario to the registry (refusing silent overwrites)."""
+    if not replace and spec.name in SCENARIOS:
+        raise ValueError(f"scenario {spec.name!r} is already registered")
+    SCENARIOS[spec.name] = spec
+    return spec
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look up a registered scenario by name."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIOS))
+        raise ValueError(
+            f"unknown scenario {name!r}; known: {known}"
+        ) from None
+
+
+def list_scenarios() -> Tuple[str, ...]:
+    """Registered scenario names, sorted."""
+    return tuple(sorted(SCENARIOS))
+
+
+def resolve_scenario(
+    scenario: Union[str, Path, Mapping, ScenarioSpec]
+) -> ScenarioSpec:
+    """Coerce any scenario designator to a spec.
+
+    Accepts a :class:`ScenarioSpec`, a spec dict (:meth:`ScenarioSpec.
+    from_dict` form, e.g. off a process-pool job), a registered name, or a
+    path to a ``.toml``/``.json`` spec file.
+    """
+    if isinstance(scenario, ScenarioSpec):
+        return scenario
+    if isinstance(scenario, Mapping):
+        return ScenarioSpec.from_dict(scenario)
+    if isinstance(scenario, Path):
+        return load_scenario_file(scenario)
+    if isinstance(scenario, str):
+        if scenario in SCENARIOS:
+            return SCENARIOS[scenario]
+        if scenario.endswith((".toml", ".json")):
+            return load_scenario_file(scenario)
+        known = ", ".join(sorted(SCENARIOS))
+        raise ValueError(
+            f"unknown scenario {scenario!r}; known: {known} "
+            f"(or pass a .toml/.json spec file)"
+        )
+    raise TypeError(f"cannot resolve scenario from {type(scenario).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# Built-in scenarios
+# ---------------------------------------------------------------------------
+#
+# Descriptions double as the registry's documentation: first line is the
+# summary shown by `repro scenarios list`, the rest explains the stress
+# the scenario applies to variable-size striping.
+
+register_scenario(ScenarioSpec(
+    name="paper-uniform",
+    description=(
+        "Paper §6 Fig. 6: i.i.d. Bernoulli arrivals, uniform destinations. "
+        "The friendliest admissible workload — every VOQ carries rate "
+        "load/N, so all stripes are minimal and striping overhead is the "
+        "only thing measured. The baseline every stress scenario is read "
+        "against."
+    ),
+))
+
+register_scenario(ScenarioSpec(
+    name="quasi-diagonal",
+    description=(
+        "Paper §6 Fig. 7 ('Quasi-diagonal'): output i draws half of input "
+        "i's traffic, the rest spread uniformly. Mixes one large stripe "
+        "per input with many minimal ones — the first real test of "
+        "Largest-Stripe-First priority and of Sprinklers' variable stripe "
+        "sizing."
+    ),
+    matrix={"family": "diagonal"},
+))
+
+register_scenario(ScenarioSpec(
+    name="hotspot-4x",
+    description=(
+        "Single hot output drawing 4x a uniform output's share of every "
+        "input's traffic. Concentrates load on one output column, so one "
+        "intermediate-stage output class saturates first — stresses the "
+        "stage-2 queues and the balance of randomized interval placement "
+        "across inputs that all favor the same output."
+    ),
+    matrix={"family": "hotspot", "weight": 4.0},
+))
+
+register_scenario(ScenarioSpec(
+    name="lognormal-skew",
+    description=(
+        "Heavy-tailed iid lognormal VOQ rates (sigma=1), rescaled to the "
+        "target load. Heterogeneous rates are exactly what variable-size "
+        "striping exists for: stripe sizes span multiple dyadic classes, "
+        "exercising the full LSF priority ladder and the Chernoff "
+        "overload analysis' worst cases."
+    ),
+    matrix={"family": "lognormal", "sigma": 1.0, "seed": 7},
+))
+
+register_scenario(ScenarioSpec(
+    name="zipf-flows",
+    description=(
+        "Uniform matrix with Zipf(1.2) application-flow labels, 32 flows "
+        "per VOQ. Timing and destinations match paper-uniform; the skewed "
+        "flow sizes are what TCP-hashing switches hash on, quantifying "
+        "how much reordering-freedom costs hashing compared to striping."
+    ),
+    flows={"flows_per_voq": 32, "zipf_exponent": 1.2},
+))
+
+register_scenario(ScenarioSpec(
+    name="mmpp-bursty",
+    description=(
+        "Two-state Markov-modulated (on/off) arrivals at a 75% duty "
+        "cycle, mean burst 48 slots, uniform destinations. Bursts arrive "
+        "faster than the provisioned rate while they last, filling "
+        "stripes in clumps — stresses stripe-assembly latency and the "
+        "input-side LSF backlog beyond the paper's i.i.d. assumption."
+    ),
+    arrivals={"kind": "onoff", "mean_on": 48.0, "duty_floor": 0.75},
+))
+
+register_scenario(ScenarioSpec(
+    name="load-ramp",
+    description=(
+        "Offered load ramps linearly from 20% to 100% of the target over "
+        "the run (uniform destinations). The early light phase leaves "
+        "stripes half-filled for long stretches (assembly-delay stress); "
+        "the late heavy phase tests whether queues stay stable once the "
+        "ramp tops out at the provisioned rate."
+    ),
+    schedule={"kind": "ramp", "start": 0.2, "end": 1.0},
+))
+
+register_scenario(ScenarioSpec(
+    name="load-sine",
+    description=(
+        "Diurnal-style sinusoidal load between 40% and 100% of the "
+        "target, period 2048 slots (uniform destinations). Alternating "
+        "busy and quiet phases stress the interaction between stripe "
+        "assembly (worst when quiet) and queueing (worst when busy) "
+        "within a single run."
+    ),
+    schedule={"kind": "sine", "depth": 0.6, "period": 2048},
+))
+
+register_scenario(ScenarioSpec(
+    name="matrix-drift",
+    description=(
+        "Destinations drift linearly from uniform to the paper's "
+        "quasi-diagonal pattern over the run at constant per-input rate. "
+        "The oracle placement is provisioned from the time-averaged "
+        "matrix, so by the end every input's dominant VOQ runs at twice "
+        "its provisioned rate — the stress case for static variable-size "
+        "striping and the motivation for adaptive resizing."
+    ),
+    drift={"family": "diagonal"},
+))
+
+register_scenario(ScenarioSpec(
+    name="adversarial-stride",
+    description=(
+        "Each input concentrates all traffic on output (2i mod N): "
+        "maximally concentrated single-VOQ rows with pairwise output "
+        "collisions. After admissibility rescaling each active VOQ "
+        "carries rate load/2 — the largest dyadic stripe classes the "
+        "sizing function produces — and colliding inputs compete for one "
+        "output's service, the adversarial case for randomized interval "
+        "placement."
+    ),
+    matrix={"family": "stride", "stride": 2},
+))

@@ -1,0 +1,154 @@
+"""Load schedules: slot-varying rate multipliers for nonstationary traffic.
+
+A schedule maps simulation time to a multiplier in ``[0, 1]`` applied to
+every input's offered load; :class:`~repro.traffic.arrivals.
+ModulatedBernoulliArrivals` consumes it chunk by chunk.  Multipliers are
+*relative to the scenario's target load* — a ramp to 1.0 tops out at the
+load the experiment requested, never above it, so a schedule can never
+push an admissible matrix into inadmissibility.
+
+Schedules are deterministic functions of the slot index (no RNG), which is
+what lets the object and batch traffic generators share them without any
+parity bookkeeping.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+import numpy as np
+
+__all__ = [
+    "LoadSchedule",
+    "ConstantSchedule",
+    "RampSchedule",
+    "SineSchedule",
+    "StepSchedule",
+    "SCHEDULE_KINDS",
+    "make_schedule",
+]
+
+
+class LoadSchedule:
+    """Interface: per-slot load multipliers in ``[0, 1]``."""
+
+    def multipliers(self, start_slot: int, num_slots: int) -> np.ndarray:
+        """Multipliers for slots ``[start_slot, start_slot + num_slots)``."""
+        raise NotImplementedError
+
+    def mean_multiplier(self, horizon: int) -> float:
+        """Average multiplier over ``[0, horizon)`` (for reporting)."""
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        return float(np.mean(self.multipliers(0, horizon)))
+
+
+def _check_unit(value: float, name: str) -> float:
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+    return value
+
+
+class ConstantSchedule(LoadSchedule):
+    """The stationary case: a fixed multiplier (default 1.0)."""
+
+    def __init__(self, value: float = 1.0) -> None:
+        self.value = _check_unit(value, "value")
+
+    def multipliers(self, start_slot: int, num_slots: int) -> np.ndarray:
+        return np.full(num_slots, self.value)
+
+
+class RampSchedule(LoadSchedule):
+    """Linear ramp from ``start`` to ``end`` over ``horizon`` slots.
+
+    Past the horizon the multiplier holds at ``end`` — a run longer than
+    the ramp sees a loaded steady state after a controlled warm ramp.
+    """
+
+    def __init__(self, start: float, end: float, horizon: int) -> None:
+        self.start = _check_unit(start, "start")
+        self.end = _check_unit(end, "end")
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        self.horizon = int(horizon)
+
+    def multipliers(self, start_slot: int, num_slots: int) -> np.ndarray:
+        t = np.arange(start_slot, start_slot + num_slots, dtype=float)
+        frac = np.minimum(t / self.horizon, 1.0)
+        return self.start + (self.end - self.start) * frac
+
+
+class SineSchedule(LoadSchedule):
+    """Sinusoidal modulation between ``1 - depth`` and ``1`` (diurnal-style).
+
+    ``multiplier(t) = 1 - depth * (1 + sin(2 pi (t + phase) / period)) / 2``
+    — peaks at the target load, dips to ``1 - depth`` of it, period in
+    slots.
+    """
+
+    def __init__(
+        self, depth: float, period: int, phase: float = 0.0
+    ) -> None:
+        self.depth = _check_unit(depth, "depth")
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self.period = int(period)
+        self.phase = float(phase)
+
+    def multipliers(self, start_slot: int, num_slots: int) -> np.ndarray:
+        t = np.arange(start_slot, start_slot + num_slots, dtype=float)
+        wave = np.sin(2.0 * math.pi * (t + self.phase) / self.period)
+        return 1.0 - self.depth * (1.0 + wave) / 2.0
+
+
+class StepSchedule(LoadSchedule):
+    """Piecewise-constant levels over equal segments of ``horizon`` slots.
+
+    Models abrupt regime changes (failover, tenant arrival); past the
+    horizon the last level holds.
+    """
+
+    def __init__(self, levels: Sequence[float], horizon: int) -> None:
+        if len(levels) == 0:
+            raise ValueError("levels must be nonempty")
+        self.levels = tuple(_check_unit(v, "level") for v in levels)
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        self.horizon = int(horizon)
+
+    def multipliers(self, start_slot: int, num_slots: int) -> np.ndarray:
+        t = np.arange(start_slot, start_slot + num_slots, dtype=np.int64)
+        seg = np.minimum(
+            t * len(self.levels) // self.horizon, len(self.levels) - 1
+        )
+        return np.asarray(self.levels, dtype=float)[seg]
+
+
+#: Schedule spec kinds understood by :func:`make_schedule`.
+SCHEDULE_KINDS = ("constant", "ramp", "sine", "steps")
+
+
+def make_schedule(spec: Mapping, num_slots: int) -> LoadSchedule:
+    """Build a schedule from a spec mapping, binding run length.
+
+    ``spec["kind"]`` selects the class; horizon-relative kinds (ramp,
+    steps) default their horizon to ``num_slots`` so "ramp over the run"
+    needs no explicit slot count in the scenario file.
+    """
+    kind = spec.get("kind", "constant")
+    params = {k: v for k, v in spec.items() if k != "kind"}
+    if kind == "constant":
+        return ConstantSchedule(**params)
+    if kind == "ramp":
+        params.setdefault("horizon", num_slots)
+        return RampSchedule(**params)
+    if kind == "sine":
+        return SineSchedule(**params)
+    if kind == "steps":
+        params.setdefault("horizon", num_slots)
+        return StepSchedule(**params)
+    known = ", ".join(SCHEDULE_KINDS)
+    raise ValueError(f"unknown schedule kind {kind!r}; known: {known}")

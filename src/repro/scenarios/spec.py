@@ -1,0 +1,290 @@
+"""The declarative scenario description and its matrix families.
+
+A :class:`ScenarioSpec` is plain data — name, matrix family, load
+schedule, burstiness model, flow labeling, optional matrix drift — with a
+stable dict form for TOML/JSON files, CLI flags, cache keys, and pickling
+across process pools.  Everything stochastic is *derived* from the spec
+plus a master seed at build time (:mod:`repro.scenarios.build`), so a spec
+fully determines a workload.
+
+Matrix families produce a *shape* (an arbitrary-scale nonnegative matrix);
+the effective matrix at a target load is the shape rescaled with
+:func:`repro.traffic.matrices.scale_to_load`, which guarantees
+admissibility for any load in ``[0, 1]`` regardless of how skewed the
+family is — the property the scenario admissibility tests pin.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import tomllib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Mapping, Optional, Union
+
+import numpy as np
+
+from ..traffic.matrices import (
+    diagonal_matrix,
+    hotspot_matrix,
+    lognormal_matrix,
+    quasi_diagonal_matrix,
+    scale_to_load,
+    uniform_matrix,
+)
+
+__all__ = [
+    "MATRIX_FAMILIES",
+    "ScenarioSpec",
+    "apply_overrides",
+    "effective_matrix",
+    "load_scenario_file",
+    "matrix_shape",
+    "save_scenario_file",
+]
+
+
+# ---------------------------------------------------------------------------
+# Matrix families (shape functions; scale is normalized away)
+# ---------------------------------------------------------------------------
+
+
+def _stride_shape(n: int, stride: int = 2) -> np.ndarray:
+    """All of input ``i``'s traffic to output ``(i * stride) mod n``.
+
+    For strides that collide (several inputs mapping to one output) the
+    shape oversubscribes columns; rescaling restores admissibility by
+    lowering the per-input rate, leaving maximally concentrated single-VOQ
+    rows — the adversarial case for variable-size striping.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if stride <= 0:
+        raise ValueError("stride must be positive")
+    matrix = np.zeros((n, n))
+    for i in range(n):
+        matrix[i][(i * stride) % n] = 1.0
+    return matrix
+
+
+def _hotspot_shape(n: int, weight: float = 4.0) -> np.ndarray:
+    """Output 0 draws ``weight`` times a uniform output's share of each row."""
+    if weight <= 0:
+        raise ValueError("weight must be positive")
+    return hotspot_matrix(n, 1.0, hotspot_fraction=weight / (weight + n - 1))
+
+
+def _lognormal_shape(n: int, sigma: float = 1.0, seed: int = 7) -> np.ndarray:
+    """Heavy-tailed iid VOQ weights from a spec-pinned internal seed.
+
+    The seed lives in the spec (not the experiment's master seed) so the
+    *shape* is part of the scenario identity: every run of the scenario
+    stresses the same skewed matrix, while traffic randomness still varies
+    with the experiment seed.
+    """
+    return lognormal_matrix(n, 1.0, sigma, np.random.default_rng(seed))
+
+
+#: family name -> shape function ``(n, **params) -> matrix``.
+MATRIX_FAMILIES: Dict[str, Callable[..., np.ndarray]] = {
+    "uniform": lambda n: uniform_matrix(n, 1.0),
+    "diagonal": lambda n: diagonal_matrix(n, 1.0),
+    "quasi-diagonal": lambda n: quasi_diagonal_matrix(n, 1.0),
+    "hotspot": _hotspot_shape,
+    "stride": _stride_shape,
+    "lognormal": _lognormal_shape,
+}
+
+
+def matrix_shape(spec: Mapping, n: int) -> np.ndarray:
+    """Instantiate a matrix-family spec mapping at size ``n``."""
+    family = spec.get("family")
+    if family not in MATRIX_FAMILIES:
+        known = ", ".join(sorted(MATRIX_FAMILIES))
+        raise ValueError(f"unknown matrix family {family!r}; known: {known}")
+    params = {k: v for k, v in spec.items() if k != "family"}
+    return MATRIX_FAMILIES[family](n, **params)
+
+
+# ---------------------------------------------------------------------------
+# The spec itself
+# ---------------------------------------------------------------------------
+
+_SPEC_FIELDS = ("name", "description", "matrix", "schedule", "arrivals",
+                "flows", "drift")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One declarative workload scenario.
+
+    Fields (all serializable primitives / mappings):
+
+    ``matrix``
+        Matrix-family mapping, e.g. ``{"family": "hotspot", "weight": 4}``.
+    ``schedule``
+        Load-schedule mapping (:func:`repro.scenarios.schedules.
+        make_schedule`), e.g. ``{"kind": "sine", "depth": 0.6,
+        "period": 2048}``.
+    ``arrivals``
+        Burstiness model: ``{"kind": "bernoulli"}`` (paper §6 i.i.d.) or
+        ``{"kind": "onoff", "mean_on": 48.0, "duty_floor": 0.75}`` for
+        two-state Markov-modulated bursts.
+    ``flows``
+        Optional application-flow labeling for hashing experiments, e.g.
+        ``{"flows_per_voq": 32, "zipf_exponent": 1.2}``.  Ignored by the
+        batch generator (flow ids never influence non-hashing switches);
+        drawn from a dedicated RNG stream so labeling cannot perturb
+        engine parity.
+    ``drift``
+        Optional matrix-family mapping the traffic matrix morphs toward
+        over the run (:class:`repro.traffic.generator.
+        DriftingDestinations`).
+    """
+
+    name: str
+    description: str = ""
+    matrix: Mapping = field(default_factory=lambda: {"family": "uniform"})
+    schedule: Mapping = field(default_factory=lambda: {"kind": "constant"})
+    arrivals: Mapping = field(default_factory=lambda: {"kind": "bernoulli"})
+    flows: Optional[Mapping] = None
+    drift: Optional[Mapping] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("scenario name must be nonempty")
+        # Fail fast on typo'd families/kinds instead of at build time.
+        if self.matrix.get("family") not in MATRIX_FAMILIES:
+            known = ", ".join(sorted(MATRIX_FAMILIES))
+            raise ValueError(
+                f"scenario {self.name!r}: unknown matrix family "
+                f"{self.matrix.get('family')!r}; known: {known}"
+            )
+        if self.drift is not None and self.drift.get("family") not in MATRIX_FAMILIES:
+            known = ", ".join(sorted(MATRIX_FAMILIES))
+            raise ValueError(
+                f"scenario {self.name!r}: unknown drift family "
+                f"{self.drift.get('family')!r}; known: {known}"
+            )
+        arrival_kind = self.arrivals.get("kind", "bernoulli")
+        if arrival_kind not in ("bernoulli", "onoff"):
+            raise ValueError(
+                f"scenario {self.name!r}: unknown arrival kind "
+                f"{arrival_kind!r}; known: bernoulli, onoff"
+            )
+        if (
+            arrival_kind == "onoff"
+            and self.schedule.get("kind", "constant") != "constant"
+        ):
+            # The on/off process generates its own rate dynamics; a load
+            # schedule on top would be silently ignored by the builder,
+            # so refuse the combination instead of misdescribing the run.
+            raise ValueError(
+                f"scenario {self.name!r}: on/off arrivals cannot be "
+                f"combined with a load schedule (the burst process owns "
+                f"the rate dynamics); drop one of the two"
+            )
+
+    def to_dict(self) -> Dict:
+        """A deep plain-dict form (stable for JSON/TOML/cache keys)."""
+        out: Dict = {
+            "name": self.name,
+            "description": self.description,
+            "matrix": copy.deepcopy(dict(self.matrix)),
+            "schedule": copy.deepcopy(dict(self.schedule)),
+            "arrivals": copy.deepcopy(dict(self.arrivals)),
+        }
+        if self.flows is not None:
+            out["flows"] = copy.deepcopy(dict(self.flows))
+        if self.drift is not None:
+            out["drift"] = copy.deepcopy(dict(self.drift))
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ScenarioSpec":
+        """Inverse of :meth:`to_dict`; rejects unknown keys loudly."""
+        unknown = set(data) - set(_SPEC_FIELDS)
+        if unknown:
+            raise ValueError(
+                f"unknown scenario fields {sorted(unknown)}; "
+                f"expected a subset of {list(_SPEC_FIELDS)}"
+            )
+        return cls(**{k: copy.deepcopy(v) for k, v in data.items()})
+
+
+def effective_matrix(spec: ScenarioSpec, n: int, load: float) -> np.ndarray:
+    """The scenario's time-averaged rate matrix at a target load.
+
+    For drifting scenarios this is the midpoint of the start and end
+    shapes (the linear drift's time average); rescaling the *combined*
+    shape keeps the result admissible for any ``load <= 1``.  This is the
+    matrix used for switch provisioning (Sprinklers' oracle placement) and
+    for the admissibility guarantees the analysis layer assumes.
+    """
+    if load < 0:
+        raise ValueError("load must be nonnegative")
+    shape = matrix_shape(spec.matrix, n)
+    if spec.drift is not None:
+        shape = (shape + matrix_shape(spec.drift, n)) / 2.0
+    return scale_to_load(shape, load)
+
+
+# ---------------------------------------------------------------------------
+# File I/O and CLI overrides
+# ---------------------------------------------------------------------------
+
+
+def load_scenario_file(path: Union[str, Path]) -> ScenarioSpec:
+    """Load a spec from a ``.toml`` or ``.json`` file."""
+    path = Path(path)
+    if path.suffix == ".toml":
+        with open(path, "rb") as handle:
+            data = tomllib.load(handle)
+    elif path.suffix == ".json":
+        with open(path) as handle:
+            data = json.load(handle)
+    else:
+        raise ValueError(
+            f"unsupported scenario file {path.name!r} (want .toml or .json)"
+        )
+    return ScenarioSpec.from_dict(data)
+
+
+def save_scenario_file(spec: ScenarioSpec, path: Union[str, Path]) -> Path:
+    """Write a spec as JSON (the round-trippable interchange form)."""
+    path = Path(path)
+    if path.suffix != ".json":
+        raise ValueError("scenario files are written as .json")
+    path.write_text(json.dumps(spec.to_dict(), indent=2, sort_keys=True))
+    return path
+
+
+def apply_overrides(spec: ScenarioSpec, assignments) -> ScenarioSpec:
+    """Apply CLI ``--set section.key=value`` overrides to a spec.
+
+    Values parse as JSON when possible (numbers, booleans, quoted
+    strings), falling back to the raw string; dotted paths address nested
+    mappings, creating the section (e.g. ``drift``) when absent.
+    """
+    data = spec.to_dict()
+    for assignment in assignments:
+        if "=" not in assignment:
+            raise ValueError(f"override {assignment!r} is not key=value")
+        dotted, raw = assignment.split("=", 1)
+        try:
+            value = json.loads(raw)
+        except json.JSONDecodeError:
+            value = raw
+        keys = dotted.split(".")
+        node = data
+        for key in keys[:-1]:
+            nxt = node.get(key)
+            if nxt is None:
+                nxt = {}
+                node[key] = nxt
+            if not isinstance(nxt, dict):
+                raise ValueError(f"cannot descend into {key!r} of {dotted!r}")
+            node = nxt
+        node[keys[-1]] = value
+    return ScenarioSpec.from_dict(data)

@@ -1,22 +1,31 @@
-"""Experiment orchestration: switch registry and parameter sweeps.
+"""Experiment orchestration: switch registry, scenarios, caching, sweeps.
 
 This is the layer the figure generators and benchmarks sit on: it knows how
 to build every switch in the library from a (size, rate-matrix, seed)
-triple and how to sweep load levels the way the paper's §6 does.
+triple, how to run declarative workload scenarios
+(:mod:`repro.scenarios`) on either engine, how to cache results in the
+experiment store (:mod:`repro.store`), and how to sweep load levels the
+way the paper's §6 does.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+import hashlib
+import math
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from ..core.interval_assignment import PlacementMode, StripeIntervalAssignment
 from ..core.sprinklers_switch import SprinklersSwitch
+from ..scenarios.build import build_batch_traffic, build_traffic
+from ..scenarios.registry import SCENARIOS, resolve_scenario
+from ..scenarios.spec import ScenarioSpec, effective_matrix
 from ..sim.engine import SimulationEngine
 from ..sim.fast_engine import run_single_fast, supports_fast_engine
 from ..sim.metrics import SimulationResult
 from ..sim.rng import derive_seed
+from ..store import ExperimentStore, coerce_store
 from ..switching.baseline import BaselineLoadBalancedSwitch
 from ..switching.cms import CmsSwitch
 from ..switching.foff import FoffSwitch
@@ -35,6 +44,7 @@ __all__ = [
     "build_switch",
     "run_single",
     "delay_vs_load_sweep",
+    "single_run_params",
 ]
 
 #: Simulation engines: the per-packet object model (the auditable
@@ -106,27 +116,67 @@ def build_switch(name: str, n: int, matrix: np.ndarray, seed: int):
     return builder(n, matrix, seed)
 
 
-def run_single(
+def single_run_params(
     switch_name: str,
     matrix: np.ndarray,
     num_slots: int,
-    seed: int = 0,
-    load_label: float = float("nan"),
-    warmup_fraction: float = 0.1,
-    keep_samples: bool = True,
-    engine: str = "object",
-) -> SimulationResult:
-    """Build switch + traffic from a seed and simulate one configuration.
+    seed: int,
+    load_label: float,
+    warmup_fraction: float,
+    keep_samples: bool,
+    engine: str,
+    spec: Optional[ScenarioSpec],
+) -> Dict:
+    """The experiment store's cache-key parameters for one run.
 
-    ``engine="vectorized"`` routes through the NumPy batch engine
-    (:mod:`repro.sim.fast_engine`), which reproduces the object engine's
-    results exactly for the switches it models; switches without a
-    vectorized data path (FOFF, PF, CMS, hashing, adaptive Sprinklers)
-    transparently fall back to the object engine so mixed sweeps keep
-    working.
+    The workload identity is the scenario spec's dict form when the run
+    is declarative, or a SHA-256 digest of the raw matrix bytes for ad-hoc
+    matrices (see EXPERIMENTS.md, "cache-key scheme").  ``load_label``
+    must be the workload-determining load for scenario runs (``run_single``
+    guarantees this by keying on the scenario's target load).
     """
-    _check_engine(engine)
+    if spec is not None:
+        workload: Dict = {"scenario": spec.to_dict()}
+    else:
+        digest = hashlib.sha256(
+            np.ascontiguousarray(matrix, dtype=float).tobytes()
+        ).hexdigest()
+        workload = {"matrix_sha256": digest}
+    return {
+        "schema": 1,
+        "kind": "run_single",
+        "switch": switch_name,
+        "engine": engine,
+        "n": int(matrix.shape[0]),
+        "slots": int(num_slots),
+        "seed": int(seed),
+        "load": float(load_label),
+        "warmup_fraction": float(warmup_fraction),
+        "keep_samples": bool(keep_samples),
+        "workload": workload,
+    }
+
+
+def _execute_single(
+    switch_name: str,
+    matrix: np.ndarray,
+    num_slots: int,
+    seed: int,
+    load_label: float,
+    warmup_fraction: float,
+    keep_samples: bool,
+    engine: str,
+    spec: Optional[ScenarioSpec],
+    spec_load: Optional[float] = None,
+) -> SimulationResult:
+    """The uncached simulation (the store wraps exactly this function)."""
+    n = matrix.shape[0]
     if engine == "vectorized" and supports_fast_engine(switch_name):
+        batch_traffic = (
+            build_batch_traffic(spec, n, spec_load, seed, num_slots)
+            if spec is not None
+            else None
+        )
         return run_single_fast(
             switch_name,
             matrix,
@@ -135,18 +185,97 @@ def run_single(
             load_label=load_label,
             warmup_fraction=warmup_fraction,
             keep_samples=keep_samples,
+            batch_traffic=batch_traffic,
         )
-    n = matrix.shape[0]
     switch = build_switch(switch_name, n, matrix, seed)
-    traffic_rng = np.random.default_rng(derive_seed(seed, "traffic"))
-    traffic = TrafficGenerator(matrix, traffic_rng)
-    engine = SimulationEngine(
+    if spec is not None:
+        traffic = build_traffic(spec, n, spec_load, seed, num_slots)
+    else:
+        traffic_rng = np.random.default_rng(derive_seed(seed, "traffic"))
+        traffic = TrafficGenerator(matrix, traffic_rng)
+    sim = SimulationEngine(
         switch,
         traffic,
         warmup_fraction=warmup_fraction,
         keep_samples=keep_samples,
     )
-    return engine.run(num_slots, load_label=load_label)
+    return sim.run(num_slots, load_label=load_label)
+
+
+def run_single(
+    switch_name: str,
+    matrix: Optional[np.ndarray] = None,
+    num_slots: int = 0,
+    seed: int = 0,
+    load_label: float = float("nan"),
+    warmup_fraction: float = 0.1,
+    keep_samples: bool = True,
+    engine: str = "object",
+    scenario=None,
+    n: Optional[int] = None,
+    load: Optional[float] = None,
+    store: Union[None, str, ExperimentStore] = None,
+) -> SimulationResult:
+    """Build switch + traffic from a seed and simulate one configuration.
+
+    Workload selection — exactly one of:
+
+    * ``matrix`` — an explicit rate matrix (the historical API), or
+    * ``scenario`` with ``n`` and ``load`` — a declarative scenario
+      (registry name, spec file path, dict, or
+      :class:`~repro.scenarios.spec.ScenarioSpec`); the switch is
+      provisioned from the scenario's effective matrix and traffic is
+      built by :mod:`repro.scenarios.build` (identically for both
+      engines).
+
+    ``engine="vectorized"`` routes through the NumPy batch engine
+    (:mod:`repro.sim.fast_engine`), which reproduces the object engine's
+    results exactly for the switches it models; switches without a
+    vectorized data path (FOFF, PF, CMS, hashing, adaptive Sprinklers)
+    transparently fall back to the object engine so mixed sweeps keep
+    working.
+
+    ``store`` (an :class:`~repro.store.ExperimentStore` or its directory
+    path) caches the result content-addressed by the full configuration;
+    a hit skips the simulation entirely.
+    """
+    _check_engine(engine)
+    spec: Optional[ScenarioSpec] = None
+    if scenario is not None:
+        if matrix is not None:
+            raise ValueError("pass either matrix or scenario, not both")
+        spec = resolve_scenario(scenario)
+        if n is None or load is None:
+            raise ValueError("scenario runs require n and load")
+        matrix = effective_matrix(spec, n, load)
+        if math.isnan(load_label):
+            load_label = float(load)
+    elif matrix is None:
+        raise ValueError("need a matrix or a scenario")
+    if num_slots <= 0:
+        raise ValueError("num_slots must be positive")
+
+    spec_load = float(load) if load is not None else None
+    cache = coerce_store(store)
+    if cache is None:
+        return _execute_single(
+            switch_name, matrix, num_slots, seed, load_label,
+            warmup_fraction, keep_samples, engine, spec, spec_load,
+        )
+    params = single_run_params(
+        switch_name, matrix, num_slots, seed,
+        spec_load if spec is not None else load_label,
+        warmup_fraction, keep_samples, engine, spec,
+    )
+    cached = cache.fetch(params)
+    if cached is not None:
+        return cached
+    result = _execute_single(
+        switch_name, matrix, num_slots, seed, load_label,
+        warmup_fraction, keep_samples, engine, spec, spec_load,
+    )
+    cache.save(params, result)
+    return result
 
 
 def delay_vs_load_sweep(
@@ -158,24 +287,43 @@ def delay_vs_load_sweep(
     seed: int = 0,
     keep_samples: bool = False,
     engine: str = "object",
+    store: Union[None, str, ExperimentStore] = None,
 ) -> List[SimulationResult]:
     """The paper's §6 experiment grid: all switches across a load sweep.
 
     ``pattern`` is a :data:`TRAFFIC_PATTERNS` key ("uniform" for Fig. 6,
-    "diagonal" for Fig. 7).  Returns one result per (switch, load).
-    ``engine="vectorized"`` runs each supported switch on the fast batch
-    engine (same seeds, same results, paper-scale wall-clock).
+    "diagonal" for Fig. 7) or any scenario designator accepted by
+    :func:`repro.scenarios.resolve_scenario` (registry name or spec-file
+    path).  Returns one result per (switch, load).  ``engine="vectorized"``
+    runs each supported switch on the fast batch engine (same seeds, same
+    results, paper-scale wall-clock); ``store`` caches every cell so a
+    repeated sweep recomputes nothing.
     """
-    if pattern not in TRAFFIC_PATTERNS:
-        known = ", ".join(sorted(TRAFFIC_PATTERNS))
-        raise ValueError(f"unknown pattern {pattern!r}; known: {known}")
+    spec: Optional[ScenarioSpec] = None
+    is_name = isinstance(pattern, str) and not pattern.endswith(
+        (".toml", ".json")
+    )
+    if is_name and pattern in TRAFFIC_PATTERNS:
+        pass  # the §6 matrix-family path
+    elif is_name and pattern not in SCENARIOS:
+        known = ", ".join(sorted(TRAFFIC_PATTERNS) + sorted(SCENARIOS))
+        raise ValueError(
+            f"unknown pattern {pattern!r}; known patterns and "
+            f"scenarios: {known}"
+        )
+    else:
+        # A registered name, spec file, dict, or ScenarioSpec; file and
+        # validation errors propagate with their own messages.
+        spec = resolve_scenario(pattern)
     _check_engine(engine)
     if switches is None:
         switches = PAPER_SWITCHES
-    make_matrix = TRAFFIC_PATTERNS[pattern]
+    cache = coerce_store(store)
     results: List[SimulationResult] = []
     for load in loads:
-        matrix = make_matrix(n, load)
+        matrix = (
+            TRAFFIC_PATTERNS[pattern](n, load) if spec is None else None
+        )
         for name in switches:
             results.append(
                 run_single(
@@ -186,6 +334,10 @@ def delay_vs_load_sweep(
                     load_label=load,
                     keep_samples=keep_samples,
                     engine=engine,
+                    scenario=spec,
+                    n=n if spec is not None else None,
+                    load=load if spec is not None else None,
+                    store=cache,
                 )
             )
     return results

@@ -609,6 +609,7 @@ def run_single_fast(
     load_label: float = float("nan"),
     warmup_fraction: float = 0.1,
     keep_samples: bool = True,
+    batch_traffic: Optional[BatchTrafficGenerator] = None,
 ) -> SimulationResult:
     """Vectorized counterpart of :func:`repro.sim.experiment.run_single`.
 
@@ -617,6 +618,10 @@ def run_single_fast(
     on every departure), same result schema — different internals: the
     whole run is drawn as one arrival batch and replayed with array
     recursions.
+
+    ``batch_traffic`` substitutes a pre-built packet source (the scenario
+    subsystem passes its nonstationary batch generator here); ``matrix``
+    then only provisions the switch (e.g. Sprinklers' placement).
     """
     if not supports_fast_engine(switch_name):
         known = ", ".join(FAST_ENGINE_SWITCHES)
@@ -630,8 +635,12 @@ def run_single_fast(
         raise ValueError("warmup_fraction must be in [0, 1)")
     matrix = validate_matrix(matrix)
     n = matrix.shape[0]
-    traffic_rng = np.random.default_rng(derive_seed(seed, "traffic"))
-    batch = BatchTrafficGenerator(matrix, traffic_rng).draw(num_slots)
+    if batch_traffic is None:
+        traffic_rng = np.random.default_rng(derive_seed(seed, "traffic"))
+        batch_traffic = BatchTrafficGenerator(matrix, traffic_rng)
+    if batch_traffic.n != n:
+        raise ValueError("batch traffic size does not match matrix")
+    batch = batch_traffic.draw(num_slots)
 
     extras: Optional[Dict[str, float]] = None
     if switch_name == "sprinklers":

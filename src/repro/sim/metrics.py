@@ -206,6 +206,57 @@ class SimulationResult:
             return math.nan
         return self.departed / self.slots
 
+    def to_dict(self) -> Dict:
+        """Full lossless dict form (the experiment store's payload).
+
+        Unlike :meth:`as_row` this captures *everything* needed to
+        reconstruct the result object, including retained delay samples,
+        so a cache hit is indistinguishable from a recomputation.
+        """
+        return {
+            "switch_name": self.switch_name,
+            "n": self.n,
+            "load": self.load,
+            "slots": self.slots,
+            "warmup": self.warmup,
+            "mean_delay": self.mean_delay,
+            "p50_delay": self.p50_delay,
+            "p99_delay": self.p99_delay,
+            "max_delay": self.max_delay,
+            "measured_packets": self.measured_packets,
+            "late_packets": self.late_packets,
+            "max_displacement": self.max_displacement,
+            "injected": self.injected,
+            "departed": self.departed,
+            "extras": dict(self.extras),
+            "delay_samples": list(self._delay_samples),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "SimulationResult":
+        """Rebuild a result from :meth:`to_dict` output (no metrics pass)."""
+        result = cls.__new__(cls)
+        for field in (
+            "switch_name",
+            "n",
+            "load",
+            "slots",
+            "warmup",
+            "mean_delay",
+            "p50_delay",
+            "p99_delay",
+            "max_delay",
+            "measured_packets",
+            "late_packets",
+            "max_displacement",
+            "injected",
+            "departed",
+        ):
+            setattr(result, field, data[field])
+        result.extras = dict(data.get("extras") or {})
+        result._delay_samples = list(data.get("delay_samples") or [])
+        return result
+
     def as_row(self) -> Dict[str, float]:
         """Flatten to a plain dict (for tables / CSV)."""
         row = {

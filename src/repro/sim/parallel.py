@@ -3,17 +3,23 @@
 The §6 grid (patterns x loads x switches) is embarrassingly parallel; this
 module fans :func:`repro.sim.experiment.run_single` out over a process
 pool.  Configurations are fully described by picklable primitives (switch
-name, matrix, seed), so workers rebuild everything locally — no shared
-state, bit-identical to the sequential runner given the same seeds.
+name, matrix or scenario dict, seed, store path), so workers rebuild
+everything locally — no shared state, bit-identical to the sequential
+runner given the same seeds.  When a store directory is set, workers
+share the cache through the filesystem (content addressing makes
+concurrent writes idempotent), so repeated parallel sweeps recompute
+nothing.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
-from typing import List, NamedTuple, Optional, Sequence
+from typing import List, NamedTuple, Optional, Sequence, Union
 
 import numpy as np
 
+from ..scenarios.registry import resolve_scenario
+from ..store import ExperimentStore, store_dir
 from .experiment import TRAFFIC_PATTERNS, PAPER_SWITCHES, run_single
 from .metrics import SimulationResult
 
@@ -24,18 +30,32 @@ class SweepJob(NamedTuple):
     """One (switch, workload) cell of a sweep.
 
     ``engine`` selects the simulation engine per job ("object" or
-    "vectorized"); jobs stay fully described by picklable primitives.
+    "vectorized").  The workload is either an explicit ``matrix`` or a
+    ``scenario`` (spec dict / registry name) with ``n``; ``load_label``
+    doubles as the scenario's target load.  ``store`` is the experiment
+    store's directory path (not the object — jobs stay fully described by
+    picklable primitives).
     """
 
     switch_name: str
-    matrix: np.ndarray
+    matrix: Optional[np.ndarray]
     num_slots: int
     seed: int
     load_label: float
     engine: str = "object"
+    scenario: Optional[object] = None
+    n: Optional[int] = None
+    store: Optional[str] = None
 
 
 def _run_job(job: SweepJob) -> SimulationResult:
+    scenario_args = {}
+    if job.scenario is not None:
+        scenario_args = {
+            "scenario": job.scenario,
+            "n": job.n,
+            "load": job.load_label,
+        }
     return run_single(
         job.switch_name,
         job.matrix,
@@ -44,6 +64,8 @@ def _run_job(job: SweepJob) -> SimulationResult:
         load_label=job.load_label,
         keep_samples=False,
         engine=job.engine,
+        store=job.store,
+        **scenario_args,
     )
 
 
@@ -70,6 +92,7 @@ def parallel_delay_sweep(
     seed: int = 0,
     max_workers: Optional[int] = None,
     engine: str = "object",
+    store: Union[None, str, ExperimentStore] = None,
 ) -> List[SimulationResult]:
     """Parallel version of :func:`repro.sim.experiment.delay_vs_load_sweep`.
 
@@ -77,15 +100,28 @@ def parallel_delay_sweep(
     (verified in tests), in whatever wall-clock the pool allows.  Combine
     ``engine="vectorized"`` with the pool for the fastest paper-scale
     sweeps: vectorization removes the per-packet constant, the pool the
-    per-configuration serialization.
+    per-configuration serialization.  ``pattern`` also accepts scenario
+    designators (registry name or spec file), like the sequential sweep.
     """
-    if pattern not in TRAFFIC_PATTERNS:
-        known = ", ".join(sorted(TRAFFIC_PATTERNS))
-        raise ValueError(f"unknown pattern {pattern!r}; known: {known}")
-    make_matrix = TRAFFIC_PATTERNS[pattern]
-    jobs = [
-        SweepJob(name, make_matrix(n, load), num_slots, seed, load, engine)
-        for load in loads
-        for name in switches
-    ]
+    cache_dir = store_dir(store)
+    if isinstance(pattern, str) and pattern in TRAFFIC_PATTERNS:
+        make_matrix = TRAFFIC_PATTERNS[pattern]
+        jobs = [
+            SweepJob(
+                name, make_matrix(n, load), num_slots, seed, load, engine,
+                store=cache_dir,
+            )
+            for load in loads
+            for name in switches
+        ]
+    else:
+        spec = resolve_scenario(pattern)  # raises with the known names
+        jobs = [
+            SweepJob(
+                name, None, num_slots, seed, load, engine,
+                scenario=spec.to_dict(), n=n, store=cache_dir,
+            )
+            for load in loads
+            for name in switches
+        ]
     return run_jobs(jobs, max_workers=max_workers)

@@ -41,8 +41,8 @@ class ReplicatedResult(NamedTuple):
 
 def replicate(
     switch_name: str,
-    matrix: np.ndarray,
-    num_slots: int,
+    matrix: Optional[np.ndarray] = None,
+    num_slots: int = 0,
     replications: int = 10,
     base_seed: int = 0,
     metric: Callable[[SimulationResult], float] = lambda r: r.mean_delay,
@@ -51,6 +51,10 @@ def replicate(
     load_label: float = float("nan"),
     max_workers: Optional[int] = 1,
     engine: str = "object",
+    scenario=None,
+    n: Optional[int] = None,
+    load: Optional[float] = None,
+    store=None,
 ) -> ReplicatedResult:
     """Run ``replications`` independent seeds of one configuration.
 
@@ -60,6 +64,12 @@ def replicate(
     on the batch engine — identical per-seed results, so identical
     intervals, at paper-scale speed.
 
+    The workload is either an explicit ``matrix`` or a declarative
+    ``scenario`` with ``n`` and ``load`` (see
+    :func:`repro.sim.experiment.run_single`); ``store`` caches each
+    seed's result, so re-running (or widening) a replication study only
+    simulates seeds it has not seen.
+
     >>> from repro.traffic.matrices import uniform_matrix
     >>> res = replicate("load-balanced", uniform_matrix(4, 0.5), 800,
     ...                 replications=3)
@@ -68,9 +78,20 @@ def replicate(
     """
     if replications < 2:
         raise ValueError("need at least 2 replications for an interval")
+    from ..scenarios.registry import resolve_scenario
+    from ..store import store_dir
+
+    scenario_dict = None
+    if scenario is not None:
+        if n is None or load is None:
+            raise ValueError("scenario replications require n and load")
+        scenario_dict = resolve_scenario(scenario).to_dict()
+        # The job's load_label doubles as the scenario's target load.
+        load_label = float(load)
     jobs = [
         SweepJob(
-            switch_name, matrix, num_slots, base_seed + r, load_label, engine
+            switch_name, matrix, num_slots, base_seed + r, load_label,
+            engine, scenario=scenario_dict, n=n, store=store_dir(store),
         )
         for r in range(replications)
     ]

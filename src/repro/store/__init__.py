@@ -1,0 +1,25 @@
+"""Content-addressed experiment store.
+
+Caches :class:`~repro.sim.metrics.SimulationResult` payloads keyed by the
+full simulation configuration — scenario (or matrix digest), switch,
+engine, N, slots, seed, measurement knobs — so re-running an identical
+sweep, replication, or figure performs zero simulation recomputation.
+See :class:`~repro.store.store.ExperimentStore` for the key scheme and
+on-disk layout (documented in EXPERIMENTS.md).
+"""
+
+from .store import (
+    ExperimentStore,
+    cache_key,
+    canonical_params,
+    coerce_store,
+    store_dir,
+)
+
+__all__ = [
+    "ExperimentStore",
+    "cache_key",
+    "canonical_params",
+    "coerce_store",
+    "store_dir",
+]

@@ -1,0 +1,157 @@
+"""The experiment store: content-addressed result caching with a manifest.
+
+Key scheme
+----------
+A run's cache key is ``sha256(canonical_json(params))`` where ``params``
+is the *complete* simulation configuration: a schema version, the switch
+registry name, the engine, N, slots, seed, warm-up fraction, sample
+retention, the load label, and the workload identity — either the
+scenario spec's dict form (declarative workloads are self-describing) or
+a SHA-256 digest of the raw rate matrix bytes (ad-hoc matrices).
+Canonical JSON sorts keys and uses minimal separators, so semantically
+identical configurations hash identically across processes and runs.
+
+On-disk layout (all paths under the store root)::
+
+    objects/<key[:2]>/<key>.json.gz   gzip'd {"params": ..., "result": ...}
+    manifest.jsonl                    one append-only line per stored run
+
+Writes go through a temp file + ``os.replace`` so a crashed run never
+leaves a truncated object behind; corrupt or unreadable objects are
+treated as misses and silently recomputed.  Process-pool workers each
+open the store by path and write independently — content addressing makes
+concurrent writes of the same key idempotent.
+"""
+
+from __future__ import annotations
+
+import gzip
+import hashlib
+import json
+import os
+import time
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from ..sim.metrics import SimulationResult
+
+__all__ = ["ExperimentStore", "cache_key", "canonical_params", "coerce_store"]
+
+#: Bump when the params layout or result payload schema changes; old
+#: entries simply stop matching (no migration needed — it is a cache).
+SCHEMA_VERSION = 1
+
+
+def canonical_params(params: Dict) -> str:
+    """Deterministic JSON for hashing (sorted keys, minimal separators).
+
+    ``allow_nan`` stays on: NaN load labels serialize as the literal
+    ``NaN`` token, which is deterministic even though it is not strict
+    JSON.
+    """
+    return json.dumps(params, sort_keys=True, separators=(",", ":"))
+
+
+def cache_key(params: Dict) -> str:
+    """The content address of a parameter dict."""
+    return hashlib.sha256(canonical_params(params).encode()).hexdigest()
+
+
+class ExperimentStore:
+    """A directory of cached simulation results plus a run manifest."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.objects_dir = self.root / "objects"
+        self.manifest_path = self.root / "manifest.jsonl"
+        self.objects_dir.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def _object_path(self, key: str) -> Path:
+        return self.objects_dir / key[:2] / f"{key}.json.gz"
+
+    def fetch(self, params: Dict) -> Optional[SimulationResult]:
+        """The cached result for ``params``, or None (counted as a miss)."""
+        path = self._object_path(cache_key(params))
+        if not path.exists():
+            self.misses += 1
+            return None
+        try:
+            with gzip.open(path, "rt") as handle:
+                payload = json.load(handle)
+            result = SimulationResult.from_dict(payload["result"])
+        except (OSError, EOFError, ValueError, KeyError):
+            # A corrupt/truncated object is a miss, not an error (gzip
+            # raises EOFError on truncation); the recomputation will
+            # overwrite it atomically.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def save(self, params: Dict, result: SimulationResult) -> Path:
+        """Store a result under its params key; append to the manifest."""
+        key = cache_key(params)
+        path = self._object_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"params": params, "result": result.to_dict()}
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        try:
+            with gzip.open(tmp, "wt") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():  # pragma: no cover - only on write failure
+                tmp.unlink()
+        manifest_line = canonical_params(
+            {
+                "key": key,
+                "created": time.time(),
+                "switch": params.get("switch"),
+                "engine": params.get("engine"),
+                "n": params.get("n"),
+                "slots": params.get("slots"),
+                "seed": params.get("seed"),
+                "scenario": (params.get("workload") or {}).get(
+                    "scenario", {}
+                ).get("name"),
+            }
+        )
+        with open(self.manifest_path, "a") as handle:
+            handle.write(manifest_line + "\n")
+        return path
+
+    def __len__(self) -> int:
+        """Number of stored objects (walks the object tree)."""
+        return sum(1 for _ in self.objects_dir.glob("*/*.json.gz"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ExperimentStore({str(self.root)!r}, hits={self.hits}, "
+            f"misses={self.misses})"
+        )
+
+
+def coerce_store(
+    store: Union[None, str, Path, ExperimentStore]
+) -> Optional[ExperimentStore]:
+    """Accept None, a path, or a store instance at API boundaries."""
+    if store is None or isinstance(store, ExperimentStore):
+        return store
+    return ExperimentStore(store)
+
+
+def store_dir(
+    store: Union[None, str, Path, ExperimentStore]
+) -> Optional[str]:
+    """The inverse of :func:`coerce_store`: a picklable directory string.
+
+    Process-pool jobs carry the store by path (workers reopen it
+    locally); this is the one place that flattening lives.
+    """
+    if store is None:
+        return None
+    if isinstance(store, ExperimentStore):
+        return str(store.root)
+    return str(store)

@@ -1,8 +1,19 @@
 """Workload generation: arrival processes, traffic matrices, packet sources."""
 
-from .arrivals import BernoulliArrivals, OnOffArrivals, TraceArrivals
+from .arrivals import (
+    BernoulliArrivals,
+    ModulatedBernoulliArrivals,
+    OnOffArrivals,
+    TraceArrivals,
+)
 from .batch import ArrivalBatch, BatchTrafficGenerator, bernoulli_batch
-from .generator import FlowModel, TrafficGenerator, bernoulli_traffic
+from .generator import (
+    DriftingDestinations,
+    FlowModel,
+    MatrixDestinations,
+    TrafficGenerator,
+    bernoulli_traffic,
+)
 from .trace_io import read_trace, record_trace, replay_generator, write_trace
 from .matrices import (
     diagonal_matrix,
@@ -19,7 +30,10 @@ __all__ = [
     "ArrivalBatch",
     "BatchTrafficGenerator",
     "BernoulliArrivals",
+    "DriftingDestinations",
     "FlowModel",
+    "MatrixDestinations",
+    "ModulatedBernoulliArrivals",
     "OnOffArrivals",
     "TraceArrivals",
     "TrafficGenerator",

@@ -20,6 +20,7 @@ import numpy as np
 __all__ = [
     "ArrivalProcess",
     "BernoulliArrivals",
+    "ModulatedBernoulliArrivals",
     "OnOffArrivals",
     "TraceArrivals",
 ]
@@ -73,6 +74,60 @@ class BernoulliArrivals(ArrivalProcess):
         return rel_slots + start_slot, inputs
 
 
+class ModulatedBernoulliArrivals(ArrivalProcess):
+    """Bernoulli arrivals under a slot-varying load schedule (nonstationary).
+
+    In slot ``t``, input ``i`` receives a packet with probability
+    ``loads[i] * schedule.multipliers(...)[t]`` — the schedule modulates
+    every input's rate by a common factor in ``[0, 1]``, which is how the
+    scenario subsystem models ramps, daily sines, and step changes in
+    offered load.
+
+    RNG discipline (load-bearing for engine parity): every chunk draws
+    exactly one uniform per (slot, input) — the *same consumption* as
+    :class:`BernoulliArrivals` — and the multiplier only moves the
+    comparison threshold.  Swapping schedules therefore never perturbs the
+    destination draws that follow each chunk, and the object and batch
+    traffic generators stay in lock-step for a fixed seed.
+    """
+
+    def __init__(
+        self,
+        loads: Sequence[float],
+        schedule,
+        rng: np.random.Generator,
+    ) -> None:
+        loads = np.asarray(loads, dtype=float)
+        if loads.ndim != 1:
+            raise ValueError("loads must be a 1-D sequence (one per input)")
+        if np.any((loads < 0) | (loads > 1)):
+            raise ValueError("per-slot arrival probabilities must be in [0, 1]")
+        if not hasattr(schedule, "multipliers"):
+            raise TypeError(
+                "schedule must expose multipliers(start_slot, num_slots)"
+            )
+        self.n = len(loads)
+        self.loads = loads
+        self.schedule = schedule
+        self._rng = rng
+
+    def chunk(self, start_slot: int, num_slots: int) -> Chunk:
+        draws = self._rng.random((num_slots, self.n))
+        mult = np.asarray(
+            self.schedule.multipliers(start_slot, num_slots), dtype=float
+        )
+        if mult.shape != (num_slots,):
+            raise ValueError(
+                f"schedule returned shape {mult.shape}, "
+                f"expected ({num_slots},)"
+            )
+        if np.any((mult < 0) | (mult > 1)):
+            raise ValueError("schedule multipliers must be in [0, 1]")
+        probs = self.loads[None, :] * mult[:, None]
+        rel_slots, inputs = np.nonzero(draws < probs)
+        return rel_slots + start_slot, inputs
+
+
 class OnOffArrivals(ArrivalProcess):
     """Two-state Markov-modulated (bursty) arrivals.
 
@@ -81,6 +136,11 @@ class OnOffArrivals(ArrivalProcess):
     times are geometric with mean ``mean_on`` / ``mean_off`` slots.  The
     long-run arrival rate is ``peak_rate * mean_on / (mean_on + mean_off)``.
 
+    ``peak_rate`` is a scalar (every input equally peaky) or a length-``n``
+    sequence of per-input peaks — required for skewed matrices whose rows
+    carry different total rates, where a shared peak would oversubscribe
+    the lighter inputs' outputs.
+
     Burstiness is the adversary of load balancing; this process lets
     experiments push beyond the paper's i.i.d. assumption.
     """
@@ -88,19 +148,22 @@ class OnOffArrivals(ArrivalProcess):
     def __init__(
         self,
         n: int,
-        peak_rate: float,
+        peak_rate,
         mean_on: float,
         mean_off: float,
         rng: np.random.Generator,
     ) -> None:
         if n <= 0:
             raise ValueError("n must be positive")
-        if not 0.0 <= peak_rate <= 1.0:
+        peak = np.asarray(peak_rate, dtype=float)
+        if peak.ndim not in (0, 1) or (peak.ndim == 1 and len(peak) != n):
+            raise ValueError("peak_rate must be a scalar or one value per input")
+        if np.any((peak < 0.0) | (peak > 1.0)):
             raise ValueError("peak_rate must be in [0, 1]")
         if mean_on < 1.0 or mean_off < 1.0:
             raise ValueError("mean sojourn times must be at least one slot")
         self.n = n
-        self.peak_rate = peak_rate
+        self.peak_rate = peak
         self.p_off = 1.0 / mean_on  # P(on -> off) per slot
         self.p_on = 1.0 / mean_off  # P(off -> on) per slot
         self._rng = rng
@@ -109,8 +172,8 @@ class OnOffArrivals(ArrivalProcess):
         self._state_on = rng.random(n) < p_stationary_on
 
     @property
-    def mean_rate(self) -> float:
-        """Long-run packets/slot per input."""
+    def mean_rate(self):
+        """Long-run packets/slot per input (scalar or per-input array)."""
         return self.peak_rate * self.p_on / (self.p_on + self.p_off)
 
     def chunk(self, start_slot: int, num_slots: int) -> Chunk:

@@ -21,7 +21,11 @@ from typing import List, NamedTuple, Optional
 import numpy as np
 
 from .arrivals import ArrivalProcess, BernoulliArrivals
-from .generator import destination_distributions, draw_destinations
+from .generator import (
+    DestinationSampler,
+    MatrixDestinations,
+    destination_distributions,
+)
 
 __all__ = [
     "ArrivalBatch",
@@ -91,12 +95,18 @@ class BatchTrafficGenerator:
         rng: np.random.Generator,
         arrivals: Optional[ArrivalProcess] = None,
         chunk_slots: int = 4096,
+        destinations: Optional[DestinationSampler] = None,
     ) -> None:
         matrix, row_sums, dest_dists = destination_distributions(matrix)
         self.n = matrix.shape[0]
         self.matrix = matrix
         self._rng = rng
         self._dest_dists = dest_dists
+        self._destinations = (
+            destinations
+            if destinations is not None
+            else MatrixDestinations(dest_dists)
+        )
         if arrivals is None:
             arrivals = BernoulliArrivals(row_sums, rng)
         if arrivals.n != self.n:
@@ -116,9 +126,9 @@ class BatchTrafficGenerator:
         output_parts: List[np.ndarray] = []
         for slots, inputs in self.arrivals.events(num_slots, self.chunk_slots):
             # `np.nonzero` emits chunk events in row-major (slot, input)
-            # order already; destinations come from the same shared helper
+            # order already; destinations come from the same shared sampler
             # (hence the same RNG consumption) as TrafficGenerator.slots().
-            dests = draw_destinations(self._rng, inputs, self._dest_dists, n)
+            dests = self._destinations.draw(self._rng, slots, inputs, n)
             slot_parts.append(np.asarray(slots, dtype=np.int64))
             input_parts.append(np.asarray(inputs, dtype=np.int64))
             output_parts.append(dests)

@@ -23,6 +23,9 @@ from .matrices import validate_matrix
 __all__ = [
     "TrafficGenerator",
     "FlowModel",
+    "DestinationSampler",
+    "MatrixDestinations",
+    "DriftingDestinations",
     "bernoulli_traffic",
     "destination_distributions",
     "draw_destinations",
@@ -78,6 +81,109 @@ def draw_destinations(
     return dests
 
 
+class DestinationSampler:
+    """Strategy for drawing each arrival's destination port.
+
+    Both traffic generators (object and batch) call :meth:`draw` once per
+    arrival chunk with the chunk's ``(slots, inputs)`` arrays.  A sampler
+    defines its own RNG-consumption contract; because the *same* sampler
+    instance type is used by both generators with the same seed, seeded
+    object/vectorized engine parity holds for any sampler, stationary or
+    not.
+    """
+
+    def draw(
+        self,
+        rng: np.random.Generator,
+        slots: np.ndarray,
+        inputs: np.ndarray,
+        n: int,
+    ) -> np.ndarray:
+        """Destination port for each arrival event of one chunk."""
+        raise NotImplementedError
+
+
+class MatrixDestinations(DestinationSampler):
+    """Stationary destinations from a fixed rate matrix (the default).
+
+    Delegates to :func:`draw_destinations`, i.e. the exact historical RNG
+    consumption: one vectorized draw per input present in the chunk,
+    inputs ascending.  Seeded runs predating the sampler abstraction are
+    bit-identical.
+    """
+
+    def __init__(self, dest_dists: List[Optional[np.ndarray]]) -> None:
+        self._dest_dists = dest_dists
+
+    def draw(
+        self,
+        rng: np.random.Generator,
+        slots: np.ndarray,
+        inputs: np.ndarray,
+        n: int,
+    ) -> np.ndarray:
+        return draw_destinations(rng, inputs, self._dest_dists, n)
+
+
+class DriftingDestinations(DestinationSampler):
+    """Nonstationary destinations: row distributions drift linearly in time.
+
+    At slot ``t`` an arrival at input ``i`` draws its destination from the
+    normalized row ``(1 - a) * start[i] + a * end[i]`` with
+    ``a = min(t / horizon, 1)`` — the workload's traffic matrix morphs
+    from ``start_matrix`` to ``end_matrix`` over ``horizon`` slots.  This
+    is the stress case for any scheme (like Sprinklers' oracle placement)
+    provisioned from a stationary rate estimate.
+
+    RNG contract: one uniform per arrival, drawn per input present in the
+    chunk, inputs ascending (mirroring :func:`draw_destinations`), then
+    inverted through the slot-interpolated CDF.
+    """
+
+    def __init__(self, start_matrix, end_matrix, horizon: int) -> None:
+        start_matrix = validate_matrix(start_matrix)
+        end_matrix = validate_matrix(end_matrix)
+        if start_matrix.shape != end_matrix.shape:
+            raise ValueError("start and end matrices must have equal shapes")
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        self.horizon = int(horizon)
+        self._cdf0 = self._row_cdfs(start_matrix)
+        self._cdf1 = self._row_cdfs(end_matrix)
+
+    @staticmethod
+    def _row_cdfs(matrix: np.ndarray) -> np.ndarray:
+        """Per-row CDF right-edges; an all-zero row falls back to uniform."""
+        n = matrix.shape[0]
+        rows = matrix.copy()
+        sums = rows.sum(axis=1)
+        idle = sums == 0
+        rows[idle] = 1.0 / n
+        sums[idle] = 1.0
+        return np.cumsum(rows / sums[:, None], axis=1)
+
+    def draw(
+        self,
+        rng: np.random.Generator,
+        slots: np.ndarray,
+        inputs: np.ndarray,
+        n: int,
+    ) -> np.ndarray:
+        dests = np.empty(len(inputs), dtype=np.int64)
+        for inp in np.unique(inputs):
+            mask = inputs == inp
+            count = int(mask.sum())
+            u = rng.random(count)
+            alpha = np.minimum(slots[mask] / self.horizon, 1.0)
+            edges = (1.0 - alpha)[:, None] * self._cdf0[int(inp)][None, :] + (
+                alpha[:, None] * self._cdf1[int(inp)][None, :]
+            )
+            # A destination is the count of interior right-edges below u;
+            # excluding the final edge (== 1) keeps the result in [0, n).
+            dests[mask] = np.sum(u[:, None] > edges[:, : n - 1], axis=1)
+        return dests
+
+
 class FlowModel:
     """Synthetic application flows inside each VOQ (for hashing demos).
 
@@ -130,6 +236,11 @@ class TrafficGenerator:
         Pass the same dict to successive generators to keep sequence
         numbers (and hence reordering measurements) continuous across
         workload phases.
+    destinations:
+        Optional :class:`DestinationSampler`; defaults to stationary
+        draws from the matrix rows (:class:`MatrixDestinations`).  The
+        scenario subsystem passes :class:`DriftingDestinations` here for
+        nonstationary matrices.
     """
 
     def __init__(
@@ -139,12 +250,18 @@ class TrafficGenerator:
         arrivals: Optional[ArrivalProcess] = None,
         flow_model: Optional[FlowModel] = None,
         seq_state: Optional[Dict[Tuple[int, int], int]] = None,
+        destinations: Optional[DestinationSampler] = None,
     ) -> None:
         matrix, row_sums, dest_dists = destination_distributions(matrix)
         self.n = matrix.shape[0]
         self.matrix = matrix
         self._rng = rng
         self._dest_dists = dest_dists
+        self._destinations = (
+            destinations
+            if destinations is not None
+            else MatrixDestinations(dest_dists)
+        )
         if arrivals is None:
             arrivals = BernoulliArrivals(row_sums, rng)
         if arrivals.n != self.n:
@@ -175,8 +292,8 @@ class TrafficGenerator:
             packets_by_slot: Dict[int, List[Packet]] = {}
             # Draw destinations for the whole chunk (one vectorized call
             # per input present), then build packets input by input.
-            all_dests = draw_destinations(
-                self._rng, inputs, self._dest_dists, self.n
+            all_dests = self._destinations.draw(
+                self._rng, slots, inputs, self.n
             )
             for inp in np.unique(inputs):
                 mask = inputs == inp

@@ -6,12 +6,16 @@ sharing workloads between experiments, and for replaying externally
 captured traces through the switches.
 
 Format: a plain CSV with header ``slot,input,output,flow`` (flow empty for
-unlabelled packets), sorted by slot. Human-diffable on purpose.
+unlabelled packets), sorted by slot. Human-diffable on purpose.  Paths
+ending in ``.gz`` are compressed transparently (write and read), so
+recorded scenario traces can ship in repos and CI artifacts without
+bloat — ``zcat`` still yields the same diffable CSV.
 """
 
 from __future__ import annotations
 
 import csv
+import gzip
 from pathlib import Path
 from typing import Iterable, List, Optional, Tuple, Union
 
@@ -36,10 +40,18 @@ def record_trace(
     return events
 
 
+def _open_trace(path: Union[str, Path], mode: str):
+    """Text handle for a trace file; ``.gz`` suffixes gzip transparently."""
+    if str(path).endswith(".gz"):
+        return gzip.open(path, mode + "t", newline="")
+    return open(path, mode, newline="")
+
+
 def write_trace(path: Union[str, Path], events: Iterable[TraceEvent]) -> int:
-    """Write trace events as CSV; returns the number of events written."""
+    """Write trace events as CSV (gzip'd for ``*.gz`` paths); returns the
+    number of events written."""
     count = 0
-    with open(path, "w", newline="") as handle:
+    with _open_trace(path, "w") as handle:
         writer = csv.writer(handle)
         writer.writerow(["slot", "input", "output", "flow"])
         for slot, inp, out, flow in events:
@@ -49,9 +61,10 @@ def write_trace(path: Union[str, Path], events: Iterable[TraceEvent]) -> int:
 
 
 def read_trace(path: Union[str, Path]) -> List[TraceEvent]:
-    """Read trace events back from CSV (validating the header)."""
+    """Read trace events back from CSV, plain or gzip'd (validating the
+    header)."""
     events: List[TraceEvent] = []
-    with open(path, newline="") as handle:
+    with _open_trace(path, "r") as handle:
         reader = csv.reader(handle)
         header = next(reader, None)
         if header != ["slot", "input", "output", "flow"]:

@@ -71,3 +71,64 @@ class TestCommands:
     def test_bursts_command_parses(self):
         args = build_parser().parse_args(["bursts", "--n", "8"])
         assert args.command == "bursts"
+
+
+class TestScenarioCommands:
+    def test_scenarios_list(self, capsys):
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "paper-uniform" in out
+        assert "mmpp-bursty" in out
+        assert "adversarial-stride" in out
+
+    def test_scenarios_show(self, capsys):
+        assert main(["scenarios", "show", "hotspot-4x"]) == 0
+        out = capsys.readouterr().out
+        assert '"family": "hotspot"' in out
+
+    def test_scenarios_run_both_engines_agree(self, capsys):
+        outputs = {}
+        for engine in ("object", "vectorized"):
+            assert main([
+                "scenarios", "run", "--scenario", "load-ramp",
+                "--switch", "sprinklers", "--n", "4", "--load", "0.6",
+                "--slots", "500", "--engine", engine,
+            ]) == 0
+            out = capsys.readouterr().out
+            outputs[engine] = out.split("\n", 1)[1]  # drop the header line
+        assert "mean_delay" in outputs["object"]
+        assert outputs["object"] == outputs["vectorized"]
+
+    def test_scenarios_run_with_override_and_store(self, tmp_path, capsys):
+        argv = [
+            "scenarios", "run", "--scenario", "load-sine",
+            "--set", "schedule.depth=0.2",
+            "--switch", "ufs", "--n", "4", "--load", "0.5",
+            "--slots", "400", "--engine", "vectorized",
+            "--store", str(tmp_path / "store"),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0  # second run served from the store
+        assert capsys.readouterr().out == first
+        assert (tmp_path / "store" / "manifest.jsonl").exists()
+
+    def test_no_store_wins(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "env-store"))
+        assert main([
+            "scenarios", "run", "--scenario", "paper-uniform",
+            "--switch", "ufs", "--n", "4", "--load", "0.5",
+            "--slots", "300", "--no-store",
+        ]) == 0
+        capsys.readouterr()
+        assert not (tmp_path / "env-store").exists()
+
+    def test_fig6_scenario_csv(self, capsys):
+        assert main([
+            "fig6", "--n", "4", "--slots", "400", "--loads", "0.5",
+            "--scenario", "quasi-diagonal", "--engine", "vectorized",
+            "--csv",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("switch,load,")
+        assert "sprinklers" in out

@@ -1,0 +1,94 @@
+"""Property tests: every registered scenario stays admissible.
+
+The paper's guarantees (Theorems 1-2, the delay model) hold only for
+admissible traffic — no input or output line oversubscribed.  Scenario
+matrix families are arbitrary-shape by design (hotspots and stride
+patterns oversubscribe columns *before* rescaling), so the subsystem's
+contract is that the *effective* matrix — the shape rescaled to the
+target load — is admissible for every registered scenario, every load in
+(0, 1], and every switch size, including the N=2 and load→0 edges.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import example, given, settings
+from hypothesis import strategies as st
+
+from repro.scenarios import (
+    effective_matrix,
+    get_scenario,
+    list_scenarios,
+    matrix_shape,
+)
+from repro.traffic.matrices import is_admissible, scale_to_load
+
+SIZES = (2, 8, 32)
+
+
+@pytest.mark.parametrize("name", list_scenarios())
+@given(
+    load=st.floats(
+        min_value=1e-12,
+        max_value=1.0,
+        allow_nan=False,
+        allow_infinity=False,
+    ),
+    n=st.sampled_from(SIZES),
+)
+@example(load=1e-12, n=2)  # load -> 0 on the smallest switch
+@example(load=1.0, n=32)  # full saturation at paper scale
+@settings(max_examples=40, deadline=None)
+def test_effective_matrix_admissible(name, load, n):
+    matrix = effective_matrix(get_scenario(name), n, load)
+    assert matrix.shape == (n, n)
+    assert np.all(matrix >= 0)
+    assert is_admissible(matrix)
+    # scale_to_load's contract: the binding line sits exactly at `load`.
+    peak = max(matrix.sum(axis=1).max(), matrix.sum(axis=0).max())
+    assert peak == pytest.approx(load, rel=1e-9)
+
+
+@pytest.mark.parametrize("name", list_scenarios())
+@pytest.mark.parametrize("n", SIZES)
+def test_effective_matrix_at_zero_load(name, n):
+    """The load->0 limit itself: an all-zero (trivially admissible) matrix."""
+    matrix = effective_matrix(get_scenario(name), n, 0.0)
+    assert np.all(matrix == 0)
+    assert is_admissible(matrix)
+
+
+@pytest.mark.parametrize("name", list_scenarios())
+@given(n=st.sampled_from(SIZES))
+@settings(max_examples=len(SIZES), deadline=None)
+def test_scenario_shapes_scale_consistently(name, n):
+    """scale_to_load is idempotent on an already-scaled effective matrix."""
+    spec = get_scenario(name)
+    matrix = effective_matrix(spec, n, 0.8)
+    rescaled = scale_to_load(matrix, 0.8)
+    assert np.allclose(matrix, rescaled)
+
+
+@given(
+    load=st.floats(min_value=1e-9, max_value=1.0, allow_nan=False),
+    n=st.sampled_from(SIZES),
+    weight=st.floats(min_value=0.1, max_value=64.0),
+)
+@settings(max_examples=40, deadline=None)
+def test_hotspot_family_admissible_for_any_weight(load, n, weight):
+    """The family behind hotspot-4x, across its whole parameter range."""
+    shape = matrix_shape({"family": "hotspot", "weight": weight}, n)
+    assert is_admissible(scale_to_load(shape, load))
+
+
+@given(
+    load=st.floats(min_value=1e-9, max_value=1.0, allow_nan=False),
+    n=st.sampled_from(SIZES),
+    stride=st.integers(min_value=1, max_value=33),
+)
+@settings(max_examples=40, deadline=None)
+def test_stride_family_admissible_for_any_stride(load, n, stride):
+    """Colliding strides oversubscribe columns pre-scaling; never after."""
+    shape = matrix_shape({"family": "stride", "stride": stride}, n)
+    assert is_admissible(scale_to_load(shape, load))

@@ -1,0 +1,265 @@
+"""The experiment store: keys, round-trip fidelity, zero recomputation.
+
+The acceptance bar is the sweep test: re-running an identical sweep with
+the store enabled performs *zero* simulation recomputation — pinned by
+counting calls into the (monkeypatched) execution layer.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+import repro.sim.experiment as experiment
+from repro.sim.experiment import (
+    delay_vs_load_sweep,
+    run_single,
+    single_run_params,
+)
+from repro.sim.metrics import SimulationResult
+from repro.sim.replication import replicate
+from repro.scenarios import get_scenario
+from repro.store import ExperimentStore, cache_key, coerce_store
+from repro.traffic.matrices import uniform_matrix
+
+from tests.test_scenarios import assert_results_identical
+
+
+def params_for(**overrides):
+    base = dict(
+        switch_name="ufs",
+        matrix=uniform_matrix(4, 0.5),
+        num_slots=500,
+        seed=0,
+        load_label=0.5,
+        warmup_fraction=0.1,
+        keep_samples=True,
+        engine="object",
+        spec=None,
+    )
+    base.update(overrides)
+    return single_run_params(**base)
+
+
+class TestCacheKeys:
+    def test_deterministic(self):
+        assert cache_key(params_for()) == cache_key(params_for())
+
+    def test_every_axis_changes_the_key(self):
+        base = cache_key(params_for())
+        assert cache_key(params_for(seed=1)) != base
+        assert cache_key(params_for(num_slots=600)) != base
+        assert cache_key(params_for(engine="vectorized")) != base
+        assert cache_key(params_for(switch_name="sprinklers")) != base
+        assert cache_key(params_for(keep_samples=False)) != base
+        assert (
+            cache_key(params_for(matrix=uniform_matrix(4, 0.6))) != base
+        )
+
+    def test_scenario_workload_identity(self):
+        spec = get_scenario("paper-uniform")
+        with_spec = params_for(spec=spec)
+        assert with_spec["workload"] == {"scenario": spec.to_dict()}
+        assert cache_key(with_spec) != cache_key(params_for())
+
+    def test_nan_load_label_is_stable(self):
+        a = cache_key(params_for(load_label=float("nan")))
+        b = cache_key(params_for(load_label=float("nan")))
+        assert a == b
+
+
+class TestRoundTrip:
+    def test_result_survives_store(self, tmp_path):
+        store = ExperimentStore(tmp_path)
+        first = run_single(
+            "sprinklers",
+            uniform_matrix(8, 0.7),
+            1000,
+            seed=2,
+            load_label=0.7,
+            store=store,
+        )
+        assert store.hits == 0 and store.misses == 1
+        again = run_single(
+            "sprinklers",
+            uniform_matrix(8, 0.7),
+            1000,
+            seed=2,
+            load_label=0.7,
+            store=store,
+        )
+        assert store.hits == 1
+        assert_results_identical(first, again)
+        # samples survive, so order-sensitive statistics still work
+        assert again.delay_ci().mean == first.delay_ci().mean
+
+    def test_to_dict_from_dict_lossless(self):
+        result = run_single("ufs", uniform_matrix(4, 0.6), 600, seed=1)
+        clone = SimulationResult.from_dict(result.to_dict())
+        assert_results_identical(result, clone)
+        assert clone.is_ordered == result.is_ordered
+        assert clone.throughput == result.throughput
+
+    def test_corrupt_object_is_a_miss(self, tmp_path):
+        store = ExperimentStore(tmp_path)
+        run_single("ufs", uniform_matrix(4, 0.5), 300, store=store)
+        (obj,) = list(store.objects_dir.glob("*/*.json.gz"))
+        obj.write_bytes(b"not gzip at all")
+        result = run_single("ufs", uniform_matrix(4, 0.5), 300, store=store)
+        assert result.measured_packets > 0
+        assert store.hits == 0
+
+    def test_truncated_object_is_a_miss(self, tmp_path):
+        # gzip raises EOFError (not OSError) on truncation — e.g. a
+        # partially copied store directory; it must read as a miss.
+        store = ExperimentStore(tmp_path)
+        expected = run_single("ufs", uniform_matrix(4, 0.5), 300, store=store)
+        (obj,) = list(store.objects_dir.glob("*/*.json.gz"))
+        obj.write_bytes(obj.read_bytes()[:-8])
+        result = run_single("ufs", uniform_matrix(4, 0.5), 300, store=store)
+        assert store.hits == 0
+        assert result.mean_delay == expected.mean_delay
+
+    def test_manifest_lines_appended(self, tmp_path):
+        store = ExperimentStore(tmp_path)
+        run_single(
+            "ufs",
+            scenario="paper-uniform",
+            n=4,
+            load=0.5,
+            num_slots=300,
+            store=store,
+        )
+        lines = store.manifest_path.read_text().splitlines()
+        assert len(lines) == 1
+        assert '"scenario":"paper-uniform"' in lines[0]
+
+    def test_coerce_store(self, tmp_path):
+        assert coerce_store(None) is None
+        store = coerce_store(tmp_path / "s")
+        assert isinstance(store, ExperimentStore)
+        assert coerce_store(store) is store
+
+
+class TestZeroRecompute:
+    """The acceptance criterion: cached sweeps simulate nothing."""
+
+    @pytest.fixture()
+    def counting_execute(self, monkeypatch):
+        calls = []
+        real = experiment._execute_single
+
+        def counted(*args, **kwargs):
+            calls.append(args[0])
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(experiment, "_execute_single", counted)
+        return calls
+
+    @pytest.mark.parametrize("engine", ["object", "vectorized"])
+    def test_identical_sweep_recomputes_nothing(
+        self, tmp_path, counting_execute, engine
+    ):
+        kwargs = dict(
+            n=8,
+            loads=[0.3, 0.7],
+            num_slots=600,
+            switches=["sprinklers", "ufs", "load-balanced"],
+            seed=0,
+            engine=engine,
+            store=tmp_path,
+        )
+        first = delay_vs_load_sweep("paper-uniform", **kwargs)
+        assert len(counting_execute) == 6
+        counting_execute.clear()
+        second = delay_vs_load_sweep("paper-uniform", **kwargs)
+        assert counting_execute == []  # zero simulation recomputation
+        for a, b in zip(first, second):
+            assert_results_identical(a, b)
+
+    def test_widening_a_sweep_computes_only_new_cells(
+        self, tmp_path, counting_execute
+    ):
+        base = dict(
+            n=8,
+            num_slots=500,
+            switches=["ufs"],
+            engine="vectorized",
+            store=tmp_path,
+        )
+        delay_vs_load_sweep("paper-uniform", loads=[0.3, 0.5], **base)
+        counting_execute.clear()
+        delay_vs_load_sweep("paper-uniform", loads=[0.3, 0.5, 0.9], **base)
+        assert counting_execute == ["ufs"]  # only the 0.9 cell ran
+
+    def test_replication_cache(self, tmp_path, counting_execute):
+        kwargs = dict(
+            scenario="mmpp-bursty",
+            n=8,
+            load=0.6,
+            num_slots=500,
+            replications=3,
+            engine="vectorized",
+            store=tmp_path,
+        )
+        first = replicate("sprinklers", **kwargs)
+        counting_execute.clear()
+        second = replicate("sprinklers", **kwargs)
+        assert counting_execute == []
+        assert first.values == second.values
+
+    def test_matrix_vs_scenario_do_not_collide(
+        self, tmp_path, counting_execute
+    ):
+        # Same (switch, n, load, slots, seed) but different workload
+        # identities must occupy distinct cache entries.
+        run_single(
+            "ufs",
+            uniform_matrix(8, 0.5),
+            400,
+            load_label=0.5,
+            store=tmp_path,
+        )
+        run_single(
+            "ufs",
+            scenario="paper-uniform",
+            n=8,
+            load=0.5,
+            num_slots=400,
+            store=tmp_path,
+        )
+        assert len(counting_execute) == 2
+
+
+class TestStoreDoesNotChangeResults:
+    def test_store_transparent_for_sweep(self, tmp_path):
+        plain = delay_vs_load_sweep(
+            "quasi-diagonal",
+            n=8,
+            loads=[0.5],
+            num_slots=500,
+            switches=["sprinklers"],
+            engine="vectorized",
+        )
+        stored = delay_vs_load_sweep(
+            "quasi-diagonal",
+            n=8,
+            loads=[0.5],
+            num_slots=500,
+            switches=["sprinklers"],
+            engine="vectorized",
+            store=tmp_path,
+        )
+        cached = delay_vs_load_sweep(
+            "quasi-diagonal",
+            n=8,
+            loads=[0.5],
+            num_slots=500,
+            switches=["sprinklers"],
+            engine="vectorized",
+            store=tmp_path,
+        )
+        assert_results_identical(plain[0], stored[0])
+        assert_results_identical(plain[0], cached[0])

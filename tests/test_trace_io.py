@@ -51,6 +51,32 @@ class TestRoundTrip:
         with pytest.raises(ValueError):
             read_trace(path)
 
+    def test_gzip_round_trip(self, tmp_path):
+        """*.csv.gz traces round-trip transparently (and really compress)."""
+        events = make_events(slots=2000)
+        plain = tmp_path / "trace.csv"
+        packed = tmp_path / "trace.csv.gz"
+        assert write_trace(plain, events) == write_trace(packed, events)
+        assert read_trace(packed) == events
+        assert read_trace(packed) == read_trace(plain)
+        # It must actually be gzip (magic bytes), and meaningfully smaller.
+        raw = packed.read_bytes()
+        assert raw[:2] == b"\x1f\x8b"
+        assert len(raw) < plain.stat().st_size / 2
+
+    def test_gzip_content_is_the_same_csv(self, tmp_path):
+        import gzip
+
+        events = make_events(slots=50)
+        plain = tmp_path / "t.csv"
+        packed = tmp_path / "t.csv.gz"
+        write_trace(plain, events)
+        write_trace(packed, events)
+        with gzip.open(packed, "rt", newline="") as handle:
+            unpacked = handle.read()
+        with open(plain, newline="") as handle:
+            assert unpacked == handle.read()
+
 
 class TestReplay:
     def test_replay_produces_identical_packets(self):
