@@ -14,7 +14,7 @@ from repro.core.latin import weakly_uniform_ols
 from repro.core.lsf import LsfInputScheduler
 from repro.core.sprinklers_switch import SprinklersSwitch
 from repro.core.striping import Stripe
-from repro.sim.experiment import build_switch
+from repro import models
 from repro.switching.packet import Packet
 from repro.traffic.generator import TrafficGenerator
 from repro.traffic.matrices import uniform_matrix
@@ -71,7 +71,7 @@ def test_sprinklers_slot_rate(benchmark):
 def test_baseline_slot_rate(benchmark, name):
     """Per-slot cost of each baseline switch at N=32, 80% load."""
     matrix = uniform_matrix(32, 0.8)
-    switch = build_switch(name, 32, matrix, seed=0)
+    switch = models.build(name, 32, matrix, seed=0)
     traffic = TrafficGenerator(matrix, np.random.default_rng(1))
     stream = list(traffic.slots(4000))
     cursor = {"i": 0}

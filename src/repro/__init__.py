@@ -29,6 +29,8 @@ from .core.interval_assignment import PlacementMode, StripeIntervalAssignment
 from .core.latin import weakly_uniform_ols
 from .core.sprinklers_switch import SprinklersSwitch
 from .core.striping import Stripe, StripeAssembler, stripe_size_for_rate
+from .models import Capability, SwitchModel
+from .models import register as register_switch_model
 from .sim.engine import SimulationEngine, simulate
 from .sim.experiment import delay_vs_load_sweep, run_single
 from .sim.fast_engine import run_single_fast
@@ -51,6 +53,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BaselineLoadBalancedSwitch",
+    "Capability",
     "DyadicInterval",
     "ExperimentStore",
     "FoffSwitch",
@@ -65,6 +68,7 @@ __all__ = [
     "Stripe",
     "StripeAssembler",
     "StripeIntervalAssignment",
+    "SwitchModel",
     "TcpHashingSwitch",
     "TrafficGenerator",
     "UfsSwitch",
@@ -72,6 +76,7 @@ __all__ = [
     "dyadic_interval_for",
     "get_scenario",
     "list_scenarios",
+    "register_switch_model",
     "run_single",
     "run_single_fast",
     "simulate",

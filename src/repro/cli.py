@@ -11,6 +11,9 @@ Usage (also installed as the ``sprinklers`` console script)::
     python -m repro bounds --rho 0.93 --n 2048
     python -m repro scenarios list
     python -m repro scenarios run --scenario hotspot-4x --switch sprinklers
+    python -m repro switches list --engine vectorized
+    python -m repro store stats
+    python -m repro store gc --max-age-days 30 --max-size-mb 512
 
 Figure commands accept ``--csv`` to emit machine-readable rows instead of
 the rendered table/chart.  Simulation commands accept ``--store [DIR]``
@@ -25,12 +28,14 @@ import os
 import sys
 from typing import List, Optional
 
+from . import models
 from .analysis.chernoff import overload_probability_bound, switch_wide_bound
 from .figures import fig5, fig6, fig7, table1
 from .figures.delay_figures import DEFAULT_LOADS
 from .figures.render import rows_to_csv
+from .models import PAPER_SWITCHES
 from .scenarios import apply_overrides, list_scenarios, resolve_scenario
-from .sim.experiment import ENGINES, PAPER_SWITCHES, SWITCH_BUILDERS, run_single
+from .sim.experiment import ENGINES, run_single
 from .traffic.matrices import uniform_matrix
 
 __all__ = ["main", "build_parser"]
@@ -183,7 +188,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--switch",
         default="sprinklers",
-        choices=sorted(SWITCH_BUILDERS),
+        choices=models.available(),
     )
     run.add_argument("--n", type=int, default=16, help="switch size")
     run.add_argument("--load", type=float, default=0.8, help="target load")
@@ -202,6 +207,58 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     _add_store_flags(run)
+
+    switches = sub.add_parser(
+        "switches",
+        help="the switch-model registry (repro.models)",
+    )
+    switches_sub = switches.add_subparsers(dest="switches_command", required=True)
+    sw_list = switches_sub.add_parser("list", help="list registered switches")
+    sw_list.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default=None,
+        help="only switches this engine runs natively (vectorized = has "
+        "an exact kernel)",
+    )
+    sw_show = switches_sub.add_parser(
+        "show", help="one switch's capabilities, engines, and parameters"
+    )
+    sw_show.add_argument("name", help="registry name or alias")
+
+    store = sub.add_parser(
+        "store",
+        help="inspect and prune the experiment store",
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    st_stats = store_sub.add_parser(
+        "stats", help="entry count, size, and manifest hit rate"
+    )
+    st_gc = store_sub.add_parser(
+        "gc", help="prune cached results by age and/or total size"
+    )
+    st_gc.add_argument(
+        "--max-age-days",
+        type=float,
+        default=None,
+        help="remove objects older than this many days",
+    )
+    st_gc.add_argument(
+        "--max-size-mb",
+        type=float,
+        default=None,
+        help="then remove oldest objects until the store fits this size",
+    )
+    for p in (st_stats, st_gc):
+        p.add_argument(
+            "--store",
+            default=None,
+            metavar="DIR",
+            help=(
+                "store directory (default $REPRO_STORE_DIR or "
+                f"{DEFAULT_STORE_DIR!r})"
+            ),
+        )
 
     return parser
 
@@ -267,6 +324,103 @@ def _cmd_scenarios(args: argparse.Namespace) -> str:
     )
 
 
+def _cmd_switches(args: argparse.Namespace) -> str:
+    if args.switches_command == "list":
+        names = models.available(engine=args.engine)
+        lines = [f"{'switch':20s} {'engines':20s} capabilities"]
+        for name in names:
+            model = models.get(name)
+            engines = (
+                "object+vectorized" if model.kernel is not None else "object"
+            )
+            caps = ", ".join(sorted(c.value for c in model.capabilities)) or "-"
+            lines.append(f"{name:20s} {engines:20s} {caps}")
+        if args.engine == "vectorized":
+            lines.append(
+                "\nswitches without a kernel fall back to the object "
+                "engine in mixed sweeps"
+            )
+        return "\n".join(lines)
+    if args.switches_command == "show":
+        model = models.get(args.name)
+        lines = [
+            f"name          {model.name}",
+            f"reported as   {model.reported_name}",
+            f"aliases       {', '.join(model.aliases) or '-'}",
+            f"engines       "
+            f"{'object, vectorized' if model.kernel is not None else 'object'}",
+            f"capabilities  "
+            f"{', '.join(sorted(c.value for c in model.capabilities)) or '-'}",
+            f"description   {model.description}",
+        ]
+        if model.params:
+            lines.append("parameters:")
+            for param in model.params:
+                lines.append(
+                    f"  {param.name:14s} {param.type.__name__:6s} "
+                    f"default={param.default!r}  {param.doc}"
+                )
+        return "\n".join(lines)
+    raise AssertionError(  # pragma: no cover - argparse enforces choices
+        f"unhandled switches command {args.switches_command}"
+    )
+
+
+def _cmd_store(args: argparse.Namespace) -> str:
+    from .store import ExperimentStore
+
+    directory = (
+        args.store
+        or os.environ.get("REPRO_STORE_DIR")
+        or DEFAULT_STORE_DIR
+    )
+    if not os.path.isdir(directory):
+        return f"no experiment store at {directory!r} (nothing to report)"
+    store = ExperimentStore(directory)
+    if args.store_command == "stats":
+        stats = store.stats()
+        lines = [
+            f"store {directory}",
+            f"  entries      {stats.entries}",
+            f"  size         {stats.total_bytes / 1e6:.2f} MB",
+            f"  saves        {stats.saves}",
+            f"  hits         {stats.hits}",
+        ]
+        if stats.hits + stats.saves:
+            lines.append(f"  hit rate     {stats.hit_rate:.1%}")
+        else:
+            lines.append("  hit rate     n/a (empty manifest)")
+        if stats.oldest is not None:
+            import datetime
+
+            fmt = lambda ts: datetime.datetime.fromtimestamp(ts).isoformat(  # noqa: E731
+                sep=" ", timespec="seconds"
+            )
+            lines.append(f"  oldest save  {fmt(stats.oldest)}")
+            lines.append(f"  newest save  {fmt(stats.newest)}")
+        return "\n".join(lines)
+    if args.store_command == "gc":
+        report = store.gc(
+            max_age_seconds=(
+                args.max_age_days * 86400.0
+                if args.max_age_days is not None
+                else None
+            ),
+            max_total_bytes=(
+                int(args.max_size_mb * 1e6)
+                if args.max_size_mb is not None
+                else None
+            ),
+        )
+        return (
+            f"store {directory}: removed {report.removed} objects "
+            f"({report.bytes_freed / 1e6:.2f} MB), kept {report.kept}"
+        )
+    raise AssertionError(  # pragma: no cover - argparse enforces choices
+        f"unhandled store command {args.store_command}"
+    )
+
+
 def _cmd_demo(args: argparse.Namespace) -> str:
     matrix = uniform_matrix(args.n, args.load)
     lines = [
@@ -319,15 +473,13 @@ def _cmd_balance(args: argparse.Namespace) -> str:
 def _cmd_validate(args: argparse.Namespace) -> tuple:
     """Quick invariant sweep over every registered switch; returns
     ``(report_text, ok)``."""
-    from .sim.experiment import SWITCH_BUILDERS, run_single
-
     matrix = uniform_matrix(args.n, 0.8)
     lines = [
         f"Self-check: N={args.n}, uniform load 0.8, {args.slots} slots",
         f"{'switch':20s} {'delivered':>9s} {'ordered':>8s} {'verdict':>8s}",
     ]
     ok = True
-    for name in sorted(SWITCH_BUILDERS):
+    for name in models.available():
         result = run_single(
             name, matrix, args.slots, seed=args.seed, keep_samples=False
         )
@@ -382,6 +534,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
     elif args.command == "scenarios":
         output = _cmd_scenarios(args)
+    elif args.command == "switches":
+        output = _cmd_switches(args)
+    elif args.command == "store":
+        output = _cmd_store(args)
     elif args.command == "validate":
         output, ok = _cmd_validate(args)
         print(output)

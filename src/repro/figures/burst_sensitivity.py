@@ -15,8 +15,8 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
+from .. import models
 from ..sim.engine import SimulationEngine
-from ..sim.experiment import build_switch
 from ..sim.metrics import SimulationResult
 from ..sim.rng import derive_seed
 from ..traffic.arrivals import OnOffArrivals
@@ -50,7 +50,7 @@ def _run_one(
     )
     matrix = uniform_matrix(n, min(0.999, arrivals.mean_rate))
     traffic = TrafficGenerator(matrix, rng, arrivals=arrivals)
-    switch = build_switch(switch_name, n, matrix, seed)
+    switch = models.build(switch_name, n, matrix, seed)
     engine = SimulationEngine(switch, traffic, keep_samples=False)
     return engine.run(num_slots, load_label=load)
 

@@ -14,7 +14,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence
 
-from ..sim.experiment import PAPER_SWITCHES, delay_vs_load_sweep
+from ..models import PAPER_SWITCHES
+from ..sim.experiment import delay_vs_load_sweep
 from .render import ascii_log_chart, format_table
 
 __all__ = ["generate", "render", "DEFAULT_LOADS"]

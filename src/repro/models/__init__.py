@@ -1,0 +1,78 @@
+"""First-class switch-model plugin API.
+
+One registry for everything the system knows about a switch algorithm:
+
+* the **object-engine builder** ``(n, matrix, seed, **params) -> switch``;
+* the optional **vectorized kernel** ``(batch, matrix, seed) ->
+  (Departures, extras)`` the batch engine dispatches to;
+* a declared **capability set** (:class:`Capability`: exact-replay vs
+  feedback-coupled, supports-drift, supports-adaptive);
+* a **parameter schema** (:class:`ParamSpec`) for constructor knobs.
+
+Usage::
+
+    from repro import models
+
+    model = models.get("sprinklers")
+    switch = model.build(32, matrix, seed=0)
+    models.available(engine="vectorized")
+    # ('foff', 'load-balanced', 'output-queued', 'pf', 'sprinklers', 'ufs')
+
+Registering a custom switch::
+
+    models.register(models.SwitchModel(
+        name="my-switch",
+        builder=lambda n, matrix, seed: MySwitch(n),
+        capabilities={models.Capability.SUPPORTS_DRIFT},
+    ))
+
+Third-party packages can instead expose a ``repro.switch_models`` entry
+point resolving to a :class:`SwitchModel` (or a factory / list thereof);
+the registry discovers those lazily on first use.
+
+The legacy names (``repro.sim.experiment.SWITCH_BUILDERS`` /
+``build_switch``, ``repro.sim.fast_engine.supports_fast_engine`` /
+``FAST_ENGINE_SWITCHES``) remain as deprecation shims backed by this
+registry.
+"""
+
+from .model import Capability, ParamSpec, SwitchModel
+from .registry import (
+    ENTRY_POINT_GROUP,
+    available,
+    build,
+    canonical_name,
+    discover_entry_points,
+    get,
+    register,
+)
+
+#: The five curves of the paper's Figs. 6-7, in the paper's legend order.
+#: Defined here (not in .builtin) so the layers that import it during
+#: package initialization — sim.experiment, sim.parallel, the figures —
+#: find it on the partially initialized module while .builtin below pulls
+#: those very layers in for the kernels.
+PAPER_SWITCHES = (
+    "load-balanced",
+    "ufs",
+    "foff",
+    "pf",
+    "sprinklers",
+)
+
+# Importing the built-ins registers them.
+from . import builtin as _builtin  # noqa: E402,F401
+
+__all__ = [
+    "Capability",
+    "ENTRY_POINT_GROUP",
+    "PAPER_SWITCHES",
+    "ParamSpec",
+    "SwitchModel",
+    "available",
+    "build",
+    "canonical_name",
+    "discover_entry_points",
+    "get",
+    "register",
+]

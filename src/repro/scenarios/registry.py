@@ -196,6 +196,21 @@ register_scenario(ScenarioSpec(
 ))
 
 register_scenario(ScenarioSpec(
+    name="incast",
+    description=(
+        "Fan-in incast: every input sends most of its traffic to one hot "
+        "output (8x a uniform share) in synchronized on/off bursts (mean "
+        "32 slots at a 50% duty floor). During an episode the hot "
+        "output's intermediate-stage class is offered roughly twice its "
+        "service rate, so the fan-in backlog spikes and drains — the "
+        "datacenter incast pattern, stressing stage-2 queues, FOFF's "
+        "resequencers and PF's padding under clumped arrivals at once."
+    ),
+    matrix={"family": "hotspot", "weight": 8.0},
+    arrivals={"kind": "onoff", "mean_on": 32.0, "duty_floor": 0.5},
+))
+
+register_scenario(ScenarioSpec(
     name="adversarial-stride",
     description=(
         "Each input concentrates all traffic on output (2i mod N): "

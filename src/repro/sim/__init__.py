@@ -4,17 +4,11 @@ from .engine import SimulationEngine, simulate
 from .experiment import (
     ENGINES,
     PAPER_SWITCHES,
-    SWITCH_BUILDERS,
     TRAFFIC_PATTERNS,
-    build_switch,
     delay_vs_load_sweep,
     run_single,
 )
-from .fast_engine import (
-    FAST_ENGINE_SWITCHES,
-    run_single_fast,
-    supports_fast_engine,
-)
+from .fast_engine import run_single_fast
 from .metrics import DelayStats, SimulationMetrics, SimulationResult
 from .parallel import SweepJob, parallel_delay_sweep, run_jobs
 from .replication import ReplicatedResult, replicate
@@ -50,3 +44,22 @@ __all__ = [
     "supports_fast_engine",
     "spawn_generator",
 ]
+
+#: Deprecated re-exports, resolved lazily so that importing ``repro.sim``
+#: does not itself emit DeprecationWarnings; accessing any of these names
+#: warns once at the access site (the shims live in their home modules).
+_DEPRECATED = {
+    "SWITCH_BUILDERS": "experiment",
+    "build_switch": "experiment",
+    "FAST_ENGINE_SWITCHES": "fast_engine",
+    "supports_fast_engine": "fast_engine",
+}
+
+
+def __getattr__(name: str):
+    if name in _DEPRECATED:
+        from importlib import import_module
+
+        module = import_module(f".{_DEPRECATED[name]}", __name__)
+        return getattr(module, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

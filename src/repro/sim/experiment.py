@@ -1,38 +1,35 @@
-"""Experiment orchestration: switch registry, scenarios, caching, sweeps.
+"""Experiment orchestration: engines, scenarios, caching, sweeps.
 
-This is the layer the figure generators and benchmarks sit on: it knows how
-to build every switch in the library from a (size, rate-matrix, seed)
-triple, how to run declarative workload scenarios
-(:mod:`repro.scenarios`) on either engine, how to cache results in the
-experiment store (:mod:`repro.store`), and how to sweep load levels the
-way the paper's §6 does.
+This is the layer the figure generators and benchmarks sit on: it knows
+how to run any registered switch (:mod:`repro.models`) on either engine,
+how to run declarative workload scenarios (:mod:`repro.scenarios`), how
+to cache results in the experiment store (:mod:`repro.store`), and how
+to sweep load levels the way the paper's §6 does.
+
+Switch resolution goes through the switch-model registry exclusively;
+the historical names ``SWITCH_BUILDERS`` and ``build_switch`` remain as
+deprecation shims backed by it (see the module ``__getattr__`` below).
 """
 
 from __future__ import annotations
 
 import hashlib
 import math
+import warnings
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
-from ..core.interval_assignment import PlacementMode, StripeIntervalAssignment
-from ..core.sprinklers_switch import SprinklersSwitch
+from .. import models
+from ..models import PAPER_SWITCHES
 from ..scenarios.build import build_batch_traffic, build_traffic
 from ..scenarios.registry import SCENARIOS, resolve_scenario
 from ..scenarios.spec import ScenarioSpec, effective_matrix
 from ..sim.engine import SimulationEngine
-from ..sim.fast_engine import run_single_fast, supports_fast_engine
+from ..sim.fast_engine import run_single_fast
 from ..sim.metrics import SimulationResult
 from ..sim.rng import derive_seed
 from ..store import ExperimentStore, coerce_store
-from ..switching.baseline import BaselineLoadBalancedSwitch
-from ..switching.cms import CmsSwitch
-from ..switching.foff import FoffSwitch
-from ..switching.hashing import TcpHashingSwitch
-from ..switching.output_queued import OutputQueuedSwitch
-from ..switching.pf import PaddedFramesSwitch
-from ..switching.ufs import UfsSwitch
 from ..traffic.generator import TrafficGenerator
 from ..traffic.matrices import diagonal_matrix, uniform_matrix
 
@@ -59,45 +56,6 @@ def _check_engine(engine: str) -> None:
         known = ", ".join(ENGINES)
         raise ValueError(f"unknown engine {engine!r}; known: {known}")
 
-SwitchBuilder = Callable[[int, np.ndarray, int], object]
-
-
-def _build_sprinklers(n: int, matrix: np.ndarray, seed: int) -> SprinklersSwitch:
-    rng = np.random.default_rng(derive_seed(seed, "sprinklers-placement"))
-    assignment = StripeIntervalAssignment(matrix, rng=rng, mode=PlacementMode.OLS)
-    return SprinklersSwitch(assignment)
-
-
-def _build_sprinklers_adaptive(
-    n: int, matrix: np.ndarray, seed: int
-) -> SprinklersSwitch:
-    rng = np.random.default_rng(derive_seed(seed, "sprinklers-placement"))
-    # Adaptive mode starts from the oracle assignment but re-sizes online.
-    assignment = StripeIntervalAssignment(matrix, rng=rng, mode=PlacementMode.OLS)
-    return SprinklersSwitch(assignment, adaptive=True)
-
-
-#: Everything the library can simulate, by name.
-SWITCH_BUILDERS: Dict[str, SwitchBuilder] = {
-    "load-balanced": lambda n, m, s: BaselineLoadBalancedSwitch(n),
-    "ufs": lambda n, m, s: UfsSwitch(n),
-    "foff": lambda n, m, s: FoffSwitch(n),
-    "pf": lambda n, m, s: PaddedFramesSwitch(n),
-    "sprinklers": _build_sprinklers,
-    "sprinklers-adaptive": _build_sprinklers_adaptive,
-    "tcp-hashing": lambda n, m, s: TcpHashingSwitch(n, salt=s),
-    "cms": lambda n, m, s: CmsSwitch(n),
-    "output-queued": lambda n, m, s: OutputQueuedSwitch(n),
-}
-
-#: The five curves of the paper's Figs. 6-7, in the paper's legend order.
-PAPER_SWITCHES: Sequence[str] = (
-    "load-balanced",
-    "ufs",
-    "foff",
-    "pf",
-    "sprinklers",
-)
 
 #: The two workload patterns of the paper's §6.
 TRAFFIC_PATTERNS: Dict[str, Callable[[int, float], np.ndarray]] = {
@@ -107,13 +65,34 @@ TRAFFIC_PATTERNS: Dict[str, Callable[[int, float], np.ndarray]] = {
 
 
 def build_switch(name: str, n: int, matrix: np.ndarray, seed: int):
-    """Instantiate a switch by registry name."""
-    try:
-        builder = SWITCH_BUILDERS[name]
-    except KeyError:
-        known = ", ".join(sorted(SWITCH_BUILDERS))
-        raise ValueError(f"unknown switch {name!r}; known: {known}") from None
-    return builder(n, matrix, seed)
+    """Instantiate a switch by registry name.
+
+    .. deprecated::
+        Use ``repro.models.build(name, n, matrix, seed)`` (or
+        ``repro.models.get(name).build(...)`` for parameterized builds).
+    """
+    warnings.warn(
+        "build_switch is deprecated; use repro.models.build / "
+        "repro.models.get(name).build",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return models.build(name, n, matrix, seed)
+
+
+def __getattr__(name: str):
+    if name == "SWITCH_BUILDERS":
+        warnings.warn(
+            "SWITCH_BUILDERS is deprecated; use repro.models.available() "
+            "and repro.models.get(name).build",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return {
+            switch: models.get(switch).builder
+            for switch in models.available()
+        }
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def single_run_params(
@@ -126,6 +105,7 @@ def single_run_params(
     keep_samples: bool,
     engine: str,
     spec: Optional[ScenarioSpec],
+    switch_params: Optional[Dict] = None,
 ) -> Dict:
     """The experiment store's cache-key parameters for one run.
 
@@ -142,7 +122,7 @@ def single_run_params(
             np.ascontiguousarray(matrix, dtype=float).tobytes()
         ).hexdigest()
         workload = {"matrix_sha256": digest}
-    return {
+    params = {
         "schema": 1,
         "kind": "run_single",
         "switch": switch_name,
@@ -155,6 +135,11 @@ def single_run_params(
         "keep_samples": bool(keep_samples),
         "workload": workload,
     }
+    if switch_params:
+        # Only present when non-default, so pre-existing cache keys (all
+        # default-parameter runs) are unchanged.
+        params["switch_params"] = dict(switch_params)
+    return params
 
 
 def _execute_single(
@@ -168,10 +153,15 @@ def _execute_single(
     engine: str,
     spec: Optional[ScenarioSpec],
     spec_load: Optional[float] = None,
+    switch_params: Optional[Dict] = None,
 ) -> SimulationResult:
     """The uncached simulation (the store wraps exactly this function)."""
     n = matrix.shape[0]
-    if engine == "vectorized" and supports_fast_engine(switch_name):
+    model = models.get(switch_name)
+    switch_params = switch_params or {}
+    if engine == "vectorized" and model.supports_engine(
+        "vectorized", switch_params
+    ):
         batch_traffic = (
             build_batch_traffic(spec, n, spec_load, seed, num_slots)
             if spec is not None
@@ -186,8 +176,9 @@ def _execute_single(
             warmup_fraction=warmup_fraction,
             keep_samples=keep_samples,
             batch_traffic=batch_traffic,
+            switch_params=switch_params,
         )
-    switch = build_switch(switch_name, n, matrix, seed)
+    switch = model.build(n, matrix, seed, **switch_params)
     if spec is not None:
         traffic = build_traffic(spec, n, spec_load, seed, num_slots)
     else:
@@ -215,8 +206,19 @@ def run_single(
     n: Optional[int] = None,
     load: Optional[float] = None,
     store: Union[None, str, ExperimentStore] = None,
+    switch_params: Optional[Dict] = None,
 ) -> SimulationResult:
     """Build switch + traffic from a seed and simulate one configuration.
+
+    ``switch_name`` is any name or alias in the switch-model registry
+    (:func:`repro.models.available` lists them); aliases are canonicalized
+    before anything else, so store cache keys are alias-independent.
+    ``switch_params`` passes schema-checked constructor parameters (e.g.
+    ``{"threshold": 8}`` for PF) through the model; a vectorized run
+    falls back to the object engine when a requested parameter is not in
+    the kernel's declared ``kernel_params`` (UFS's finite
+    ``input_buffer`` drops packets, which the array replay does not
+    model), and parameterized runs get their own store cache keys.
 
     Workload selection — exactly one of:
 
@@ -229,17 +231,18 @@ def run_single(
       engines).
 
     ``engine="vectorized"`` routes through the NumPy batch engine
-    (:mod:`repro.sim.fast_engine`), which reproduces the object engine's
-    results exactly for the switches it models; switches without a
-    vectorized data path (FOFF, PF, CMS, hashing, adaptive Sprinklers)
-    transparently fall back to the object engine so mixed sweeps keep
-    working.
+    (:mod:`repro.sim.fast_engine`) whenever the switch's registered model
+    carries a kernel — which reproduces the object engine's results
+    exactly — and transparently falls back to the object engine otherwise
+    (CMS, hashing, adaptive Sprinklers), so mixed sweeps keep working.
 
     ``store`` (an :class:`~repro.store.ExperimentStore` or its directory
     path) caches the result content-addressed by the full configuration;
     a hit skips the simulation entirely.
     """
     _check_engine(engine)
+    switch_name = models.canonical_name(switch_name)
+    models.get(switch_name).validate_params(switch_params or {})
     spec: Optional[ScenarioSpec] = None
     if scenario is not None:
         if matrix is not None:
@@ -261,11 +264,12 @@ def run_single(
         return _execute_single(
             switch_name, matrix, num_slots, seed, load_label,
             warmup_fraction, keep_samples, engine, spec, spec_load,
+            switch_params,
         )
     params = single_run_params(
         switch_name, matrix, num_slots, seed,
         spec_load if spec is not None else load_label,
-        warmup_fraction, keep_samples, engine, spec,
+        warmup_fraction, keep_samples, engine, spec, switch_params,
     )
     cached = cache.fetch(params)
     if cached is not None:
@@ -273,6 +277,7 @@ def run_single(
     result = _execute_single(
         switch_name, matrix, num_slots, seed, load_label,
         warmup_fraction, keep_samples, engine, spec, spec_load,
+        switch_params,
     )
     cache.save(params, result)
     return result

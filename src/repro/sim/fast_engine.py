@@ -8,50 +8,40 @@ class hierarchy — faithful, auditable, and far too slow for the paper's
 pass per pipeline stage instead of one Python iteration per packet per
 slot.
 
-Why this is exact, not approximate
-----------------------------------
+Per-switch data paths live in :mod:`repro.sim.kernels` and are resolved
+through the switch-model registry (:mod:`repro.models`): a switch is
+vectorizable iff its :class:`~repro.models.SwitchModel` carries a kernel,
+and every kernel declares :data:`~repro.models.Capability.EXACT_REPLAY`
+— given the same seed it reproduces the object engine's per-packet
+departure slots *exactly* (pinned by the engine-equivalence tests).  The
+object engine remains the ordering-audit oracle because it exercises the
+real data-path code.
 
-Every switch covered here is, for a fixed arrival stream, a deterministic
-feed-forward pipeline of FIFO queues served by the periodic fabrics:
+Vectorized today: ``sprinklers`` (oracle sizing), ``ufs``, ``pf``
+(padding is deterministic given frame formation), ``foff`` (resequencer
+replay via a per-flow departure-time sort), ``load-balanced`` and
+``output-queued`` — ask ``repro.models.available(engine="vectorized")``
+rather than hardcoding the list.  Switches whose control loops are
+feedback-coupled (adaptive Sprinklers) or not yet modeled (CMS, hashing)
+keep the object engine.
 
-* the input side reduces to per-queue recursions of the form
-  ``service_k = max(first_opportunity(ready_k), next_opportunity_after(
-  service_{k-1}))``, which is a running maximum — computable in one
-  ``np.maximum.accumulate`` per queue;
-* the Sprinklers/UFS aggregation step (stripe/frame completion instants)
-  is a slice of the per-VOQ arrival sequence;
-* the Largest-Stripe-First priority of Sprinklers peels exactly: the
-  service of a size class is never affected by smaller classes, so classes
-  are replayed largest-first, each against the poll slots left over by the
-  larger ones (`_replay_polled_queues`).
-
-Given the same seed, the vectorized engine therefore reproduces the
-object engine's per-packet departure slots *exactly* (pinned by the
-engine-equivalence tests); the object engine remains the ordering-audit
-oracle because it exercises the real data-path code.
-
-Supported switches: ``sprinklers`` (oracle sizing), ``ufs``,
-``load-balanced`` and ``output-queued``.  Adaptive resizing, padding
-(PF), resequencing (FOFF) and hashing switches keep the object engine —
-their control loops are feedback-coupled, which is precisely what the
-array replay exploits the absence of.
+The legacy module attributes ``FAST_ENGINE_SWITCHES`` and
+``supports_fast_engine`` are deprecation shims over the registry.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from ..core.interval_assignment import PlacementMode, StripeIntervalAssignment
+from .. import models
 from ..sim.metrics import SimulationMetrics, SimulationResult
 from ..sim.rng import derive_seed
-from ..traffic.batch import (
-    ArrivalBatch,
-    BatchTrafficGenerator,
-    stable_voq_argsort,
-)
+from ..traffic.batch import BatchTrafficGenerator
 from ..traffic.matrices import validate_matrix
+from .kernels.base import Departures, composite_argsort
 
 __all__ = [
     "FAST_ENGINE_SWITCHES",
@@ -59,446 +49,38 @@ __all__ = [
     "run_single_fast",
 ]
 
-#: Switch registry names the vectorized engine can simulate exactly.
-FAST_ENGINE_SWITCHES: Tuple[str, ...] = (
-    "sprinklers",
-    "ufs",
-    "load-balanced",
-    "output-queued",
-)
-
-#: ``switch.name`` reported by each supported registry entry (the object
-#: engine reports the class attribute; results must match field-for-field).
-_REPORTED_NAMES: Dict[str, str] = {
-    "sprinklers": "sprinklers",
-    "ufs": "ufs",
-    "load-balanced": "baseline-lb",
-    "output-queued": "output-queued",
-}
-
 
 def supports_fast_engine(switch_name: str) -> bool:
-    """Whether ``switch_name`` has a vectorized implementation."""
-    return switch_name in FAST_ENGINE_SWITCHES
+    """Whether ``switch_name`` has a vectorized implementation.
 
-
-# ---------------------------------------------------------------------------
-# Core replay primitives
-# ---------------------------------------------------------------------------
-
-
-def _composite_argsort(major: np.ndarray, minor: np.ndarray) -> np.ndarray:
-    """Argsort by ``(major, minor)``.
-
-    When both keys are nonnegative and their packed product fits an int64,
-    a single-key quicksort is several times faster than a two-key
-    ``np.lexsort`` (one sort pass instead of two stable passes); the keys
-    here are unique pairs, so stability is not needed.
+    .. deprecated::
+        Ask the registry instead:
+        ``repro.models.get(name).kernel is not None`` (or membership in
+        ``repro.models.available(engine="vectorized")``).  Unknown names
+        return False, as they always did.
     """
-    if len(major) == 0:
-        return np.empty(0, dtype=np.intp)
-    hi = int(major.max())
-    span = int(minor.max()) + 1
-    if hi < (np.iinfo(np.int64).max // max(span, 1)) - 1:
-        return np.argsort(major * span + minor)
-    return np.lexsort((minor, major))
-
-
-def _fifo_service(ready: np.ndarray) -> np.ndarray:
-    """Service slots of a FIFO served once per slot, arrivals servable
-    the slot they become ready.
-
-    ``service_k = max(ready_k, service_{k-1} + 1)`` as a running max:
-    with ``u_k = service_k - k`` this is ``u_k = max(ready_k - k,
-    u_{k-1})``.
-    """
-    if len(ready) == 0:
-        return ready
-    k = np.arange(len(ready), dtype=np.int64)
-    return np.maximum.accumulate(ready - k) + k
-
-
-def _periodic_fifo_service(
-    ready: np.ndarray, residue: int, n: int
-) -> np.ndarray:
-    """Service slots of a FIFO polled at slots ``t ≡ residue (mod n)``.
-
-    One packet per poll; a packet is servable at the poll of its ready
-    slot.  Same running-max structure over poll *indices*.
-    """
-    if len(ready) == 0:
-        return ready
-    first = np.maximum((ready - residue + n - 1) // n, 0)
-    k = np.arange(len(ready), dtype=np.int64)
-    polls = np.maximum.accumulate(first - k) + k
-    return residue + polls * n
-
-
-def _replay_polled_queues(
-    queues: np.ndarray,
-    levels: np.ndarray,
-    ready: np.ndarray,
-    order: np.ndarray,
-    residues: np.ndarray,
-    n: int,
-) -> np.ndarray:
-    """Exact service slots for a bank of periodic priority queues.
-
-    Each queue ``q`` is polled at slots ``t ≡ residues[q] (mod n)`` and, at
-    every poll, serves the head of its *largest* nonempty level (FIFO
-    within a level, ordered by ``order``) — the Largest Stripe First rule
-    of paper §3.4 at an input-port row or an intermediate-port output
-    class.
-
-    The priority discipline peels exactly: packets of a level are never
-    delayed by smaller levels, so levels replay largest-first, each as a
-    FIFO over the poll slots not consumed by larger levels.
-
-    Parameters are parallel per-event arrays (queue id, size level, ready
-    slot, FIFO tie-break) plus the per-queue poll residue; returns the
-    per-event service slot, aligned with the inputs.
-    """
-    service = np.empty(len(queues), dtype=np.int64)
-    if len(queues) == 0:
-        return service
-    first_poll = np.maximum((ready - residues[queues] + n - 1) // n, 0)
-    # Group by queue, then level ascending, then FIFO order.  Queue and
-    # level pack into one sort key (level needs 4 bits up to n = 2^15).
-    packed = (queues << 4) | levels
-    grouping = _composite_argsort(packed, order)
-    packed_sorted = packed[grouping]
-    poll_sorted = first_poll[grouping]
-    queue_bounds = np.flatnonzero(
-        np.r_[
-            True, (packed_sorted[1:] >> 4) != (packed_sorted[:-1] >> 4), True
-        ]
+    warnings.warn(
+        "supports_fast_engine is deprecated; use repro.models.get(name)"
+        ".kernel / repro.models.available(engine='vectorized')",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    for b in range(len(queue_bounds) - 1):
-        lo, hi = queue_bounds[b], queue_bounds[b + 1]
-        qid = int(packed_sorted[lo]) >> 4
-        residue = int(residues[qid])
-        lvl_slice = packed_sorted[lo:hi]
-        level_bounds = np.flatnonzero(
-            np.r_[True, lvl_slice[1:] != lvl_slice[:-1], True]
+    try:
+        return models.get(switch_name).kernel is not None
+    except ValueError:
+        return False
+
+
+def __getattr__(name: str):
+    if name == "FAST_ENGINE_SWITCHES":
+        warnings.warn(
+            "FAST_ENGINE_SWITCHES is deprecated; use "
+            "repro.models.available(engine='vectorized')",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        # Poll indices the queue could ever use: the first poll of any
-        # event plus one poll per event is a safe upper bound.
-        cap = int(poll_sorted[lo:hi].max()) + (hi - lo) + 1
-        avail = np.arange(cap, dtype=np.int64)
-        # Largest level first; smaller levels see the leftover polls.
-        for s in range(len(level_bounds) - 2, -1, -1):
-            a, z = lo + level_bounds[s], lo + level_bounds[s + 1]
-            wanted = poll_sorted[a:z]
-            pos = np.searchsorted(avail, wanted, side="left")
-            k = np.arange(z - a, dtype=np.int64)
-            taken = np.maximum.accumulate(pos - k) + k
-            service[grouping[a:z]] = residue + avail[taken] * n
-            if s > 0:
-                avail = np.delete(avail, taken)
-    return service
-
-
-def _segmented_fifo_service(
-    segment: np.ndarray, ready: np.ndarray
-) -> np.ndarray:
-    """Per-segment :func:`_fifo_service` (events pre-sorted within segment).
-
-    ``segment`` must be nondecreasing; each segment is an independent FIFO
-    served once per slot.
-    """
-    service = np.empty(len(ready), dtype=np.int64)
-    bounds = np.flatnonzero(np.r_[True, segment[1:] != segment[:-1], True])
-    for b in range(len(bounds) - 1):
-        lo, hi = bounds[b], bounds[b + 1]
-        service[lo:hi] = _fifo_service(ready[lo:hi])
-    return service
-
-
-def _row_residues(n: int) -> np.ndarray:
-    """Poll residues of the stage-1 queues: fabric 1 connects input ``i``
-    to intermediate ``m`` at slots ``t ≡ m - i (mod n)``; queue id is
-    ``i * n + m``."""
-    ports = np.arange(n, dtype=np.int64)
-    return ((ports[None, :] - ports[:, None]) % n).ravel()
-
-
-def _mid_residues(n: int) -> np.ndarray:
-    """Poll residues of the stage-2 queues: fabric 2 connects intermediate
-    ``m`` to output ``j`` at slots ``t ≡ m - j (mod n)``; queue id is
-    ``m * n + j``."""
-    ports = np.arange(n, dtype=np.int64)
-    return ((ports[:, None] - ports[None, :]) % n).ravel()
-
-
-# ---------------------------------------------------------------------------
-# Aggregation helpers (stripe / frame completion)
-# ---------------------------------------------------------------------------
-
-
-def _unit_completion(
-    batch: ArrivalBatch, unit_size: np.ndarray
-) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-    """Completion data of each packet's aggregation unit (stripe/frame).
-
-    ``unit_size[voq]`` packets of a VOQ form one unit, cut in arrival
-    order; the unit completes when its last packet arrives.  Returns
-    ``(complete, c_slot, c_order, pos)`` per packet: whether the packet's
-    unit ever completes inside the batch, the completion slot, a global
-    completion tie-break (the completing packet's generation index —
-    generation order *is* per-input acceptance order), and the packet's
-    position within its unit.
-    """
-    voq = batch.voqs
-    num_packets = len(voq)
-    if num_packets == 0:
-        empty = np.empty(0, dtype=np.int64)
-        return np.empty(0, dtype=bool), empty, empty, empty
-    n = batch.n
-    # Group packets by VOQ (stable, so in-group order is arrival order);
-    # every unit is then a contiguous run of `unit_size` grouped packets
-    # and its completing packet is an in-group index away — no searching.
-    order = stable_voq_argsort(voq, n)
-    sorted_voq = voq[order]
-    counts = np.bincount(voq, minlength=n * n)
-    group_starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
-    rank = np.arange(num_packets, dtype=np.int64) - group_starts[sorted_voq]
-    size = unit_size[sorted_voq]
-    pos_g = rank % size
-    completer_rank = rank - pos_g + size - 1  # in-group index of unit's last packet
-    complete_g = completer_rank < counts[sorted_voq]
-    completer_at = group_starts[sorted_voq] + np.minimum(
-        completer_rank, counts[sorted_voq] - 1
-    )
-    c_slot_g = np.where(complete_g, batch.slots[order][completer_at], 0)
-    c_order_g = np.where(complete_g, order[completer_at], 0)
-    # Scatter back to generation order.
-    complete = np.empty(num_packets, dtype=bool)
-    c_slot = np.empty(num_packets, dtype=np.int64)
-    c_order = np.empty(num_packets, dtype=np.int64)
-    pos = np.empty(num_packets, dtype=np.int64)
-    complete[order] = complete_g
-    c_slot[order] = c_slot_g
-    c_order[order] = c_order_g
-    pos[order] = pos_g
-    return complete, c_slot, c_order, pos
-
-
-# ---------------------------------------------------------------------------
-# Per-switch vectorized data paths
-# ---------------------------------------------------------------------------
-
-
-class _Departures:
-    """SoA record of every departed packet of a run.
-
-    ``wire`` is the within-slot observation tie-break of the object
-    engine: packets departing in the same slot are handed to the metrics
-    in intermediate-port order (output order for the output-queued
-    switch).  Retained delay samples must be stored in that
-    ``(departure, wire)`` order for order-sensitive downstream statistics
-    (MSER truncation, batch means) to match the oracle exactly.
-    """
-
-    __slots__ = (
-        "voq",
-        "seq",
-        "arrival",
-        "departure",
-        "wire",
-        "assembled",
-        "tx",
-    )
-
-    def __init__(
-        self,
-        voq: np.ndarray,
-        seq: np.ndarray,
-        arrival: np.ndarray,
-        departure: np.ndarray,
-        wire: np.ndarray,
-        assembled: Optional[np.ndarray] = None,
-        tx: Optional[np.ndarray] = None,
-    ) -> None:
-        self.voq = voq
-        self.seq = seq
-        self.arrival = arrival
-        self.departure = departure
-        self.wire = wire
-        self.assembled = assembled
-        self.tx = tx
-
-
-def _sprinklers_departures(
-    batch: ArrivalBatch, assignment: StripeIntervalAssignment
-) -> _Departures:
-    """Replay the Sprinklers data path (paper §3, oracle sizing)."""
-    n = batch.n
-    sizes = np.empty(n * n, dtype=np.int64)
-    starts = np.empty(n * n, dtype=np.int64)
-    for i in range(n):
-        for j in range(n):
-            interval = assignment.interval(i, j)
-            sizes[i * n + j] = interval.size
-            starts[i * n + j] = interval.start
-    levels_tab = np.log2(sizes).astype(np.int64)
-
-    complete, c_slot, c_order, pos = _unit_completion(batch, sizes)
-    voq = batch.voqs[complete]
-    inp = batch.inputs[complete]
-    out = batch.outputs[complete]
-    size = sizes[voq]
-    start = starts[voq]
-    level = levels_tab[voq]
-    row = start + pos[complete]
-    c = c_slot[complete]
-    g = c_order[complete]
-
-    # Safe insertion (§3.4.2): a completed stripe enters the input's LSF
-    # grid at the first slot, from completion on, at which the fabric-1
-    # pointer is not strictly inside its interval; while the pointer is at
-    # start+1 .. start+size-1 the stripe waits until the pointer reaches
-    # the interval's end.
-    pointer = (inp + c) % n
-    inside = (pointer > start) & (pointer < start + size)
-    t_ins = c + np.where(inside, start + size - pointer, 0)
-
-    # Stage 1: input i's LSF row `row` is polled by fabric 1 at slots
-    # t ≡ row - i (mod n), serving the largest stripe class first; within
-    # a (row, class) FIFO the order is stripe completion order (stripes of
-    # one class covering a row share one dyadic interval, hence one safe-
-    # insertion schedule, so insertion order equals completion order).
-    tx = _replay_polled_queues(
-        inp * n + row, level, t_ins, g, _row_residues(n), n
-    )
-
-    # Stage 2: the packet crosses to intermediate port `row` at tx and is
-    # delivered next slot; intermediate m serves output j at slots
-    # t ≡ m - j (mod n), again largest class first, FIFO by delivery
-    # order (at most one delivery per intermediate per slot).
-    departure = _replay_polled_queues(
-        row * n + out, level, tx + 1, tx, _mid_residues(n), n
-    )
-    return _Departures(
-        voq=voq,
-        seq=batch.seqs[complete],
-        arrival=batch.slots[complete],
-        departure=departure,
-        wire=row,
-        assembled=c,
-        tx=tx,
-    )
-
-
-def _ufs_departures(batch: ArrivalBatch) -> _Departures:
-    """Replay Uniform Frame Spreading (paper §2.2)."""
-    n = batch.n
-    frame_size = np.full(batch.n * batch.n, n, dtype=np.int64)
-    complete, c_slot, c_order, pos = _unit_completion(batch, frame_size)
-
-    voq = batch.voqs[complete]
-    inp = batch.inputs[complete]
-    out = batch.outputs[complete]
-    c = c_slot[complete]
-    g = c_order[complete]
-    p = pos[complete]
-
-    # Frame spreading is cycle-aligned: a frame starts only when fabric 1
-    # connects the input to intermediate 0 (t ≡ -i mod n), frames FCFS per
-    # input by completion, back to back at best (one poll cycle apart).
-    # Compute each frame's start via the running-max recursion over the
-    # per-input frame sequence, then scatter to packets.
-    frame_last = p == n - 1
-    f_inp = inp[frame_last]
-    f_c = c[frame_last]
-    f_g = g[frame_last]
-    f_sort = np.lexsort((f_g, f_inp))
-    start = np.empty(len(f_inp), dtype=np.int64)
-    bounds = np.flatnonzero(
-        np.r_[True, f_inp[f_sort][1:] != f_inp[f_sort][:-1], True]
-    )
-    for b in range(len(bounds) - 1):
-        lo, hi = bounds[b], bounds[b + 1]
-        i = int(f_inp[f_sort[lo]])
-        residue = (-i) % n
-        ready = f_c[f_sort[lo:hi]]
-        start[f_sort[lo:hi]] = _periodic_fifo_service(ready, residue, n)
-    # Map each packet to its frame's start: frames are keyed like units.
-    f_key_sorted = np.argsort(f_g)
-    pkt_frame = np.searchsorted(f_g[f_key_sorted], g)
-    frame_start = start[f_key_sorted][pkt_frame]
-
-    tx = frame_start + p  # packet `p` of the frame crosses to intermediate p
-    mid = p
-    departure = _replay_polled_queues(
-        mid * n + out,
-        np.zeros(len(tx), dtype=np.int64),
-        tx + 1,
-        tx,
-        _mid_residues(n),
-        n,
-    )
-    return _Departures(
-        voq=voq,
-        seq=batch.seqs[complete],
-        arrival=batch.slots[complete],
-        departure=departure,
-        wire=mid,
-        assembled=c,
-        tx=tx,
-    )
-
-
-def _baseline_departures(batch: ArrivalBatch) -> _Departures:
-    """Replay the baseline load-balanced switch (Chang et al., ref [2])."""
-    n = batch.n
-    # Stage 1: one FIFO per input, served every slot.  Arrivals are
-    # already (slot, input)-sorted, hence in FIFO order within each input.
-    order = np.argsort(batch.inputs, kind="stable")
-    tx = np.empty(len(batch.slots), dtype=np.int64)
-    tx[order] = _segmented_fifo_service(
-        batch.inputs[order], batch.slots[order]
-    )
-    mid = (batch.inputs + tx) % n
-    departure = _replay_polled_queues(
-        mid * n + batch.outputs,
-        np.zeros(len(tx), dtype=np.int64),
-        tx + 1,
-        tx,
-        _mid_residues(n),
-        n,
-    )
-    return _Departures(
-        voq=batch.voqs,
-        seq=batch.seqs,
-        arrival=batch.slots,
-        departure=departure,
-        wire=mid,
-        tx=tx,
-    )
-
-
-def _output_queued_departures(batch: ArrivalBatch) -> _Departures:
-    """Replay the ideal output-queued reference switch."""
-    n = batch.n
-    order = np.argsort(batch.outputs, kind="stable")
-    service = np.empty(len(batch.slots), dtype=np.int64)
-    service[order] = _segmented_fifo_service(
-        batch.outputs[order], batch.slots[order]
-    )
-    return _Departures(
-        voq=batch.voqs,
-        seq=batch.seqs,
-        arrival=batch.slots,
-        departure=service + 1,  # cut-through floor of 1 slot
-        wire=batch.outputs,  # OQ departures are observed in output order
-    )
-
-
-_DATA_PATHS = {
-    "ufs": _ufs_departures,
-    "load-balanced": _baseline_departures,
-    "output-queued": _output_queued_departures,
-}
+        return models.available(engine="vectorized")
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 # ---------------------------------------------------------------------------
@@ -506,17 +88,21 @@ _DATA_PATHS = {
 # ---------------------------------------------------------------------------
 
 
-def _reordering_counts(dep: _Departures) -> Tuple[int, int]:
+def _reordering_counts(dep: Departures) -> Tuple[int, int]:
     """Vectorized :class:`~repro.switching.resequencer.ReorderingDetector`.
 
-    Packets of one VOQ all depart via one output, one per slot at most, so
-    per-VOQ observation order is departure-slot order.  A packet is late
-    iff an earlier-departing packet of its VOQ carries a higher sequence
-    number; displacement is that running max minus the packet's seq.
+    Per VOQ, packets are checked in observation order; a packet is late
+    iff an earlier-observed packet of its VOQ carries a higher sequence
+    number, and displacement is that running max minus the packet's seq.
+    For most switches per-VOQ observation order is simply departure-slot
+    order (one departure per output per slot); kernels that release
+    several packets of a flow in one slot (FOFF's resequencers) provide
+    the full observation rank in ``wire`` instead (``wire_is_rank``).
     """
     if len(dep.voq) == 0:
         return 0, 0
-    order = _composite_argsort(dep.voq, dep.departure)
+    within = dep.wire if dep.wire_is_rank else dep.departure
+    order = composite_argsort(dep.voq, within)
     voq = dep.voq[order]
     seq = dep.seq[order]
     # Segmented running max via a monotone offset: voq ids are sorted, so
@@ -536,7 +122,7 @@ def _reordering_counts(dep: _Departures) -> Tuple[int, int]:
 def _result_from_departures(
     switch_name: str,
     n: int,
-    dep: _Departures,
+    dep: Departures,
     injected: int,
     num_slots: int,
     warmup_fraction: float,
@@ -559,10 +145,8 @@ def _result_from_departures(
     if keep_samples:
         # Order-sensitive statistics (MSER truncation, batch means in
         # delay_ci) require the object engine's observation order:
-        # departure slot, then intermediate-port order within a slot.
-        obs = _composite_argsort(
-            dep.departure[measured], dep.wire[measured]
-        )
+        # departure slot, then the kernel's within-slot tie-break.
+        obs = composite_argsort(dep.departure[measured], dep.wire[measured])
         stats._samples = delays[obs].tolist()
     metrics.measured_departures = stats.count
 
@@ -610,24 +194,39 @@ def run_single_fast(
     warmup_fraction: float = 0.1,
     keep_samples: bool = True,
     batch_traffic: Optional[BatchTrafficGenerator] = None,
+    switch_params: Optional[Dict] = None,
 ) -> SimulationResult:
     """Vectorized counterpart of :func:`repro.sim.experiment.run_single`.
 
     Same seed discipline (traffic and placement seeds derived identically),
     same measurement conventions (warm-up by arrival slot, ordering checked
     on every departure), same result schema — different internals: the
-    whole run is drawn as one arrival batch and replayed with array
-    recursions.
+    whole run is drawn as one arrival batch and replayed by the switch's
+    registered kernel (:mod:`repro.sim.kernels`, resolved through
+    :mod:`repro.models`).
 
     ``batch_traffic`` substitutes a pre-built packet source (the scenario
     subsystem passes its nonstationary batch generator here); ``matrix``
     then only provisions the switch (e.g. Sprinklers' placement).
+    ``switch_params`` must be parameters the model's kernel declares in
+    ``kernel_params`` (this entry point raises rather than falling back).
     """
-    if not supports_fast_engine(switch_name):
-        known = ", ".join(FAST_ENGINE_SWITCHES)
+    model = models.get(switch_name)
+    if model.kernel is None:
+        known = ", ".join(models.available(engine="vectorized"))
         raise ValueError(
             f"switch {switch_name!r} has no vectorized data path "
             f"(supported: {known}); use the object engine"
+        )
+    switch_params = switch_params or {}
+    model.validate_params(switch_params)
+    unsupported = set(switch_params) - set(model.kernel_params)
+    if unsupported:
+        raise ValueError(
+            f"switch {switch_name!r}: parameters {sorted(unsupported)} are "
+            f"not modeled by the vectorized kernel (kernel honors: "
+            f"{sorted(model.kernel_params) or 'none'}); use the object "
+            f"engine"
         )
     if num_slots <= 0:
         raise ValueError("num_slots must be positive")
@@ -642,21 +241,9 @@ def run_single_fast(
         raise ValueError("batch traffic size does not match matrix")
     batch = batch_traffic.draw(num_slots)
 
-    extras: Optional[Dict[str, float]] = None
-    if switch_name == "sprinklers":
-        placement_rng = np.random.default_rng(
-            derive_seed(seed, "sprinklers-placement")
-        )
-        assignment = StripeIntervalAssignment(
-            matrix, rng=placement_rng, mode=PlacementMode.OLS
-        )
-        dep = _sprinklers_departures(batch, assignment)
-        extras = {"resizes": 0.0}  # oracle sizing never resizes
-    else:
-        dep = _DATA_PATHS[switch_name](batch)
-
+    dep, extras = model.kernel(batch, matrix, seed, **switch_params)
     return _result_from_departures(
-        _REPORTED_NAMES[switch_name],
+        model.reported_name,
         n,
         dep,
         injected=len(batch),

@@ -1,0 +1,293 @@
+"""Cycle-aligned frame formation shared by the PF and FOFF kernels.
+
+PF and FOFF both serve their inputs *frame at a time*: an idle input may
+start a new frame only at the slot fabric 1 connects it to intermediate
+port 0 (``t ≡ -i (mod n)``, one opportunity per ``n``-slot cycle), and a
+frame's ``k``-th packet then crosses to intermediate port ``k`` at slot
+``start + k``.  Which frame starts is a deterministic function of the
+input's VOQ occupancies at the cycle boundary (full frames first behind a
+round-robin pointer; the padding / partial-frame fallback differs per
+switch), and occupancies are arrivals-so-far minus packets already taken
+— no feedback from the rest of the switch.  Frame formation is therefore
+*sequential per input but exactly replayable*: one cheap decision per
+cycle, everything downstream of it vectorized.
+
+:func:`build_frame_schedule` runs that per-input, per-cycle recursion
+(the only scalar loop in the PF/FOFF kernels — O(num_slots) iterations
+total across inputs, each a handful of small-array NumPy ops) and
+returns the complete frame schedule; :func:`frame_membership` maps every
+packet to its frame with one composite searchsorted.
+
+The formation loop runs past the arrival horizon until a cycle forms no
+frame, mirroring the object engine's drain phase: with no new arrivals a
+frameless cycle leaves the VOQ state (and the round-robin pointers)
+untouched, so no later cycle could form one either — exactly the
+quiescence the drain detects.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, NamedTuple, Optional, Tuple
+
+import numpy as np
+
+from ...traffic.batch import ArrivalBatch, stable_voq_argsort
+
+__all__ = [
+    "FrameSchedule",
+    "build_frame_schedule",
+    "drain_horizon",
+    "foff_picker",
+    "frame_membership",
+    "pf_picker",
+]
+
+
+def drain_horizon(batch: ArrivalBatch) -> int:
+    """Last slot the object engine's drain phase steps (inclusive).
+
+    :class:`~repro.sim.engine.SimulationEngine` drains for at most
+    ``max(50 * n, num_slots)`` slots after the arrival stream ends;
+    packets that would depart later stay in flight there, so the replay
+    must discard their departures too.  (The drain's other stop — ``4n``
+    departure-free slots — only fires at quiescence for the frame-at-a-
+    time switches: while any backlog remains a frame forms every ``n``-slot
+    cycle and departs within two fabric revolutions.)
+    """
+    return batch.num_slots + max(50 * batch.n, batch.num_slots) - 1
+
+#: One cycle's frame decision: ``(voq_output, real_packets, fake_cells)``
+#: or None when the input stays idle this cycle.
+Pick = Optional[Tuple[int, int, int]]
+#: Per-input frame chooser: ``pick(avail, total, full_count)`` consumes
+#: the VOQ occupancy list plus its maintained aggregates (total backlog,
+#: number of full-frame VOQs), may mutate its round-robin pointers, and
+#: returns the cycle's :data:`Pick`.  Plain Python scalars throughout —
+#: this runs once per cycle inside the only scalar loop of the PF/FOFF
+#: kernels, where small-array NumPy overhead would dominate the replay.
+Picker = Callable[[List[int], int, int], Pick]
+
+
+class FrameSchedule(NamedTuple):
+    """Every frame formed during a run, across all inputs.
+
+    Parallel arrays, one entry per frame: the flat VOQ id whose packets
+    fill it, the first VOQ rank it covers, how many real packets it took,
+    how many fake cells pad it (PF only), and the cycle-start slot at
+    which it began transmitting (packet ``k`` crosses at ``slot + k`` to
+    intermediate port ``k``).
+    """
+
+    voq: np.ndarray
+    start: np.ndarray
+    size: np.ndarray
+    fakes: np.ndarray
+    slot: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.voq)
+
+
+def pf_picker(n: int, threshold: int) -> Picker:
+    """The Padded Frames frame chooser (full frames RR, else pad the
+    longest VOQ of at least ``threshold`` packets up to a full frame)."""
+    state = {"full_rr": 0}
+
+    def pick(avail: List[int], total: int, full_count: int) -> Pick:
+        if full_count:
+            pointer = state["full_rr"]
+            for offset in range(n):
+                j = pointer + offset
+                if j >= n:
+                    j -= n
+                if avail[j] >= n:
+                    state["full_rr"] = j + 1 if j + 1 < n else 0
+                    return j, n, 0
+        if total < threshold:
+            return None
+        # VoqBank.longest: strictly longest, ties to the lowest index.
+        best, longest = 0, -1
+        for j in range(n):
+            if avail[j] > best:
+                best, longest = avail[j], j
+        if longest < 0 or best < threshold:
+            return None
+        return longest, best, n - best
+
+    return pick
+
+
+def foff_picker(n: int) -> Picker:
+    """The FOFF frame chooser (full frames RR first, else the next
+    nonempty VOQ behind a second round-robin pointer, taken whole)."""
+    state = {"full_rr": 0, "partial_rr": 0}
+
+    def pick(avail: List[int], total: int, full_count: int) -> Pick:
+        if total == 0:
+            return None
+        if full_count:
+            pointer = state["full_rr"]
+            for offset in range(n):
+                j = pointer + offset
+                if j >= n:
+                    j -= n
+                if avail[j] >= n:
+                    state["full_rr"] = j + 1 if j + 1 < n else 0
+                    return j, n, 0
+        pointer = state["partial_rr"]
+        for offset in range(n):
+            j = pointer + offset
+            if j >= n:
+                j -= n
+            if avail[j]:
+                state["partial_rr"] = j + 1 if j + 1 < n else 0
+                return j, avail[j], 0
+        raise AssertionError("nonzero backlog with no nonempty VOQ")
+
+    return pick
+
+
+def _input_frames(
+    n: int,
+    residue: int,
+    cycles: np.ndarray,
+    outs: np.ndarray,
+    pick: Picker,
+) -> Tuple[List[int], List[int], List[int], List[int], List[int]]:
+    """Replay one input's frame decisions over its cycle boundaries.
+
+    ``cycles``/``outs`` are the input's arrivals in acceptance order,
+    tagged with the first cycle index whose start slot is >= the arrival
+    slot (arrivals in the boundary slot itself are visible to that
+    cycle's pick — the slot protocol accepts before serving).
+
+    This is the only scalar loop in the PF/FOFF kernels (one iteration
+    per fabric cycle, ``num_slots`` iterations total across the inputs),
+    so it runs on plain Python ints with incrementally maintained
+    aggregates — per-cycle NumPy calls on length-``n`` arrays would cost
+    more than the whole vectorized replay downstream.
+    """
+    last_cycle = int(cycles[-1]) if len(cycles) else -1
+    arrival_cycle = cycles.tolist()
+    arrival_out = outs.tolist()
+    num_arrivals = len(arrival_cycle)
+    at = 0
+    avail = [0] * n
+    taken = [0] * n
+    total = 0
+    full_count = 0
+    f_out: List[int] = []
+    f_start: List[int] = []
+    f_size: List[int] = []
+    f_fakes: List[int] = []
+    f_slot: List[int] = []
+    c = 0
+    while True:
+        while at < num_arrivals and arrival_cycle[at] == c:
+            j = arrival_out[at]
+            at += 1
+            avail[j] += 1
+            total += 1
+            if avail[j] == n:
+                full_count += 1
+        picked = pick(avail, total, full_count)
+        if picked is not None:
+            j, k, fakes = picked
+            f_out.append(j)
+            f_start.append(taken[j])
+            f_size.append(k)
+            f_fakes.append(fakes)
+            f_slot.append(residue + c * n)
+            taken[j] += k
+            before = avail[j]
+            avail[j] = before - k
+            total -= k
+            if before >= n and avail[j] < n:
+                full_count -= 1
+        elif c >= last_cycle:
+            # No frame and no arrivals to come: the pick is a pure
+            # function of (avail, pointers), so every later cycle would
+            # decline too — the switch is quiescent.
+            break
+        c += 1
+    return f_out, f_start, f_size, f_fakes, f_slot
+
+
+def build_frame_schedule(
+    batch: ArrivalBatch, make_picker: Callable[[int], Picker]
+) -> FrameSchedule:
+    """Run every input's frame-formation recursion; collect the schedule."""
+    n = batch.n
+    order = np.argsort(batch.inputs, kind="stable")
+    counts = np.bincount(batch.inputs, minlength=n)
+    offsets = np.concatenate(([0], np.cumsum(counts)))
+    voq_l: List[int] = []
+    start_l: List[int] = []
+    size_l: List[int] = []
+    fakes_l: List[int] = []
+    slot_l: List[int] = []
+    for i in range(n):
+        idx = order[offsets[i] : offsets[i + 1]]
+        residue = (-i) % n
+        # First cycle whose boundary slot (residue + c*n) is >= the
+        # arrival slot; never negative since slots >= 0 > residue - n.
+        cycles = (batch.slots[idx] - residue + n - 1) // n
+        f_out, f_start, f_size, f_fakes, f_slot = _input_frames(
+            n, residue, cycles, batch.outputs[idx], make_picker(i)
+        )
+        voq_l.extend(i * n + j for j in f_out)
+        start_l.extend(f_start)
+        size_l.extend(f_size)
+        fakes_l.extend(f_fakes)
+        slot_l.extend(f_slot)
+    return FrameSchedule(
+        voq=np.asarray(voq_l, dtype=np.int64),
+        start=np.asarray(start_l, dtype=np.int64),
+        size=np.asarray(size_l, dtype=np.int64),
+        fakes=np.asarray(fakes_l, dtype=np.int64),
+        slot=np.asarray(slot_l, dtype=np.int64),
+    )
+
+
+def frame_membership(
+    batch: ArrivalBatch, schedule: FrameSchedule
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Map each packet to its frame: ``(member, assembled_slot, position)``.
+
+    A frame covers a contiguous rank range of its VOQ (packets are taken
+    oldest-first), so membership is one searchsorted over the composite
+    ``(voq, start_rank)`` key.  ``member`` is False for packets never
+    framed (PF leaves sub-threshold VOQ tails behind); ``assembled_slot``
+    and ``position`` are meaningful only where ``member`` holds.
+    """
+    num_packets = len(batch)
+    member = np.zeros(num_packets, dtype=bool)
+    assembled = np.zeros(num_packets, dtype=np.int64)
+    position = np.zeros(num_packets, dtype=np.int64)
+    if num_packets == 0 or len(schedule) == 0:
+        return member, assembled, position
+    n = batch.n
+    voq = batch.voqs
+    order = stable_voq_argsort(voq, n)
+    counts = np.bincount(voq, minlength=n * n)
+    group_starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    rank = np.empty(num_packets, dtype=np.int64)
+    rank[order] = np.arange(num_packets, dtype=np.int64) - group_starts[voq[order]]
+
+    # Frames of one VOQ are appended in formation order, so their start
+    # ranks ascend within a VOQ; a stable sort by VOQ yields a globally
+    # sorted composite (voq, start) key.
+    f_order = np.argsort(schedule.voq, kind="stable")
+    big = np.int64(num_packets + 1)
+    frame_key = schedule.voq[f_order] * big + schedule.start[f_order]
+    packet_key = voq * big + rank
+    at = np.searchsorted(frame_key, packet_key, side="right") - 1
+    valid = at >= 0
+    at = np.maximum(at, 0)
+    f_voq = schedule.voq[f_order][at]
+    f_start = schedule.start[f_order][at]
+    f_size = schedule.size[f_order][at]
+    member = valid & (f_voq == voq) & (rank < f_start + f_size)
+    assembled = schedule.slot[f_order][at]
+    position = rank - f_start
+    return member, assembled, position

@@ -1,0 +1,49 @@
+"""Vectorized kernel: the baseline load-balanced switch (Chang et al.)."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ...traffic.batch import ArrivalBatch
+from .base import (
+    Departures,
+    mid_residues,
+    replay_polled_queues,
+    segmented_fifo_service,
+)
+
+__all__ = ["departures"]
+
+
+def departures(
+    batch: ArrivalBatch, matrix: np.ndarray, seed: int
+) -> Tuple[Departures, Optional[Dict[str, float]]]:
+    """Replay the baseline load-balanced switch (no aggregation, reorders)."""
+    n = batch.n
+    # Stage 1: one FIFO per input, served every slot.  Arrivals are
+    # already (slot, input)-sorted, hence in FIFO order within each input.
+    order = np.argsort(batch.inputs, kind="stable")
+    tx = np.empty(len(batch.slots), dtype=np.int64)
+    tx[order] = segmented_fifo_service(
+        batch.inputs[order], batch.slots[order]
+    )
+    mid = (batch.inputs + tx) % n
+    departure = replay_polled_queues(
+        mid * n + batch.outputs,
+        np.zeros(len(tx), dtype=np.int64),
+        tx + 1,
+        tx,
+        mid_residues(n),
+        n,
+    )
+    dep = Departures(
+        voq=batch.voqs,
+        seq=batch.seqs,
+        arrival=batch.slots,
+        departure=departure,
+        wire=mid,
+        tx=tx,
+    )
+    return dep, None

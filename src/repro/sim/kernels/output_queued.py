@@ -1,0 +1,31 @@
+"""Vectorized kernel: the ideal output-queued reference switch."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ...traffic.batch import ArrivalBatch
+from .base import Departures, segmented_fifo_service
+
+__all__ = ["departures"]
+
+
+def departures(
+    batch: ArrivalBatch, matrix: np.ndarray, seed: int
+) -> Tuple[Departures, Optional[Dict[str, float]]]:
+    """Replay the ideal output-queued reference switch."""
+    order = np.argsort(batch.outputs, kind="stable")
+    service = np.empty(len(batch.slots), dtype=np.int64)
+    service[order] = segmented_fifo_service(
+        batch.outputs[order], batch.slots[order]
+    )
+    dep = Departures(
+        voq=batch.voqs,
+        seq=batch.seqs,
+        arrival=batch.slots,
+        departure=service + 1,  # cut-through floor of 1 slot
+        wire=batch.outputs,  # OQ departures are observed in output order
+    )
+    return dep, None

@@ -1,0 +1,107 @@
+"""Vectorized kernel: Padded Frames (paper §2.3, Jaramillo-Milan-Srikant).
+
+PF is UFS with a padding escape hatch: an input with no full frame pads
+its longest VOQ (if it holds at least ``threshold = max(1, N // 2)``
+packets, matching :class:`~repro.switching.pf.PaddedFramesSwitch`'s
+default) up to a full frame with fake cells.  Padding is deterministic
+given frame formation — which VOQ is padded, and by how much, is a pure
+function of the cycle-boundary occupancies — so the whole data path
+replays exactly:
+
+1. frame formation per input per cycle (:mod:`.frames`);
+2. every frame, padded or not, deposits cell ``k`` (real packets first,
+   then fakes) on intermediate port ``k`` at ``start + k``;
+3. the per-output intermediate FIFOs replay as polled queues — with the
+   fake cells *included*, because they consume stage-2 service like real
+   ones (that is the price of padding the paper charges PF for);
+4. fakes are discarded at the output: excluded from the departure record
+   but counted for the ``padding_overhead`` extra.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ...traffic.batch import ArrivalBatch
+from .base import Departures, mid_residues, replay_polled_queues
+from .frames import (
+    build_frame_schedule,
+    drain_horizon,
+    frame_membership,
+    pf_picker,
+)
+
+__all__ = ["departures"]
+
+
+def departures(
+    batch: ArrivalBatch,
+    matrix: np.ndarray,
+    seed: int,
+    threshold: Optional[int] = None,
+) -> Tuple[Departures, Optional[Dict[str, float]]]:
+    """Replay the Padded Frames switch."""
+    n = batch.n
+    if threshold is None:
+        threshold = max(1, n // 2)
+    if not 1 <= threshold <= n:
+        # Same contract as PaddedFramesSwitch: threshold 0 would pad
+        # empty VOQs forever, threshold > n would never pad at all.
+        raise ValueError(f"threshold must be in [1, {n}], got {threshold}")
+    schedule = build_frame_schedule(batch, lambda i: pf_picker(n, threshold))
+    member, assembled, position = frame_membership(batch, schedule)
+
+    tx = assembled[member] + position[member]
+    mid = position[member]
+    out = batch.outputs[member]
+
+    # Fake cells fill positions size .. n-1 of their frame, heading to the
+    # padded VOQ's output.
+    padded = schedule.fakes > 0
+    reps = schedule.fakes[padded]
+    num_fakes = int(reps.sum())
+    if num_fakes:
+        ends = np.cumsum(reps)
+        within = np.arange(num_fakes, dtype=np.int64) - np.repeat(
+            ends - reps, reps
+        )
+        fake_pos = np.repeat(schedule.size[padded], reps) + within
+        fake_tx = np.repeat(schedule.slot[padded], reps) + fake_pos
+        fake_out = np.repeat(schedule.voq[padded] % n, reps)
+        queues = np.concatenate([mid * n + out, fake_pos * n + fake_out])
+        ready = np.concatenate([tx, fake_tx]) + 1
+        fifo_order = np.concatenate([tx, fake_tx])
+    else:
+        queues = mid * n + out
+        ready = tx + 1
+        fifo_order = tx
+
+    service = replay_polled_queues(
+        queues,
+        np.zeros(len(queues), dtype=np.int64),
+        ready,
+        fifo_order,
+        mid_residues(n),
+        n,
+    )
+    # The object engine's drain phase is finite: cells that would depart
+    # after its horizon stay in flight there and are never observed.
+    cut = drain_horizon(batch)
+    num_real = len(tx)
+    real_service = service[:num_real]
+    departed = real_service <= cut
+    fakes_departed = int(np.sum(service[num_real:] <= cut))
+    dep = Departures(
+        voq=batch.voqs[member][departed],
+        seq=batch.seqs[member][departed],
+        arrival=batch.slots[member][departed],
+        departure=real_service[departed],
+        wire=mid[departed],
+        assembled=assembled[member][departed],
+        tx=tx[departed],
+    )
+    sent = int(departed.sum()) + fakes_departed
+    extras = {"padding_overhead": fakes_departed / sent if sent else 0.0}
+    return dep, extras

@@ -1,0 +1,87 @@
+"""Vectorized kernel: the Sprinklers switch (paper §3, oracle sizing)."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ...core.interval_assignment import PlacementMode, StripeIntervalAssignment
+from ...sim.rng import derive_seed
+from ...traffic.batch import ArrivalBatch
+from .base import Departures, mid_residues, replay_polled_queues, row_residues, unit_completion
+
+__all__ = ["departures"]
+
+
+def departures(
+    batch: ArrivalBatch, matrix: np.ndarray, seed: int
+) -> Tuple[Departures, Optional[Dict[str, float]]]:
+    """Replay the Sprinklers data path.
+
+    The stripe-interval assignment is drawn from the same derived seed as
+    the object-engine builder (``derive_seed(seed, "sprinklers-placement")``),
+    so the placement — and therefore every departure slot — is identical.
+    """
+    n = batch.n
+    placement_rng = np.random.default_rng(
+        derive_seed(seed, "sprinklers-placement")
+    )
+    assignment = StripeIntervalAssignment(
+        matrix, rng=placement_rng, mode=PlacementMode.OLS
+    )
+    sizes = np.empty(n * n, dtype=np.int64)
+    starts = np.empty(n * n, dtype=np.int64)
+    for i in range(n):
+        for j in range(n):
+            interval = assignment.interval(i, j)
+            sizes[i * n + j] = interval.size
+            starts[i * n + j] = interval.start
+    levels_tab = np.log2(sizes).astype(np.int64)
+
+    complete, c_slot, c_order, pos = unit_completion(batch, sizes)
+    voq = batch.voqs[complete]
+    inp = batch.inputs[complete]
+    out = batch.outputs[complete]
+    size = sizes[voq]
+    start = starts[voq]
+    level = levels_tab[voq]
+    row = start + pos[complete]
+    c = c_slot[complete]
+    g = c_order[complete]
+
+    # Safe insertion (§3.4.2): a completed stripe enters the input's LSF
+    # grid at the first slot, from completion on, at which the fabric-1
+    # pointer is not strictly inside its interval; while the pointer is at
+    # start+1 .. start+size-1 the stripe waits until the pointer reaches
+    # the interval's end.
+    pointer = (inp + c) % n
+    inside = (pointer > start) & (pointer < start + size)
+    t_ins = c + np.where(inside, start + size - pointer, 0)
+
+    # Stage 1: input i's LSF row `row` is polled by fabric 1 at slots
+    # t ≡ row - i (mod n), serving the largest stripe class first; within
+    # a (row, class) FIFO the order is stripe completion order (stripes of
+    # one class covering a row share one dyadic interval, hence one safe-
+    # insertion schedule, so insertion order equals completion order).
+    tx = replay_polled_queues(
+        inp * n + row, level, t_ins, g, row_residues(n), n
+    )
+
+    # Stage 2: the packet crosses to intermediate port `row` at tx and is
+    # delivered next slot; intermediate m serves output j at slots
+    # t ≡ m - j (mod n), again largest class first, FIFO by delivery
+    # order (at most one delivery per intermediate per slot).
+    departure = replay_polled_queues(
+        row * n + out, level, tx + 1, tx, mid_residues(n), n
+    )
+    dep = Departures(
+        voq=voq,
+        seq=batch.seqs[complete],
+        arrival=batch.slots[complete],
+        departure=departure,
+        wire=row,
+        assembled=c,
+        tx=tx,
+    )
+    return dep, {"resizes": 0.0}  # oracle sizing never resizes

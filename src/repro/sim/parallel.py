@@ -18,9 +18,10 @@ from typing import List, NamedTuple, Optional, Sequence, Union
 
 import numpy as np
 
+from ..models import PAPER_SWITCHES
 from ..scenarios.registry import resolve_scenario
 from ..store import ExperimentStore, store_dir
-from .experiment import TRAFFIC_PATTERNS, PAPER_SWITCHES, run_single
+from .experiment import TRAFFIC_PATTERNS, run_single
 from .metrics import SimulationResult
 
 __all__ = ["SweepJob", "run_jobs", "parallel_delay_sweep"]

@@ -5,11 +5,15 @@ full simulation configuration — scenario (or matrix digest), switch,
 engine, N, slots, seed, measurement knobs — so re-running an identical
 sweep, replication, or figure performs zero simulation recomputation.
 See :class:`~repro.store.store.ExperimentStore` for the key scheme and
-on-disk layout (documented in EXPERIMENTS.md).
+on-disk layout (documented in EXPERIMENTS.md).  ``repro store stats`` /
+``repro store gc`` expose :meth:`~repro.store.store.ExperimentStore.
+stats` and :meth:`~repro.store.store.ExperimentStore.gc` from the shell.
 """
 
 from .store import (
     ExperimentStore,
+    GcReport,
+    StoreStats,
     cache_key,
     canonical_params,
     coerce_store,
@@ -18,6 +22,8 @@ from .store import (
 
 __all__ = [
     "ExperimentStore",
+    "GcReport",
+    "StoreStats",
     "cache_key",
     "canonical_params",
     "coerce_store",

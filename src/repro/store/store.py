@@ -14,13 +14,25 @@ identical configurations hash identically across processes and runs.
 On-disk layout (all paths under the store root)::
 
     objects/<key[:2]>/<key>.json.gz   gzip'd {"params": ..., "result": ...}
-    manifest.jsonl                    one append-only line per stored run
+    manifest.jsonl                    one append-only line per store event
+
+Manifest lines are store *events*: a save (one per stored run; lines
+without an ``event`` field predate hit logging and read as saves) or a
+cache hit (``{"event": "hit", ...}``) — which is what makes
+``ExperimentStore.stats`` able to report a lifetime hit rate, not just
+the current process's counters.
 
 Writes go through a temp file + ``os.replace`` so a crashed run never
 leaves a truncated object behind; corrupt or unreadable objects are
 treated as misses and silently recomputed.  Process-pool workers each
 open the store by path and write independently — content addressing makes
-concurrent writes of the same key idempotent.
+concurrent writes of the same key idempotent, and manifest appends are
+line-atomic at these sizes.
+
+``gc`` prunes by age and/or total size (oldest objects first) and
+compacts the manifest to the surviving save lines; ``stats`` summarizes
+entry count, bytes, and hit rate.  Both back the ``repro store``
+CLI subcommands.
 """
 
 from __future__ import annotations
@@ -31,11 +43,18 @@ import json
 import os
 import time
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, List, NamedTuple, Optional, Union
 
 from ..sim.metrics import SimulationResult
 
-__all__ = ["ExperimentStore", "cache_key", "canonical_params", "coerce_store"]
+__all__ = [
+    "ExperimentStore",
+    "GcReport",
+    "StoreStats",
+    "cache_key",
+    "canonical_params",
+    "coerce_store",
+]
 
 #: Bump when the params layout or result payload schema changes; old
 #: entries simply stop matching (no migration needed — it is a cache).
@@ -57,6 +76,32 @@ def cache_key(params: Dict) -> str:
     return hashlib.sha256(canonical_params(params).encode()).hexdigest()
 
 
+class StoreStats(NamedTuple):
+    """Summary of a store's contents and lifetime effectiveness."""
+
+    #: Cached objects currently on disk.
+    entries: int
+    #: Their total compressed size.
+    total_bytes: int
+    #: Save events in the manifest (each save was a computed miss).
+    saves: int
+    #: Hit events in the manifest.
+    hits: int
+    #: Lifetime hit rate ``hits / (hits + saves)``; NaN for an empty log.
+    hit_rate: float
+    #: Oldest / newest save timestamps (unix seconds), None when empty.
+    oldest: Optional[float]
+    newest: Optional[float]
+
+
+class GcReport(NamedTuple):
+    """What one garbage-collection pass did."""
+
+    removed: int
+    kept: int
+    bytes_freed: int
+
+
 class ExperimentStore:
     """A directory of cached simulation results plus a run manifest."""
 
@@ -73,7 +118,8 @@ class ExperimentStore:
 
     def fetch(self, params: Dict) -> Optional[SimulationResult]:
         """The cached result for ``params``, or None (counted as a miss)."""
-        path = self._object_path(cache_key(params))
+        key = cache_key(params)
+        path = self._object_path(key)
         if not path.exists():
             self.misses += 1
             return None
@@ -88,6 +134,15 @@ class ExperimentStore:
             self.misses += 1
             return None
         self.hits += 1
+        try:
+            self._append_manifest(
+                {"event": "hit", "key": key, "created": time.time()}
+            )
+        except OSError:
+            # Hit logging is best-effort bookkeeping: a read-only store
+            # (shared cache, another user's CI artifact) must still serve
+            # hits, exactly as corrupt objects silently read as misses.
+            pass
         return result
 
     def save(self, params: Dict, result: SimulationResult) -> Path:
@@ -104,7 +159,7 @@ class ExperimentStore:
         finally:
             if tmp.exists():  # pragma: no cover - only on write failure
                 tmp.unlink()
-        manifest_line = canonical_params(
+        self._append_manifest(
             {
                 "key": key,
                 "created": time.time(),
@@ -118,9 +173,128 @@ class ExperimentStore:
                 ).get("name"),
             }
         )
-        with open(self.manifest_path, "a") as handle:
-            handle.write(manifest_line + "\n")
         return path
+
+    def _append_manifest(self, record: Dict) -> None:
+        with open(self.manifest_path, "a") as handle:
+            handle.write(canonical_params(record) + "\n")
+
+    def _manifest_records(self) -> List[Dict]:
+        """Parsed manifest lines, skipping any corrupt ones."""
+        if not self.manifest_path.exists():
+            return []
+        records: List[Dict] = []
+        for line in self.manifest_path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except ValueError:
+                continue
+        return records
+
+    def stats(self) -> StoreStats:
+        """Entry count, size on disk, and lifetime hit rate (manifest)."""
+        sizes = [
+            p.stat().st_size for p in self.objects_dir.glob("*/*.json.gz")
+        ]
+        saves = hits = 0
+        oldest: Optional[float] = None
+        newest: Optional[float] = None
+        for record in self._manifest_records():
+            if record.get("event") == "hit":
+                hits += 1
+                continue
+            saves += 1  # legacy lines without "event" are saves
+            created = record.get("created")
+            if isinstance(created, (int, float)):
+                oldest = created if oldest is None else min(oldest, created)
+                newest = created if newest is None else max(newest, created)
+        total = hits + saves
+        return StoreStats(
+            entries=len(sizes),
+            total_bytes=int(sum(sizes)),
+            saves=saves,
+            hits=hits,
+            hit_rate=hits / total if total else float("nan"),
+            oldest=oldest,
+            newest=newest,
+        )
+
+    def gc(
+        self,
+        max_age_seconds: Optional[float] = None,
+        max_total_bytes: Optional[int] = None,
+    ) -> GcReport:
+        """Prune cached objects by age and/or total size.
+
+        Objects older than ``max_age_seconds`` (by file mtime — robust
+        even when manifest lines are missing) are removed first; then, if
+        the survivors still exceed ``max_total_bytes``, the oldest are
+        removed until they fit.  The manifest is compacted to the
+        surviving saves (hit events are pruned — they have served their
+        statistical purpose).  With neither bound set this is a no-op
+        that still compacts the manifest.
+
+        Run gc while the store is quiescent: compaction is read-rewrite-
+        replace, so manifest lines appended by a concurrently running
+        sweep inside that window are dropped from the *log* (stats may
+        undercount until their objects are re-saved).  Cached objects
+        themselves are never affected — fetches hit regardless of what
+        the manifest says.
+        """
+        now = time.time()
+        objects = sorted(
+            (
+                (stat.st_mtime, stat.st_size, p)
+                for p in self.objects_dir.glob("*/*.json.gz")
+                for stat in (p.stat(),)
+            ),
+            key=lambda item: item[0],
+        )
+        doomed: List[Path] = []
+        if max_age_seconds is not None:
+            cutoff = now - max_age_seconds
+            doomed.extend(p for mtime, _, p in objects if mtime < cutoff)
+        if max_total_bytes is not None:
+            doomed_set = set(doomed)
+            remaining = [o for o in objects if o[2] not in doomed_set]
+            excess = sum(size for _, size, _ in remaining) - max_total_bytes
+            for _, size, path in remaining:  # oldest first
+                if excess <= 0:
+                    break
+                doomed.append(path)
+                excess -= size
+        bytes_freed = 0
+        for path in doomed:
+            try:
+                bytes_freed += path.stat().st_size
+                path.unlink()
+            except OSError:  # pragma: no cover - concurrent gc
+                continue
+        survivors = {
+            p.name.removesuffix(".json.gz")
+            for p in self.objects_dir.glob("*/*.json.gz")
+        }
+        # Compact the manifest: surviving saves only, newest line per key.
+        keep: Dict[str, Dict] = {}
+        for record in self._manifest_records():
+            if record.get("event") == "hit":
+                continue
+            key = record.get("key")
+            if key in survivors:
+                keep[key] = record
+        tmp = self.manifest_path.with_suffix(f".tmp.{os.getpid()}")
+        with open(tmp, "w") as handle:
+            for record in keep.values():
+                handle.write(canonical_params(record) + "\n")
+        os.replace(tmp, self.manifest_path)
+        return GcReport(
+            removed=len(doomed),
+            kept=len(survivors),
+            bytes_freed=bytes_freed,
+        )
 
     def __len__(self) -> int:
         """Number of stored objects (walks the object tree)."""

@@ -132,3 +132,71 @@ class TestScenarioCommands:
         out = capsys.readouterr().out
         assert out.startswith("switch,load,")
         assert "sprinklers" in out
+
+
+class TestSwitchesCommands:
+    def test_switches_list_all(self, capsys):
+        assert main(["switches", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("sprinklers", "cms", "tcp-hashing", "pf", "foff"):
+            assert name in out
+
+    def test_switches_list_vectorized_covers_all_kernels(self, capsys):
+        """The CI coverage gate: the vectorized engine must not silently
+        lose a switch."""
+        assert main(["switches", "list", "--engine", "vectorized"]) == 0
+        out = capsys.readouterr().out
+        for name in (
+            "sprinklers", "ufs", "load-balanced", "output-queued",
+            "pf", "foff",
+        ):
+            assert name in out, name
+        assert "cms" not in out
+
+    def test_switches_show(self, capsys):
+        assert main(["switches", "show", "foff"]) == 0
+        out = capsys.readouterr().out
+        assert "exact-replay" in out
+        assert "vectorized" in out
+
+    def test_switches_show_alias(self, capsys):
+        assert main(["switches", "show", "baseline-lb"]) == 0
+        assert "load-balanced" in capsys.readouterr().out
+
+
+class TestStoreCommands:
+    def _populate(self, store_dir):
+        argv = [
+            "scenarios", "run", "--scenario", "paper-uniform",
+            "--switch", "ufs", "--n", "4", "--load", "0.5",
+            "--slots", "300", "--engine", "vectorized",
+            "--store", store_dir,
+        ]
+        assert main(argv) == 0
+        assert main(argv) == 0  # second run hits the cache
+
+    def test_stats_reports_entries_and_hit_rate(self, tmp_path, capsys):
+        store_dir = str(tmp_path / "store")
+        self._populate(store_dir)
+        capsys.readouterr()
+        assert main(["store", "stats", "--store", store_dir]) == 0
+        out = capsys.readouterr().out
+        assert "entries      1" in out
+        assert "hits         1" in out
+        assert "hit rate     50.0%" in out
+
+    def test_gc_by_age_empties_store(self, tmp_path, capsys):
+        store_dir = str(tmp_path / "store")
+        self._populate(store_dir)
+        capsys.readouterr()
+        assert main(["store", "gc", "--max-age-days", "0",
+                     "--store", store_dir]) == 0
+        out = capsys.readouterr().out
+        assert "removed 1" in out
+        assert main(["store", "stats", "--store", store_dir]) == 0
+        assert "entries      0" in capsys.readouterr().out
+
+    def test_missing_store_is_not_an_error(self, tmp_path, capsys):
+        assert main(["store", "stats", "--store",
+                     str(tmp_path / "nowhere")]) == 0
+        assert "no experiment store" in capsys.readouterr().out

@@ -1,0 +1,125 @@
+"""The legacy switch-resolution names survive as registry-backed shims.
+
+ISSUE 3 keeps ``SWITCH_BUILDERS``, ``build_switch``,
+``supports_fast_engine`` (and ``FAST_ENGINE_SWITCHES``) importable so
+existing callers and notebooks keep working, but each use must (a) warn
+with ``DeprecationWarning`` and (b) return exactly what the switch-model
+registry would — no second source of truth.  Importing the packages
+themselves must stay silent: only *using* a deprecated name warns.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import warnings
+
+import pytest
+
+from repro import models
+from repro.traffic.matrices import uniform_matrix
+
+
+class TestExperimentShims:
+    def test_switch_builders_warns_and_matches_registry(self):
+        from repro.sim import experiment
+
+        with pytest.warns(DeprecationWarning, match="SWITCH_BUILDERS"):
+            builders = experiment.SWITCH_BUILDERS
+        assert set(builders) == set(models.available())
+        # The mapped builders are the registry's own callables.
+        for name, builder in builders.items():
+            assert builder is models.get(name).builder
+
+    def test_from_import_still_works(self):
+        with pytest.warns(DeprecationWarning):
+            from repro.sim.experiment import SWITCH_BUILDERS  # noqa: F401
+
+    def test_build_switch_warns_and_builds(self):
+        from repro.sim.experiment import build_switch
+
+        with pytest.warns(DeprecationWarning, match="build_switch"):
+            switch = build_switch("ufs", 8, uniform_matrix(8, 0.5), 0)
+        assert switch.n == 8
+        assert switch.name == "ufs"
+
+    def test_build_switch_unknown_name_still_raises(self):
+        from repro.sim.experiment import build_switch
+
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="unknown switch"):
+                build_switch("bogus", 8, uniform_matrix(8, 0.5), 0)
+
+
+class TestFastEngineShims:
+    def test_supports_fast_engine_warns_and_matches_registry(self):
+        from repro.sim.fast_engine import supports_fast_engine
+
+        vectorized = set(models.available(engine="vectorized"))
+        for name in models.available():
+            with pytest.warns(DeprecationWarning, match="supports_fast_engine"):
+                supported = supports_fast_engine(name)
+            assert supported == (name in vectorized), name
+
+    def test_supports_fast_engine_unknown_name_is_false(self):
+        from repro.sim.fast_engine import supports_fast_engine
+
+        with pytest.warns(DeprecationWarning):
+            assert supports_fast_engine("no-such-switch") is False
+
+    def test_fast_engine_switches_warns_and_matches_registry(self):
+        from repro.sim import fast_engine
+
+        with pytest.warns(DeprecationWarning, match="FAST_ENGINE_SWITCHES"):
+            names = fast_engine.FAST_ENGINE_SWITCHES
+        assert tuple(names) == models.available(engine="vectorized")
+        # The newly vectorized switches are visible through the old name.
+        assert "pf" in names and "foff" in names
+
+    def test_repro_sim_reexports_resolve(self):
+        """The historical ``repro.sim`` re-exports resolve lazily."""
+        import repro.sim as sim
+
+        with pytest.warns(DeprecationWarning):
+            assert tuple(sim.FAST_ENGINE_SWITCHES) == models.available(
+                engine="vectorized"
+            )
+        assert callable(sim.build_switch)
+        assert callable(sim.supports_fast_engine)
+
+
+class TestImportHygiene:
+    def test_importing_repro_emits_no_deprecation_warnings(self):
+        """Merely importing the library (or repro.sim) must stay silent;
+        run in a subprocess so this module's own imports don't pollute."""
+        code = (
+            "import warnings\n"
+            "with warnings.catch_warnings():\n"
+            "    warnings.simplefilter('error', DeprecationWarning)\n"
+            "    import repro\n"
+            "    import repro.sim\n"
+            "    import repro.sim.experiment\n"
+            "    import repro.sim.fast_engine\n"
+            "print('clean')\n"
+        )
+        import os
+        from pathlib import Path
+
+        import repro
+
+        src = str(Path(repro.__file__).resolve().parent.parent)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        out = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True, text=True,
+            env=env,
+        )
+        assert out.returncode == 0, out.stderr
+        assert "clean" in out.stdout
+
+    def test_no_warning_from_registry_api(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            models.available(engine="vectorized")
+            models.get("pf")
+            models.build("output-queued", 4, uniform_matrix(4, 0.5), 0)

@@ -2,11 +2,10 @@
 
 import pytest
 
+from repro import models
 from repro.sim.experiment import (
     PAPER_SWITCHES,
-    SWITCH_BUILDERS,
     TRAFFIC_PATTERNS,
-    build_switch,
     delay_vs_load_sweep,
     run_single,
 )
@@ -16,17 +15,11 @@ from repro.traffic.matrices import uniform_matrix
 class TestRegistry:
     def test_paper_switches_all_registered(self):
         for name in PAPER_SWITCHES:
-            assert name in SWITCH_BUILDERS
+            assert name in models.available()
 
-    def test_build_each_switch(self):
-        matrix = uniform_matrix(8, 0.5)
-        for name in SWITCH_BUILDERS:
-            switch = build_switch(name, 8, matrix, seed=0)
-            assert switch.n == 8
-
-    def test_unknown_switch_rejected(self):
+    def test_run_single_unknown_switch_rejected(self):
         with pytest.raises(ValueError, match="unknown switch"):
-            build_switch("bogus", 8, uniform_matrix(8, 0.5), 0)
+            run_single("bogus", uniform_matrix(8, 0.5), 100)
 
     def test_patterns(self):
         assert set(TRAFFIC_PATTERNS) == {"uniform", "diagonal"}

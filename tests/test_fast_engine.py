@@ -8,6 +8,13 @@ field-for-field — mean delay, percentiles, throughput counters, ordering
 diagnostics and the delay decomposition — across switches, traffic
 patterns and loads, and keep the object engine in its role as the
 ordering-audit oracle.
+
+Which switches are vectorized is a property of the switch-model registry
+(`repro.models`): every model carrying a kernel must pass the parity
+bar, so registering a new kernel automatically enrolls it here.  PF and
+FOFF get a dedicated acceptance grid (N ∈ {2, 8, 32} across scenarios)
+because their frame-at-a-time input side and (for FOFF) resequencer
+replay are the newest and subtlest kernels.
 """
 
 from __future__ import annotations
@@ -17,16 +24,13 @@ import math
 import numpy as np
 import pytest
 
+from repro import models
 from repro.sim.experiment import ENGINES, run_single
-from repro.sim.fast_engine import (
-    FAST_ENGINE_SWITCHES,
-    run_single_fast,
-    supports_fast_engine,
-)
+from repro.sim.fast_engine import run_single_fast
 from repro.sim.parallel import SweepJob, run_jobs
 from repro.traffic.matrices import diagonal_matrix, uniform_matrix
 
-FAST_SWITCHES = list(FAST_ENGINE_SWITCHES)
+FAST_SWITCHES = list(models.available(engine="vectorized"))
 PATTERNS = {"uniform": uniform_matrix, "diagonal": diagonal_matrix}
 
 
@@ -49,6 +53,21 @@ def _assert_results_identical(a, b):
         math.isnan(a.throughput) and math.isnan(b.throughput)
     )
     assert a.extras == b.extras
+
+
+class TestRegistryCoverage:
+    def test_vectorized_coverage_includes_paper_switches(self):
+        """The ISSUE-3 acceptance bar: every Fig. 6/7 switch plus the OQ
+        reference runs on the vectorized engine."""
+        assert set(FAST_SWITCHES) >= {
+            "sprinklers", "ufs", "load-balanced", "output-queued",
+            "pf", "foff",
+        }
+
+    def test_every_kernel_declares_exact_replay(self):
+        for name in FAST_SWITCHES:
+            model = models.get(name)
+            assert models.Capability.EXACT_REPLAY in model.capabilities, name
 
 
 class TestSeededParity:
@@ -111,6 +130,60 @@ class TestSeededParity:
         assert len(sizes) >= 2
 
 
+class TestPfFoffAcceptance:
+    """The ISSUE-3 acceptance grid: PF and FOFF bit-identical between
+    engines across sizes and scenarios (per-packet delays, reordering
+    counts, and the switches' own extras — padding overhead, peak
+    resequencer occupancy)."""
+
+    SCENARIOS = ("incast", "mmpp-bursty", "quasi-diagonal", "lognormal-skew")
+
+    @pytest.mark.parametrize("switch", ["pf", "foff"])
+    @pytest.mark.parametrize("n", [2, 8, 32])
+    @pytest.mark.parametrize("scenario", SCENARIOS)
+    def test_scenario_grid(self, switch, n, scenario):
+        results = {
+            engine: run_single(
+                switch,
+                scenario=scenario,
+                n=n,
+                load=0.7,
+                num_slots=1200,
+                seed=4,
+                engine=engine,
+            )
+            for engine in ENGINES
+        }
+        _assert_results_identical(results["object"], results["vectorized"])
+
+    @pytest.mark.parametrize("switch", ["pf", "foff"])
+    @pytest.mark.parametrize("n", [2, 8, 32])
+    def test_matrix_grid(self, switch, n):
+        matrix = diagonal_matrix(n, 0.85)
+        obj = run_single(switch, matrix, 1500, seed=11, engine="object")
+        fast = run_single(switch, matrix, 1500, seed=11, engine="vectorized")
+        _assert_results_identical(obj, fast)
+
+    def test_pf_padding_overhead_reported(self):
+        """PF's fake-cell cost must survive vectorization exactly."""
+        matrix = uniform_matrix(8, 0.4)  # light load => lots of padding
+        obj = run_single("pf", matrix, 2000, seed=3, engine="object")
+        fast = run_single("pf", matrix, 2000, seed=3, engine="vectorized")
+        assert obj.extras["padding_overhead"] > 0
+        assert fast.extras["padding_overhead"] == obj.extras["padding_overhead"]
+
+    def test_foff_resequencer_peak_reported(self):
+        """FOFF's O(N^2) resequencer claim is checked against this number,
+        so the replay must reproduce the oracle's peak occupancy."""
+        matrix = diagonal_matrix(16, 0.85)
+        obj = run_single("foff", matrix, 2500, seed=6, engine="object")
+        fast = run_single("foff", matrix, 2500, seed=6, engine="vectorized")
+        assert fast.extras["max_resequencer"] == obj.extras["max_resequencer"]
+        assert obj.extras["max_resequencer"] > 0  # partial frames do reorder
+        # ... and the resequencers fully restore order.
+        assert obj.is_ordered and fast.is_ordered
+
+
 class TestEngineRouting:
     def test_unknown_engine_rejected(self):
         with pytest.raises(ValueError, match="unknown engine"):
@@ -120,17 +193,21 @@ class TestEngineRouting:
         assert set(ENGINES) == {"object", "vectorized"}
 
     def test_unsupported_switch_falls_back_to_object(self):
-        """Mixed sweeps keep working: PF has no vectorized data path, so
+        """Mixed sweeps keep working: CMS has no vectorized kernel, so
         the vectorized route must return the object engine's result."""
-        assert not supports_fast_engine("pf")
+        assert models.get("cms").kernel is None
         matrix = uniform_matrix(4, 0.6)
-        obj = run_single("pf", matrix, 800, seed=1, engine="object")
-        routed = run_single("pf", matrix, 800, seed=1, engine="vectorized")
+        obj = run_single("cms", matrix, 800, seed=1, engine="object")
+        routed = run_single("cms", matrix, 800, seed=1, engine="vectorized")
         _assert_results_identical(obj, routed)
 
     def test_run_single_fast_rejects_unsupported(self):
         with pytest.raises(ValueError, match="no vectorized data path"):
-            run_single_fast("foff", uniform_matrix(4, 0.5), 100)
+            run_single_fast("cms", uniform_matrix(4, 0.5), 100)
+
+    def test_run_single_fast_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown switch"):
+            run_single_fast("warp-fabric", uniform_matrix(4, 0.5), 100)
 
     def test_sweep_jobs_carry_engine(self):
         matrix = uniform_matrix(8, 0.7)
@@ -172,7 +249,7 @@ class TestFastEngineBehaviour:
     def test_delay_ci_matches_oracle_exactly(self, switch):
         """MSER truncation and batch means are order-sensitive, so the
         retained samples must be stored in the object engine's
-        observation order — departure slot, intermediate-port tie-break —
+        observation order — departure slot, within-slot tie-break —
         for error bars to reproduce across engines."""
         matrix = uniform_matrix(8, 0.9)
         obj = run_single(switch, matrix, 2000, seed=3, engine="object")
@@ -189,10 +266,9 @@ class TestFastEngineBehaviour:
         with pytest.raises(ValueError):
             result.delay_ci()
 
-    def test_zero_load_run_is_empty_but_valid(self):
-        result = run_single_fast(
-            "sprinklers", uniform_matrix(8, 0.0), 500, seed=0
-        )
+    @pytest.mark.parametrize("switch", ["sprinklers", "pf", "foff"])
+    def test_zero_load_run_is_empty_but_valid(self, switch):
+        result = run_single_fast(switch, uniform_matrix(8, 0.0), 500, seed=0)
         assert result.injected == 0
         assert result.departed == 0
         assert math.isnan(result.mean_delay)

@@ -324,6 +324,36 @@ class TestEngineParity:
             )
         assert_results_identical(results["object"], results["vectorized"])
 
+    def test_incast_concentrates_on_one_output(self):
+        """The incast spec must actually be a fan-in: the hot output draws
+        several times a uniform share of every input's traffic, under
+        on/off burst arrivals (the parametrized parity tests above already
+        pin object/vectorized equality for it)."""
+        spec = get_scenario("incast")
+        assert spec.arrivals["kind"] == "onoff"
+        matrix = effective_matrix(spec, 8, 0.9)
+        hot = matrix[:, 0]
+        rest = matrix[:, 1:]
+        assert np.all(hot > 4 * rest.max(axis=1))
+        # Admissible despite the fan-in: the hot column's total load <= 1.
+        assert hot.sum() <= 1.0 + 1e-12
+
+    def test_incast_parity_on_frame_switches(self):
+        """PF and FOFF — the switches incast stresses hardest — must agree
+        across engines on the incast workload specifically."""
+        for switch in ("pf", "foff"):
+            results = {
+                engine: run_single(
+                    switch, scenario="incast", n=8, load=0.75,
+                    num_slots=1500, seed=9, engine=engine,
+                )
+                for engine in ("object", "vectorized")
+            }
+            assert_results_identical(
+                results["object"], results["vectorized"]
+            )
+            assert results["object"].measured_packets > 0
+
     def test_ordering_preserved_under_stress(self):
         # Sprinklers' core claim must survive the nastiest scenarios.
         for name in ("mmpp-bursty", "matrix-drift", "adversarial-stride"):

@@ -263,3 +263,84 @@ class TestStoreDoesNotChangeResults:
         )
         assert_results_identical(plain[0], stored[0])
         assert_results_identical(plain[0], cached[0])
+
+
+class TestStatsAndGc:
+    """`repro store stats` / `gc` backing methods (ROADMAP store item)."""
+
+    def _populate(self, store, runs=2):
+        for seed in range(runs):
+            run_single(
+                "ufs", uniform_matrix(4, 0.5), 300, seed=seed, store=store
+            )
+
+    def test_stats_counts_entries_saves_and_hits(self, tmp_path):
+        store = ExperimentStore(tmp_path)
+        self._populate(store, runs=2)
+        run_single("ufs", uniform_matrix(4, 0.5), 300, seed=0, store=store)
+        stats = store.stats()
+        assert stats.entries == 2
+        assert stats.saves == 2
+        assert stats.hits == 1
+        assert stats.hit_rate == pytest.approx(1 / 3)
+        assert stats.total_bytes > 0
+        assert stats.oldest is not None and stats.newest >= stats.oldest
+
+    def test_stats_empty_store(self, tmp_path):
+        stats = ExperimentStore(tmp_path).stats()
+        assert stats.entries == 0
+        assert math.isnan(stats.hit_rate)
+
+    def test_gc_by_age(self, tmp_path):
+        store = ExperimentStore(tmp_path)
+        self._populate(store, runs=3)
+        report = store.gc(max_age_seconds=0.0)
+        assert report.removed == 3
+        assert report.kept == 0
+        assert report.bytes_freed > 0
+        assert len(store) == 0
+        # Manifest compacted: no stale lines survive.
+        assert store.stats().saves == 0
+
+    def test_gc_by_size_removes_oldest_first(self, tmp_path):
+        import os
+        import time
+
+        store = ExperimentStore(tmp_path)
+        self._populate(store, runs=3)
+        paths = sorted(
+            store.objects_dir.glob("*/*.json.gz"), key=lambda p: p.stat().st_mtime
+        )
+        # Force distinct mtimes so "oldest" is well defined.
+        now = time.time()
+        for rank, path in enumerate(paths):
+            os.utime(path, (now + rank, now + rank))
+        one_size = paths[0].stat().st_size
+        report = store.gc(max_total_bytes=one_size)
+        assert report.kept == 1
+        survivors = list(store.objects_dir.glob("*/*.json.gz"))
+        assert survivors == [paths[-1]]  # newest kept
+
+    def test_gc_without_bounds_keeps_everything(self, tmp_path):
+        store = ExperimentStore(tmp_path)
+        self._populate(store, runs=2)
+        report = store.gc()
+        assert report.removed == 0
+        assert report.kept == 2
+        # Cached results still fetch after the manifest compaction.
+        before = store.hits
+        run_single("ufs", uniform_matrix(4, 0.5), 300, seed=0, store=store)
+        assert store.hits == before + 1
+
+    def test_gc_then_recompute_round_trips(self, tmp_path):
+        store = ExperimentStore(tmp_path)
+        first = run_single(
+            "foff", uniform_matrix(4, 0.6), 400, seed=2, store=store,
+            engine="vectorized",
+        )
+        store.gc(max_age_seconds=0.0)
+        again = run_single(
+            "foff", uniform_matrix(4, 0.6), 400, seed=2, store=store,
+            engine="vectorized",
+        )
+        assert_results_identical(first, again)
