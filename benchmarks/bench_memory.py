@@ -1,0 +1,108 @@
+"""Benchmark: windowed (streaming) replay keeps peak memory bounded.
+
+The monolithic vectorized engine materializes a whole run's arrivals (and
+every per-stage intermediate array) at once, so its peak memory grows
+linearly with ``--slots``; the windowed replay
+(``run_single_fast(..., window_slots=W)``) materializes O(W) slots at a
+time and folds metrics as it goes, so its peak stays (nearly) flat as
+runs grow — that is the property that unlocks multi-million-slot runs.
+
+This module pins both claims with ``tracemalloc`` (which tracks NumPy's
+buffers and is measurable per-section, unlike ``ru_maxrss``, which never
+decreases within a process):
+
+* the streamed peak at the large size must be well below the monolithic
+  peak at the same size (``REPRO_BENCH_MEM_FRACTION``, default 0.5);
+* growing the run 4x must grow the streamed peak by far less than 4x
+  (``REPRO_BENCH_MEM_GROWTH``, default 2.0 — carried queue state and
+  drain tails add a sublinear remainder over the flat window buffers).
+
+Unlike the wall-clock bars in ``bench_engines.py``, these are
+*deterministic allocation* measurements, so they also run inside CI
+sandboxes.  Scale knobs: ``REPRO_BENCH_N`` and
+``REPRO_BENCH_MEM_SLOTS`` (the large size; the small size is a quarter
+of it).
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import tracemalloc
+
+from repro.sim.fast_engine import run_single_fast
+from repro.traffic.matrices import uniform_matrix
+
+from benchmarks.conftest import bench_n, emit
+
+LOAD = 0.9
+WINDOW_SLOTS = 4096
+LARGE_SLOTS = int(os.environ.get("REPRO_BENCH_MEM_SLOTS", "120000"))
+SMALL_SLOTS = LARGE_SLOTS // 4
+MEM_FRACTION = float(os.environ.get("REPRO_BENCH_MEM_FRACTION", "0.5"))
+MEM_GROWTH = float(os.environ.get("REPRO_BENCH_MEM_GROWTH", "2.0"))
+
+
+def _peak_bytes(fn) -> int:
+    """Peak traced allocation of one call, in bytes."""
+    gc.collect()
+    tracemalloc.start()
+    try:
+        fn()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak
+
+
+def _run(slots: int, window_slots=None) -> None:
+    # keep_samples=False: retained per-packet samples are inherently
+    # O(run) and identical for both paths; the claim under test is about
+    # the *engine's* working set.
+    run_single_fast(
+        "sprinklers",
+        uniform_matrix(bench_n(), LOAD),
+        slots,
+        seed=0,
+        load_label=LOAD,
+        keep_samples=False,
+        window_slots=window_slots,
+    )
+
+
+def test_streamed_memory_bounded():
+    mono_large = _peak_bytes(lambda: _run(LARGE_SLOTS))
+    streamed_small = _peak_bytes(
+        lambda: _run(SMALL_SLOTS, window_slots=WINDOW_SLOTS)
+    )
+    streamed_large = _peak_bytes(
+        lambda: _run(LARGE_SLOTS, window_slots=WINDOW_SLOTS)
+    )
+    growth = streamed_large / max(streamed_small, 1)
+    fraction = streamed_large / max(mono_large, 1)
+    emit(
+        f"Peak engine memory (sprinklers, N={bench_n()}, load {LOAD}, "
+        f"window {WINDOW_SLOTS})",
+        "\n".join(
+            [
+                f"monolithic @ {LARGE_SLOTS} slots: "
+                f"{mono_large / 1e6:8.1f} MB",
+                f"streamed   @ {SMALL_SLOTS} slots: "
+                f"{streamed_small / 1e6:8.1f} MB",
+                f"streamed   @ {LARGE_SLOTS} slots: "
+                f"{streamed_large / 1e6:8.1f} MB  "
+                f"(x{growth:.2f} for a 4x run, "
+                f"{fraction:.0%} of monolithic)",
+            ]
+        ),
+    )
+    assert streamed_large <= mono_large * MEM_FRACTION, (
+        f"streamed peak {streamed_large / 1e6:.1f} MB is not below "
+        f"{MEM_FRACTION:.0%} of the monolithic "
+        f"{mono_large / 1e6:.1f} MB"
+    )
+    assert growth <= MEM_GROWTH, (
+        f"streamed peak grew {growth:.2f}x for a 4x longer run "
+        f"(bound {MEM_GROWTH}x) — the window is no longer what "
+        f"dominates"
+    )

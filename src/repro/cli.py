@@ -123,6 +123,17 @@ def build_parser() -> argparse.ArgumentParser:
                 "scenario (see `scenarios list`) or a .toml/.json spec file"
             ),
         )
+        p.add_argument(
+            "--window-slots",
+            type=int,
+            default=None,
+            metavar="W",
+            help=(
+                "stream the vectorized replay in W-slot windows (bounded "
+                "memory, identical results; for --slots too large to "
+                "materialize at once)"
+            ),
+        )
         _add_store_flags(p)
 
     demo = sub.add_parser("demo", help="run every switch once, show a summary")
@@ -195,6 +206,16 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--slots", type=int, default=20_000)
     run.add_argument("--seed", type=int, default=0)
     run.add_argument("--engine", choices=ENGINES, default="object")
+    run.add_argument(
+        "--window-slots",
+        type=int,
+        default=None,
+        metavar="W",
+        help=(
+            "stream the vectorized replay in W-slot windows (bounded "
+            "memory, identical results)"
+        ),
+    )
     run.add_argument(
         "--set",
         dest="overrides",
@@ -273,6 +294,7 @@ def _cmd_fig(args: argparse.Namespace, module) -> str:
         engine=args.engine,
         scenario=args.scenario,
         store=_resolve_store(args),
+        window_slots=args.window_slots,
     )
     if args.csv:
         return rows_to_csv(module.generate(**kwargs))
@@ -310,6 +332,7 @@ def _cmd_scenarios(args: argparse.Namespace) -> str:
             seed=args.seed,
             engine=args.engine,
             store=_resolve_store(args),
+            window_slots=args.window_slots,
         )
         lines = [
             f"Scenario {spec.name!r} on {args.switch} "

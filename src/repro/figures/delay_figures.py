@@ -32,6 +32,7 @@ def generate(
     seed: int = 0,
     engine: str = "object",
     store=None,
+    window_slots=None,
 ) -> List[Dict[str, float]]:
     """One row per (switch, load): mean delay plus ordering diagnostics.
 
@@ -39,7 +40,9 @@ def generate(
     ``engine="vectorized"`` regenerates the figure at the paper's full
     scale in a fraction of the object engine's wall-clock (same seeds,
     same numbers for the switches both engines model); ``store`` caches
-    every cell so re-rendering a figure is free.
+    every cell so re-rendering a figure is free.  ``window_slots``
+    streams the vectorized replay in bounded-memory windows (identical
+    numbers — it exists so multi-million-slot points fit in RAM).
     """
     results = delay_vs_load_sweep(
         pattern,
@@ -50,6 +53,7 @@ def generate(
         seed=seed,
         engine=engine,
         store=store,
+        window_slots=window_slots,
     )
     rows: List[Dict[str, float]] = []
     for result in results:
@@ -74,6 +78,7 @@ def render(
     seed: int = 0,
     engine: str = "object",
     store=None,
+    window_slots=None,
 ) -> str:
     """Delay-vs-load table and log-scale chart for one traffic pattern."""
     rows = generate(
@@ -84,6 +89,7 @@ def render(
         seed=seed,
         engine=engine,
         store=store,
+        window_slots=window_slots,
     )
     series: Dict[str, List[tuple]] = {}
     for row in rows:

@@ -17,6 +17,7 @@ def generate(
     engine: str = "object",
     scenario: Optional[str] = None,
     store=None,
+    window_slots: Optional[int] = None,
 ) -> List[Dict[str, float]]:
     """Figure 6 rows (uniform destinations, or any scenario override)."""
     return _generate(
@@ -27,6 +28,7 @@ def generate(
         seed=seed,
         engine=engine,
         store=store,
+        window_slots=window_slots,
     )
 
 
@@ -38,6 +40,7 @@ def render(
     engine: str = "object",
     scenario: Optional[str] = None,
     store=None,
+    window_slots: Optional[int] = None,
 ) -> str:
     """Figure 6 table + chart (titled with the scenario when overridden)."""
     return _render(
@@ -49,4 +52,5 @@ def render(
         seed=seed,
         engine=engine,
         store=store,
+        window_slots=window_slots,
     )

@@ -5,8 +5,13 @@ One registry for everything the system knows about a switch algorithm:
 * the **object-engine builder** ``(n, matrix, seed, **params) -> switch``;
 * the optional **vectorized kernel** ``(batch, matrix, seed) ->
   (Departures, extras)`` the batch engine dispatches to;
+* the optional **stream kernel** ``(matrix, seeds, total_slots,
+  **params) -> streamer`` — the kernel's resumable form, replaying a run
+  window-by-window with bounded memory and, where the capability set
+  says ``seed-batched``, many seeds in one stacked pass;
 * a declared **capability set** (:class:`Capability`: exact-replay vs
-  feedback-coupled, supports-drift, supports-adaptive);
+  feedback-coupled, supports-drift, supports-adaptive, streaming,
+  seed-batched);
 * a **parameter schema** (:class:`ParamSpec`) for constructor knobs.
 
 Usage::

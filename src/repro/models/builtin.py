@@ -90,7 +90,12 @@ register(SwitchModel(
     ),
     builder=_build_sprinklers,
     kernel=_k_sprinklers.departures,
-    capabilities={Capability.EXACT_REPLAY, Capability.SUPPORTS_DRIFT},
+    stream_kernel=_k_sprinklers.stream,
+    capabilities={
+        Capability.EXACT_REPLAY,
+        Capability.SUPPORTS_DRIFT,
+        Capability.SEED_BATCHED,
+    },
 ))
 
 register(SwitchModel(
@@ -113,7 +118,12 @@ register(SwitchModel(
     description="Uniform Frame Spreading: full-frame aggregation (§2.2).",
     builder=_build_ufs,
     kernel=_k_ufs.departures,
-    capabilities={Capability.EXACT_REPLAY, Capability.SUPPORTS_DRIFT},
+    stream_kernel=_k_ufs.stream,
+    capabilities={
+        Capability.EXACT_REPLAY,
+        Capability.SUPPORTS_DRIFT,
+        Capability.SEED_BATCHED,
+    },
     params=(
         ParamSpec("input_buffer", int, None,
                   "per-input buffer cap (packets); None = infinite"),
@@ -128,6 +138,7 @@ register(SwitchModel(
     ),
     builder=_build_foff,
     kernel=_k_foff.departures,
+    stream_kernel=_k_foff.stream,
     capabilities={Capability.EXACT_REPLAY, Capability.SUPPORTS_DRIFT},
 ))
 
@@ -139,6 +150,7 @@ register(SwitchModel(
     ),
     builder=_build_pf,
     kernel=_k_pf.departures,
+    stream_kernel=_k_pf.stream,
     capabilities={Capability.EXACT_REPLAY, Capability.SUPPORTS_DRIFT},
     params=(
         ParamSpec("threshold", int, None,
@@ -155,9 +167,14 @@ register(SwitchModel(
     ),
     builder=_build_lb,
     kernel=_k_lb.departures,
+    stream_kernel=_k_lb.stream,
     reported_name="baseline-lb",
     aliases=("baseline-lb",),
-    capabilities={Capability.EXACT_REPLAY, Capability.SUPPORTS_DRIFT},
+    capabilities={
+        Capability.EXACT_REPLAY,
+        Capability.SUPPORTS_DRIFT,
+        Capability.SEED_BATCHED,
+    },
     params=(
         ParamSpec("input_buffer", int, None,
                   "per-input buffer cap (packets); None = infinite"),
@@ -169,8 +186,13 @@ register(SwitchModel(
     description="Ideal output-queued reference (the delay lower bound).",
     builder=lambda n, matrix, seed: OutputQueuedSwitch(n),
     kernel=_k_oq.departures,
+    stream_kernel=_k_oq.stream,
     aliases=("oq",),
-    capabilities={Capability.EXACT_REPLAY, Capability.SUPPORTS_DRIFT},
+    capabilities={
+        Capability.EXACT_REPLAY,
+        Capability.SUPPORTS_DRIFT,
+        Capability.SEED_BATCHED,
+    },
 ))
 
 register(SwitchModel(

@@ -37,6 +37,15 @@ class Capability(str, enum.Enum):
     #: Has an online adaptation mode (e.g. Sprinklers' adaptive stripe
     #: resizing).
     SUPPORTS_ADAPTIVE = "supports-adaptive"
+    #: The vectorized kernel has a resumable (windowed) form: the run
+    #: can replay window-by-window with O(window) peak arrival memory
+    #: and bit-identical results (``stream_kernel`` is set).  Derived
+    #: automatically from the ``stream_kernel`` field at registration.
+    STREAMING = "streaming"
+    #: The stream kernel accepts a *list* of seeds and replays them in
+    #: one pass over disjoint per-seed id blocks (multi-seed batched
+    #: replication).  Requires ``stream_kernel``.
+    SEED_BATCHED = "seed-batched"
 
 
 class ParamSpec:
@@ -62,6 +71,11 @@ SwitchBuilder = Callable[..., object]
 #: Vectorized kernel signature:
 #: ``(batch, matrix, seed, **params) -> (Departures, extras | None)``.
 VectorizedKernel = Callable[..., tuple]
+#: Stream-kernel factory signature: ``(matrix, seeds, total_slots,
+#: **params) -> streamer`` where the streamer exposes
+#: ``feed(windows) -> [Departures]`` and ``finish() -> ([Departures],
+#: [extras])`` — one entry per seed.
+StreamKernel = Callable[..., object]
 
 
 @dataclass(frozen=True)
@@ -82,6 +96,9 @@ class SwitchModel:
     aliases: Tuple[str, ...] = ()
     reported_name: Optional[str] = None
     kernel: Optional[VectorizedKernel] = None
+    #: Optional resumable (windowed / multi-seed) form of the kernel;
+    #: setting it implies :data:`Capability.STREAMING`.
+    stream_kernel: Optional[StreamKernel] = None
     capabilities: frozenset = field(default_factory=frozenset)
     params: Tuple[ParamSpec, ...] = ()
     #: The subset of declared parameter names the vectorized kernel also
@@ -104,6 +121,30 @@ class SwitchModel:
                 f"switch model {self.name!r}: a feedback-coupled control "
                 f"loop cannot have an exact vectorized kernel"
             )
+        if self.stream_kernel is not None:
+            if self.kernel is None:
+                raise ValueError(
+                    f"switch model {self.name!r}: a stream kernel requires "
+                    f"the monolithic kernel (it is the parity oracle)"
+                )
+            object.__setattr__(
+                self,
+                "capabilities",
+                self.capabilities | {Capability.STREAMING},
+            )
+        elif Capability.STREAMING in self.capabilities:
+            raise ValueError(
+                f"switch model {self.name!r} declares "
+                f"{Capability.STREAMING.value!r} but has no stream_kernel"
+            )
+        if (
+            Capability.SEED_BATCHED in self.capabilities
+            and self.stream_kernel is None
+        ):
+            raise ValueError(
+                f"switch model {self.name!r} declares "
+                f"{Capability.SEED_BATCHED.value!r} but has no stream_kernel"
+            )
         declared = {p.name for p in self.params}
         stray = set(self.kernel_params) - declared
         if stray:
@@ -113,6 +154,11 @@ class SwitchModel:
             )
 
     # -- engine support --------------------------------------------------------
+
+    @property
+    def seed_batched(self) -> bool:
+        """Whether the stream kernel replays multiple seeds in one pass."""
+        return Capability.SEED_BATCHED in self.capabilities
 
     def supports_engine(self, engine: str, params: Optional[Dict] = None) -> bool:
         """Whether this switch runs natively on ``engine`` (with the

@@ -77,20 +77,36 @@ def get(name: str) -> SwitchModel:
     return _MODELS[canonical_name(name)]
 
 
-def available(engine: Optional[str] = None) -> Tuple[str, ...]:
-    """Registered switch names (canonical, sorted), optionally filtered
-    to those a given engine runs natively (``engine="vectorized"`` lists
-    the switches with an exact kernel; ``engine="object"`` lists all)."""
+def available(
+    engine: Optional[str] = None, capability=None
+) -> Tuple[str, ...]:
+    """Registered switch names (canonical, sorted), optionally filtered.
+
+    ``engine="vectorized"`` lists the switches with an exact kernel;
+    ``engine="object"`` lists all.  ``capability`` further restricts to
+    models declaring that :class:`~repro.models.Capability` (name or
+    enum) — e.g. ``available(engine="vectorized",
+    capability="streaming")`` are the switches the windowed replay can
+    run.
+    """
+    from .model import Capability
+
     _ensure_discovered()
-    if engine is None:
-        return tuple(sorted(_MODELS))
-    if engine not in ("object", "vectorized"):
-        raise ValueError(
-            f"unknown engine {engine!r}; known: object, vectorized"
-        )
-    return tuple(
-        sorted(n for n, m in _MODELS.items() if m.supports_engine(engine))
-    )
+    names = _MODELS
+    if engine is not None:
+        if engine not in ("object", "vectorized"):
+            raise ValueError(
+                f"unknown engine {engine!r}; known: object, vectorized"
+            )
+        names = {
+            n: m for n, m in names.items() if m.supports_engine(engine)
+        }
+    if capability is not None:
+        wanted = Capability(capability)
+        names = {
+            n: m for n, m in names.items() if wanted in m.capabilities
+        }
+    return tuple(sorted(names))
 
 
 def build(name: str, n: int, matrix, seed: int, **params):

@@ -154,6 +154,7 @@ def _execute_single(
     spec: Optional[ScenarioSpec],
     spec_load: Optional[float] = None,
     switch_params: Optional[Dict] = None,
+    window_slots: Optional[int] = None,
 ) -> SimulationResult:
     """The uncached simulation (the store wraps exactly this function)."""
     n = matrix.shape[0]
@@ -177,6 +178,12 @@ def _execute_single(
             keep_samples=keep_samples,
             batch_traffic=batch_traffic,
             switch_params=switch_params,
+            # The windowed replay is an execution detail (bit-identical
+            # results, bounded memory); switches without a stream kernel
+            # simply keep the monolithic replay.
+            window_slots=(
+                window_slots if model.stream_kernel is not None else None
+            ),
         )
     switch = model.build(n, matrix, seed, **switch_params)
     if spec is not None:
@@ -207,6 +214,7 @@ def run_single(
     load: Optional[float] = None,
     store: Union[None, str, ExperimentStore] = None,
     switch_params: Optional[Dict] = None,
+    window_slots: Optional[int] = None,
 ) -> SimulationResult:
     """Build switch + traffic from a seed and simulate one configuration.
 
@@ -239,6 +247,12 @@ def run_single(
     ``store`` (an :class:`~repro.store.ExperimentStore` or its directory
     path) caches the result content-addressed by the full configuration;
     a hit skips the simulation entirely.
+
+    ``window_slots`` streams the vectorized replay in windows of that
+    many slots (bounded arrival memory, bit-identical results — see
+    :func:`repro.sim.fast_engine.run_single_fast`); because results are
+    identical it does not enter the store cache key, and engines or
+    switches that cannot stream simply ignore it.
     """
     _check_engine(engine)
     switch_name = models.canonical_name(switch_name)
@@ -264,7 +278,7 @@ def run_single(
         return _execute_single(
             switch_name, matrix, num_slots, seed, load_label,
             warmup_fraction, keep_samples, engine, spec, spec_load,
-            switch_params,
+            switch_params, window_slots,
         )
     params = single_run_params(
         switch_name, matrix, num_slots, seed,
@@ -277,7 +291,7 @@ def run_single(
     result = _execute_single(
         switch_name, matrix, num_slots, seed, load_label,
         warmup_fraction, keep_samples, engine, spec, spec_load,
-        switch_params,
+        switch_params, window_slots,
     )
     cache.save(params, result)
     return result
@@ -293,6 +307,7 @@ def delay_vs_load_sweep(
     keep_samples: bool = False,
     engine: str = "object",
     store: Union[None, str, ExperimentStore] = None,
+    window_slots: Optional[int] = None,
 ) -> List[SimulationResult]:
     """The paper's §6 experiment grid: all switches across a load sweep.
 
@@ -343,6 +358,7 @@ def delay_vs_load_sweep(
                     n=n if spec is not None else None,
                     load=load if spec is not None else None,
                     store=cache,
+                    window_slots=window_slots,
                 )
             )
     return results

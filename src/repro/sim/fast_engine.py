@@ -25,6 +25,18 @@ rather than hardcoding the list.  Switches whose control loops are
 feedback-coupled (adaptive Sprinklers) or not yet modeled (CMS, hashing)
 keep the object engine.
 
+Two scaling modes sit on top of the kernels:
+
+* **Windowed (streaming) replay** — ``run_single_fast(...,
+  window_slots=W)`` draws and replays the run in consecutive ``W``-slot
+  windows through the switch's resumable stream kernel
+  (:data:`~repro.models.Capability.STREAMING`), with bit-identical
+  results and O(``W``) peak arrival-array memory instead of O(run).
+* **Multi-seed batching** — :func:`run_replications_fast` replays many
+  seeds at once through one stream-kernel instance where the kernel
+  supports a seed axis (:data:`~repro.models.Capability.SEED_BATCHED`),
+  amortizing the array-setup overheads that dominate short replications.
+
 The legacy module attributes ``FAST_ENGINE_SWITCHES`` and
 ``supports_fast_engine`` are deprecation shims over the registry.
 """
@@ -32,7 +44,7 @@ The legacy module attributes ``FAST_ENGINE_SWITCHES`` and
 from __future__ import annotations
 
 import warnings
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -47,6 +59,7 @@ __all__ = [
     "FAST_ENGINE_SWITCHES",
     "supports_fast_engine",
     "run_single_fast",
+    "run_replications_fast",
 ]
 
 
@@ -83,30 +96,33 @@ def __getattr__(name: str):
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
+#: Target stacked-event count per seed group in the batched replication
+#: path: wide enough to amortize per-call overheads across seeds, small
+#: enough that the stacked working set stays cache-resident (measured
+#: optimum on the engine benchmark; see benchmarks/bench_engines.py).
+_STACK_TARGET_EVENTS = 1 << 14
+
+
 # ---------------------------------------------------------------------------
 # Metrics assembly
 # ---------------------------------------------------------------------------
 
 
-def _reordering_counts(dep: Departures) -> Tuple[int, int]:
-    """Vectorized :class:`~repro.switching.resequencer.ReorderingDetector`.
+def _fold_reordering(
+    voq: np.ndarray, seq: np.ndarray, prev_max: np.ndarray
+) -> tuple:
+    """Vectorized :class:`~repro.switching.resequencer.ReorderingDetector`
+    step over one (voq, observation)-sorted event block.
 
-    Per VOQ, packets are checked in observation order; a packet is late
-    iff an earlier-observed packet of its VOQ carries a higher sequence
-    number, and displacement is that running max minus the packet's seq.
-    For most switches per-VOQ observation order is simply departure-slot
-    order (one departure per output per slot); kernels that release
-    several packets of a flow in one slot (FOFF's resequencers) provide
-    the full observation rank in ``wire`` instead (``wire_is_rank``).
+    Per VOQ in observation order, a packet is late iff an
+    earlier-observed packet of its VOQ carries a higher sequence number.
+    ``prev_max`` carries each VOQ's running max across blocks (windows);
+    it is seeded from and updated **in place**.  Returns ``(late_mask,
+    prev)`` where ``prev`` is the per-packet predecessor max (for
+    displacement).  The segmented running max uses a monotone offset:
+    voq ids are sorted, so adding ``voq * (max seq + 1)`` makes the
+    global running max segment-local.
     """
-    if len(dep.voq) == 0:
-        return 0, 0
-    within = dep.wire if dep.wire_is_rank else dep.departure
-    order = composite_argsort(dep.voq, within)
-    voq = dep.voq[order]
-    seq = dep.seq[order]
-    # Segmented running max via a monotone offset: voq ids are sorted, so
-    # adding voq * (max seq + 1) makes the global running max segment-local.
     big = int(seq.max()) + 1
     run = np.maximum.accumulate(seq + voq * big) - voq * big
     prev = np.empty(len(run), dtype=np.int64)
@@ -114,9 +130,280 @@ def _reordering_counts(dep: Departures) -> Tuple[int, int]:
     prev[1:] = run[:-1]
     first = np.r_[True, voq[1:] != voq[:-1]]
     prev[first] = -1
-    late = prev > seq
-    displacement = int(np.max(prev[late] - seq[late])) if late.any() else 0
-    return int(late.sum()), displacement
+    prev = np.maximum(prev, prev_max[voq])
+    bounds = np.flatnonzero(np.r_[first, True])
+    last = bounds[1:] - 1
+    prev_max[voq[last]] = np.maximum(run, prev)[last]
+    return prev > seq, prev
+
+
+class _MetricsAccumulator:
+    """Streaming fold of :class:`Departures` into run metrics.
+
+    Consumes departures one finalized window at a time (windows arrive in
+    nondecreasing departure order, as the stream kernels guarantee) and
+    carries exactly the state the final :class:`SimulationResult` needs:
+    scalar delay statistics, the retained samples (observation order),
+    the per-VOQ running max sequence number of the vectorized
+    :class:`~repro.switching.resequencer.ReorderingDetector` — a packet
+    is late iff an earlier-observed packet of its VOQ carries a higher
+    sequence number — and the delay-breakdown sums.  The monolithic path
+    is the one-window special case, so both paths share this logic.
+    """
+
+    def __init__(self, n: int, warmup: int, keep_samples: bool) -> None:
+        self.n = n
+        self.warmup = warmup
+        self.keep_samples = keep_samples
+        self.count = 0
+        self.total = 0
+        self.total_sq = 0
+        self.min: Optional[int] = None
+        self.max: Optional[int] = None
+        self.samples: List[int] = []
+        self.departed = 0
+        self.late = 0
+        self.displacement = 0
+        self._prev_max = np.full(n * n, -1, dtype=np.int64)
+        self.has_breakdown = False
+        self.assembly_total = 0
+        self.input_queue_total = 0
+        self.transit_total = 0
+
+    def add(self, dep: Departures) -> None:
+        if len(dep.voq) == 0:
+            return
+        self.departed += len(dep.voq)
+
+        # Reordering: per VOQ in observation order, a packet is late iff
+        # the running max sequence number already exceeds its own.
+        within = dep.wire if dep.wire_is_rank else dep.departure
+        order = composite_argsort(dep.voq, within)
+        voq = dep.voq[order]
+        seq = dep.seq[order]
+        late, prev = _fold_reordering(voq, seq, self._prev_max)
+        if late.any():
+            self.late += int(late.sum())
+            self.displacement = max(
+                self.displacement, int(np.max(prev[late] - seq[late]))
+            )
+
+        # Delay statistics over measured (post-warm-up arrival) packets.
+        measured = dep.arrival >= self.warmup
+        delays = dep.departure[measured] - dep.arrival[measured]
+        self.count += int(len(delays))
+        self.total += int(delays.sum())
+        self.total_sq += int(np.sum(delays * delays))
+        if len(delays):
+            self.min = (
+                int(delays.min()) if self.min is None
+                else min(self.min, int(delays.min()))
+            )
+            self.max = (
+                int(delays.max()) if self.max is None
+                else max(self.max, int(delays.max()))
+            )
+        if self.keep_samples:
+            # Order-sensitive statistics (MSER truncation, batch means
+            # in delay_ci) require the object engine's observation
+            # order: departure slot, then the kernel's within-slot
+            # tie-break.  Finalized windows never interleave in that
+            # order, so per-window sorted blocks concatenate exactly.
+            obs = composite_argsort(dep.departure[measured], dep.wire[measured])
+            self.samples.extend(delays[obs].tolist())
+
+        if dep.assembled is not None and dep.tx is not None:
+            self.has_breakdown = True
+            self.assembly_total += int(
+                (dep.assembled[measured] - dep.arrival[measured]).sum()
+            )
+            self.input_queue_total += int(
+                (dep.tx[measured] - dep.assembled[measured]).sum()
+            )
+            self.transit_total += int(
+                (dep.departure[measured] - dep.tx[measured]).sum()
+            )
+
+    def result(
+        self,
+        switch_name: str,
+        injected: int,
+        num_slots: int,
+        load_label: float,
+        extras: Optional[Dict[str, float]] = None,
+    ) -> SimulationResult:
+        """Build a :class:`SimulationResult` identical to the object
+        engine's."""
+        metrics = SimulationMetrics(keep_samples=self.keep_samples)
+        stats = metrics.delays
+        stats.count = self.count
+        stats.total = self.total
+        stats.total_sq = self.total_sq
+        if self.count:
+            stats.min = self.min
+            stats.max = self.max
+        if self.keep_samples:
+            stats._samples = self.samples
+        metrics.measured_departures = self.count
+
+        metrics.reordering.observed = self.departed
+        metrics.reordering.late_packets = self.late
+        metrics.reordering.max_displacement = self.displacement
+
+        if self.has_breakdown:
+            metrics.breakdown_count = self.count
+            metrics.assembly_total = self.assembly_total
+            metrics.input_queue_total = self.input_queue_total
+            metrics.transit_total = self.transit_total
+
+        return SimulationResult(
+            switch_name=switch_name,
+            n=self.n,
+            load=load_label,
+            slots=num_slots,
+            warmup=self.warmup,
+            metrics=metrics,
+            injected=injected,
+            departed=self.departed,
+            extras=extras,
+        )
+
+
+class _StackedMetricsAccumulator:
+    """Per-seed metrics from one *stacked* multi-seed departure record.
+
+    The seed-batched replay keeps all seeds in one event block (VOQ ids
+    ``seed * n^2 + voq``); folding metrics per seed with segmented
+    reductions (``np.add.at`` / ``bincount`` keyed by the seed block)
+    costs a handful of stacked passes instead of R per-seed accumulator
+    calls plus a split pass — the accounting that used to dominate short
+    batched replications.  Sample retention needs per-seed observation
+    order, so this path serves ``keep_samples=False`` (what replications
+    use); results are identical to the per-seed accumulator.
+    """
+
+    def __init__(self, n: int, num_blocks: int, warmup: int) -> None:
+        self.n = n
+        self.num_blocks = num_blocks
+        self.warmup = warmup
+        big = np.iinfo(np.int64).max
+        self.count = np.zeros(num_blocks, dtype=np.int64)
+        self.total = np.zeros(num_blocks, dtype=np.int64)
+        self.total_sq = np.zeros(num_blocks, dtype=np.int64)
+        self.min = np.full(num_blocks, big, dtype=np.int64)
+        self.max = np.full(num_blocks, -1, dtype=np.int64)
+        self.departed = np.zeros(num_blocks, dtype=np.int64)
+        self.late = np.zeros(num_blocks, dtype=np.int64)
+        self.displacement = np.zeros(num_blocks, dtype=np.int64)
+        self._prev_max = np.full(num_blocks * n * n, -1, dtype=np.int64)
+        self.has_breakdown = False
+        self.assembly_total = np.zeros(num_blocks, dtype=np.int64)
+        self.input_queue_total = np.zeros(num_blocks, dtype=np.int64)
+        self.transit_total = np.zeros(num_blocks, dtype=np.int64)
+
+    @staticmethod
+    def _segment_sums(values: np.ndarray, bounds: np.ndarray) -> np.ndarray:
+        """Exact int64 per-segment sums via one padded prefix sum."""
+        prefix = np.concatenate(([0], np.cumsum(values)))
+        return prefix[bounds[1:]] - prefix[bounds[:-1]]
+
+    def add(self, dep: Departures) -> None:
+        """Fold a stacked record (``dep.voq`` seed-extended)."""
+        if len(dep.voq) == 0:
+            return
+        n2 = self.n * self.n
+
+        # One (voq, observation) sort serves double duty: it is the
+        # reordering-detector order AND it groups events by seed block
+        # (block is the VOQ id's high digits), so every per-seed
+        # statistic below folds with prefix sums over block slices —
+        # no scattered np.add.at passes.
+        within = dep.wire if dep.wire_is_rank else dep.departure
+        order = composite_argsort(dep.voq, within)
+        voq = dep.voq[order]
+        seq = dep.seq[order]
+        block = voq // n2
+        bounds = np.searchsorted(block, np.arange(self.num_blocks + 1))
+        self.departed += bounds[1:] - bounds[:-1]
+
+        late, prev = _fold_reordering(voq, seq, self._prev_max)
+        if late.any():
+            late_block = block[late]
+            np.add.at(self.late, late_block, 1)
+            np.maximum.at(
+                self.displacement, late_block, prev[late] - seq[late]
+            )
+
+        measured = (dep.arrival >= self.warmup)[order].astype(np.int64)
+        arrival = dep.arrival[order]
+        departure = dep.departure[order]
+        delays = (departure - arrival) * measured
+        self.count += self._segment_sums(measured, bounds)
+        self.total += self._segment_sums(delays, bounds)
+        self.total_sq += self._segment_sums(delays * delays, bounds)
+        is_measured = measured.astype(bool)
+        np.minimum.at(
+            self.min, block[is_measured], delays[is_measured]
+        )
+        np.maximum.at(
+            self.max, block[is_measured], delays[is_measured]
+        )
+
+        if dep.assembled is not None and dep.tx is not None:
+            self.has_breakdown = True
+            assembled = dep.assembled[order]
+            tx = dep.tx[order]
+            self.assembly_total += self._segment_sums(
+                (assembled - arrival) * measured, bounds
+            )
+            self.input_queue_total += self._segment_sums(
+                (tx - assembled) * measured, bounds
+            )
+            self.transit_total += self._segment_sums(
+                (departure - tx) * measured, bounds
+            )
+
+    def results(
+        self,
+        switch_name: str,
+        injected: Sequence[int],
+        num_slots: int,
+        load_label: float,
+        extras: Sequence[Optional[Dict[str, float]]],
+    ) -> List[SimulationResult]:
+        out = []
+        for b in range(self.num_blocks):
+            metrics = SimulationMetrics(keep_samples=False)
+            stats = metrics.delays
+            stats.count = int(self.count[b])
+            stats.total = int(self.total[b])
+            stats.total_sq = int(self.total_sq[b])
+            if stats.count:
+                stats.min = int(self.min[b])
+                stats.max = int(self.max[b])
+            metrics.measured_departures = stats.count
+            metrics.reordering.observed = int(self.departed[b])
+            metrics.reordering.late_packets = int(self.late[b])
+            metrics.reordering.max_displacement = int(self.displacement[b])
+            if self.has_breakdown:
+                metrics.breakdown_count = stats.count
+                metrics.assembly_total = int(self.assembly_total[b])
+                metrics.input_queue_total = int(self.input_queue_total[b])
+                metrics.transit_total = int(self.transit_total[b])
+            out.append(
+                SimulationResult(
+                    switch_name=switch_name,
+                    n=self.n,
+                    load=load_label,
+                    slots=num_slots,
+                    warmup=self.warmup,
+                    metrics=metrics,
+                    injected=int(injected[b]),
+                    departed=int(self.departed[b]),
+                    extras=extras[b],
+                )
+            )
+        return out
 
 
 def _result_from_departures(
@@ -130,59 +417,37 @@ def _result_from_departures(
     keep_samples: bool,
     extras: Optional[Dict[str, float]] = None,
 ) -> SimulationResult:
-    """Build a :class:`SimulationResult` identical to the object engine's."""
+    """Build a :class:`SimulationResult` from one monolithic replay."""
     warmup = int(num_slots * warmup_fraction)
-    metrics = SimulationMetrics(keep_samples=keep_samples)
-    measured = dep.arrival >= warmup
-    delays = dep.departure[measured] - dep.arrival[measured]
-    stats = metrics.delays
-    stats.count = int(len(delays))
-    stats.total = int(delays.sum())
-    stats.total_sq = int(np.sum(delays * delays))
-    if len(delays):
-        stats.min = int(delays.min())
-        stats.max = int(delays.max())
-    if keep_samples:
-        # Order-sensitive statistics (MSER truncation, batch means in
-        # delay_ci) require the object engine's observation order:
-        # departure slot, then the kernel's within-slot tie-break.
-        obs = composite_argsort(dep.departure[measured], dep.wire[measured])
-        stats._samples = delays[obs].tolist()
-    metrics.measured_departures = stats.count
-
-    late, displacement = _reordering_counts(dep)
-    metrics.reordering.observed = int(len(dep.voq))
-    metrics.reordering.late_packets = late
-    metrics.reordering.max_displacement = displacement
-
-    if dep.assembled is not None and dep.tx is not None:
-        metrics.breakdown_count = stats.count
-        metrics.assembly_total = int(
-            (dep.assembled[measured] - dep.arrival[measured]).sum()
-        )
-        metrics.input_queue_total = int(
-            (dep.tx[measured] - dep.assembled[measured]).sum()
-        )
-        metrics.transit_total = int(
-            (dep.departure[measured] - dep.tx[measured]).sum()
-        )
-
-    return SimulationResult(
-        switch_name=switch_name,
-        n=n,
-        load=load_label,
-        slots=num_slots,
-        warmup=warmup,
-        metrics=metrics,
-        injected=injected,
-        departed=int(len(dep.voq)),
-        extras=extras,
-    )
+    acc = _MetricsAccumulator(n, warmup, keep_samples)
+    acc.add(dep)
+    return acc.result(switch_name, injected, num_slots, load_label, extras)
 
 
 # ---------------------------------------------------------------------------
-# Public entry point
+# Public entry points
 # ---------------------------------------------------------------------------
+
+
+def _checked_model(switch_name: str, switch_params: Dict) -> "models.SwitchModel":
+    """Resolve a switch model and validate vectorized-engine support."""
+    model = models.get(switch_name)
+    if model.kernel is None:
+        known = ", ".join(models.available(engine="vectorized"))
+        raise ValueError(
+            f"switch {switch_name!r} has no vectorized data path "
+            f"(supported: {known}); use the object engine"
+        )
+    model.validate_params(switch_params)
+    unsupported = set(switch_params) - set(model.kernel_params)
+    if unsupported:
+        raise ValueError(
+            f"switch {switch_name!r}: parameters {sorted(unsupported)} are "
+            f"not modeled by the vectorized kernel (kernel honors: "
+            f"{sorted(model.kernel_params) or 'none'}); use the object "
+            f"engine"
+        )
+    return model
 
 
 def run_single_fast(
@@ -195,6 +460,7 @@ def run_single_fast(
     keep_samples: bool = True,
     batch_traffic: Optional[BatchTrafficGenerator] = None,
     switch_params: Optional[Dict] = None,
+    window_slots: Optional[int] = None,
 ) -> SimulationResult:
     """Vectorized counterpart of :func:`repro.sim.experiment.run_single`.
 
@@ -210,24 +476,17 @@ def run_single_fast(
     then only provisions the switch (e.g. Sprinklers' placement).
     ``switch_params`` must be parameters the model's kernel declares in
     ``kernel_params`` (this entry point raises rather than falling back).
+
+    ``window_slots`` switches to the *streaming* replay: traffic is drawn
+    and replayed in consecutive windows of that many slots through the
+    model's resumable stream kernel, producing a bit-identical result
+    with O(``window_slots``) peak arrival-array memory — the mode for
+    multi-million-slot runs that cannot materialize their arrivals at
+    once.  Requires the model to declare
+    :data:`~repro.models.Capability.STREAMING`.
     """
-    model = models.get(switch_name)
-    if model.kernel is None:
-        known = ", ".join(models.available(engine="vectorized"))
-        raise ValueError(
-            f"switch {switch_name!r} has no vectorized data path "
-            f"(supported: {known}); use the object engine"
-        )
     switch_params = switch_params or {}
-    model.validate_params(switch_params)
-    unsupported = set(switch_params) - set(model.kernel_params)
-    if unsupported:
-        raise ValueError(
-            f"switch {switch_name!r}: parameters {sorted(unsupported)} are "
-            f"not modeled by the vectorized kernel (kernel honors: "
-            f"{sorted(model.kernel_params) or 'none'}); use the object "
-            f"engine"
-        )
+    model = _checked_model(switch_name, switch_params)
     if num_slots <= 0:
         raise ValueError("num_slots must be positive")
     if not 0.0 <= warmup_fraction < 1.0:
@@ -239,17 +498,173 @@ def run_single_fast(
         batch_traffic = BatchTrafficGenerator(matrix, traffic_rng)
     if batch_traffic.n != n:
         raise ValueError("batch traffic size does not match matrix")
-    batch = batch_traffic.draw(num_slots)
 
-    dep, extras = model.kernel(batch, matrix, seed, **switch_params)
-    return _result_from_departures(
-        model.reported_name,
-        n,
-        dep,
-        injected=len(batch),
-        num_slots=num_slots,
-        warmup_fraction=warmup_fraction,
-        load_label=load_label,
-        keep_samples=keep_samples,
-        extras=extras,
+    if window_slots is None:
+        batch = batch_traffic.draw(num_slots)
+        dep, extras = model.kernel(batch, matrix, seed, **switch_params)
+        return _result_from_departures(
+            model.reported_name,
+            n,
+            dep,
+            injected=len(batch),
+            num_slots=num_slots,
+            warmup_fraction=warmup_fraction,
+            load_label=load_label,
+            keep_samples=keep_samples,
+            extras=extras,
+        )
+
+    if window_slots <= 0:
+        raise ValueError("window_slots must be positive")
+    if model.stream_kernel is None:
+        known = ", ".join(
+            models.available(engine="vectorized", capability="streaming")
+        )
+        raise ValueError(
+            f"switch {switch_name!r} has no streaming kernel "
+            f"(streaming switches: {known}); drop window_slots"
+        )
+    streamer = model.stream_kernel(matrix, [seed], num_slots, **switch_params)
+    warmup = int(num_slots * warmup_fraction)
+    acc = _MetricsAccumulator(n, warmup, keep_samples)
+    if window_slots >= num_slots:
+        # One window is the whole run: a single flush pass does it all.
+        batch = batch_traffic.draw(num_slots)
+        injected = len(batch)
+        final, extras = streamer.finish([batch])
+    else:
+        injected = 0
+        for window in batch_traffic.draw_chunks(num_slots, window_slots):
+            injected += len(window)
+            acc.add(streamer.feed([window])[0])
+        final, extras = streamer.finish()
+    acc.add(final[0])
+    return acc.result(
+        model.reported_name, injected, num_slots, load_label, extras[0]
     )
+
+
+def run_replications_fast(
+    switch_name: str,
+    matrix,
+    num_slots: int,
+    seeds: Sequence[int],
+    load_label: float = float("nan"),
+    warmup_fraction: float = 0.1,
+    keep_samples: bool = True,
+    batch_traffics: Optional[Sequence[BatchTrafficGenerator]] = None,
+    switch_params: Optional[Dict] = None,
+    window_slots: Optional[int] = None,
+) -> List[SimulationResult]:
+    """Replay many seeds of one configuration in a single kernel pass.
+
+    All seeds' traffic is drawn window-by-window and stacked into one
+    event block per window; the switch's stream kernel replays the stack
+    with a leading seed axis (disjoint per-seed id blocks, so the seeds'
+    dynamics stay exactly independent).  Per-seed results are
+    bit-identical to ``run_single_fast`` run seed-by-seed — what changes
+    is wall-clock: one array pass over R seeds' events amortizes the
+    per-call overheads that dominate short replications.
+
+    Requires the model to declare
+    :data:`~repro.models.Capability.SEED_BATCHED` (the frame-at-a-time
+    switches PF and FOFF do not: their per-cycle formation recursion
+    gains nothing from stacking, so :func:`repro.sim.replication.replicate`
+    falls back to per-seed runs for them).
+
+    ``batch_traffics`` substitutes pre-built per-seed packet sources (one
+    per seed, e.g. scenario traffic); ``window_slots`` bounds arrival
+    memory exactly as in :func:`run_single_fast` (default: one window).
+    """
+    switch_params = switch_params or {}
+    model = _checked_model(switch_name, switch_params)
+    if model.stream_kernel is None or not model.seed_batched:
+        known = ", ".join(
+            models.available(engine="vectorized", capability="seed-batched")
+        )
+        raise ValueError(
+            f"switch {switch_name!r} has no seed-batched kernel "
+            f"(seed-batched switches: {known}); replicate seed-by-seed"
+        )
+    if num_slots <= 0:
+        raise ValueError("num_slots must be positive")
+    if not 0.0 <= warmup_fraction < 1.0:
+        raise ValueError("warmup_fraction must be in [0, 1)")
+    matrix = validate_matrix(matrix)
+    n = matrix.shape[0]
+    seeds = list(seeds)
+    if batch_traffics is None:
+        batch_traffics = [
+            BatchTrafficGenerator(
+                matrix, np.random.default_rng(derive_seed(seed, "traffic"))
+            )
+            for seed in seeds
+        ]
+    if len(batch_traffics) != len(seeds):
+        raise ValueError("need one traffic source per seed")
+    for traffic in batch_traffics:
+        if traffic.n != n:
+            raise ValueError("batch traffic size does not match matrix")
+    window = window_slots if window_slots is not None else num_slots
+    if window <= 0:
+        raise ValueError("window_slots must be positive")
+
+    warmup = int(num_slots * warmup_fraction)
+    if window >= num_slots and not keep_samples:
+        # One window is the whole run and nobody wants samples: draw each
+        # seed monolithically, flush the stacked replay in a single pass,
+        # and fold per-seed metrics with segmented reductions over the
+        # stack — the default (and fastest) multi-seed batching mode.
+        # Seeds are stacked in cache-sized groups: stacking amortizes
+        # per-call overheads, but an over-wide stack spills the working
+        # set out of cache and loses more than it amortizes.
+        per_seed = max(1.0, float(np.sum(matrix)) * num_slots)
+        group = max(1, min(len(seeds), int(_STACK_TARGET_EVENTS / per_seed)))
+        results: List[SimulationResult] = []
+        for lo in range(0, len(seeds), group):
+            chunk = seeds[lo : lo + group]
+            streamer = model.stream_kernel(
+                matrix, chunk, num_slots, **switch_params
+            )
+            batches = [
+                t.draw(num_slots)
+                for t in batch_traffics[lo : lo + group]
+            ]
+            dep, extras = streamer.finish_stacked(batches)
+            acc = _StackedMetricsAccumulator(n, len(chunk), warmup)
+            acc.add(dep)
+            results.extend(
+                acc.results(
+                    model.reported_name,
+                    [len(b) for b in batches],
+                    num_slots,
+                    load_label,
+                    extras,
+                )
+            )
+        return results
+    streamer = model.stream_kernel(matrix, seeds, num_slots, **switch_params)
+    accs = [
+        _MetricsAccumulator(n, warmup, keep_samples) for _ in seeds
+    ]
+    injected = [0] * len(seeds)
+    if window >= num_slots:
+        batches = [t.draw(num_slots) for t in batch_traffics]
+        injected = [len(b) for b in batches]
+        final, extras = streamer.finish(batches)
+    else:
+        draws = [t.draw_chunks(num_slots, window) for t in batch_traffics]
+        for windows in zip(*draws):
+            for r, w in enumerate(windows):
+                injected[r] += len(w)
+            for r, dep in enumerate(streamer.feed(list(windows))):
+                accs[r].add(dep)
+        final, extras = streamer.finish()
+    for r, dep in enumerate(final):
+        accs[r].add(dep)
+    return [
+        accs[r].result(
+            model.reported_name, injected[r], num_slots, load_label, extras[r]
+        )
+        for r in range(len(seeds))
+    ]

@@ -32,6 +32,9 @@ from ...traffic.batch import ArrivalBatch, stable_voq_argsort
 
 __all__ = [
     "Departures",
+    "PolledQueueBank",
+    "UnitAssembler",
+    "WindowStacker",
     "composite_argsort",
     "fifo_service",
     "mid_residues",
@@ -39,8 +42,21 @@ __all__ = [
     "replay_polled_queues",
     "row_residues",
     "segmented_fifo_service",
+    "stable_id_argsort",
     "unit_completion",
 ]
+
+
+def stable_id_argsort(ids: np.ndarray, id_space: int) -> np.ndarray:
+    """Stable argsort of small nonnegative ids (radix path when they fit).
+
+    The generalization of :func:`repro.traffic.batch.stable_voq_argsort`
+    to an arbitrary id space — the streamed kernels group by seed-extended
+    VOQ ids (``seed * n^2 + voq``), which outgrow ``n^2``.
+    """
+    if id_space <= np.iinfo(np.uint16).max:
+        return np.argsort(ids.astype(np.uint16), kind="stable")
+    return np.argsort(ids, kind="stable")
 
 
 def composite_argsort(major: np.ndarray, minor: np.ndarray) -> np.ndarray:
@@ -97,6 +113,7 @@ def replay_polled_queues(
     order: np.ndarray,
     residues: np.ndarray,
     n: int,
+    presorted: bool = False,
 ) -> np.ndarray:
     """Exact service slots for a bank of periodic priority queues.
 
@@ -122,7 +139,13 @@ def replay_polled_queues(
     # Group by queue, then level ascending, then FIFO order.  Queue and
     # level pack into one sort key (level needs 4 bits up to n = 2^15).
     packed = (queues << 4) | levels
-    grouping = composite_argsort(packed, order)
+    if presorted:
+        # Caller promises events already sit in (level, order) order
+        # within each queue, so a *stable* sort by queue alone suffices —
+        # radix-cheap while the packed ids fit 16 bits.
+        grouping = stable_id_argsort(packed, int(packed.max()) + 1)
+    else:
+        grouping = composite_argsort(packed, order)
     packed_sorted = packed[grouping]
     poll_sorted = first_poll[grouping]
     queue_sorted = packed_sorted >> 4
@@ -317,3 +340,224 @@ class Departures:
 
     def __len__(self) -> int:
         return len(self.voq)
+
+
+# ---------------------------------------------------------------------------
+# Streaming (windowed-replay) primitives
+# ---------------------------------------------------------------------------
+#
+# The streamed kernels replay a run window-by-window instead of all at
+# once.  The carried state between windows is small and exact:
+#
+# * a :class:`PolledQueueBank` holds the *unserved* events of a bank of
+#   periodic (priority) queues.  At each window boundary ``B`` it
+#   finalizes every event whose service slot is ``< B`` — provably equal
+#   to the monolithic replay, because all future events are ready at or
+#   after ``B`` and the replay recursions are monotone (adding events
+#   never makes anyone depart earlier), so services below ``B`` can no
+#   longer change and polls below ``B`` left free can never be used.
+#   Carried events have their ready slots clamped to ``B`` (their true
+#   service is provably >= ``B``), which makes the carried re-replay a
+#   fresh peel over polls >= ``B`` only.
+# * a :class:`UnitAssembler` holds each VOQ's trailing partial
+#   aggregation unit (stripe/frame) until later arrivals complete it.
+# * a :class:`WindowStacker` assigns run-global generation indices (the
+#   FIFO tie-breaks of the monolithic kernels) across windows, and
+#   stacks multiple seeds' windows into disjoint id blocks for the
+#   multi-seed replay (block ``s`` uses VOQ ids ``s * n^2 + voq``; queues
+#   of different blocks never interact, so one replay pass serves every
+#   seed at once).
+
+
+class PolledQueueBank:
+    """Streamed :func:`replay_polled_queues` over a bank of queues.
+
+    ``feed`` unions the carried unserved events with the new ones,
+    replays the whole bank, finalizes events with service slot strictly
+    below ``boundary`` (``None`` finalizes everything) and carries the
+    rest.  ``payload`` is a tuple of caller arrays sliced alongside.
+    """
+
+    def __init__(
+        self, residues: np.ndarray, n: int, presorted: bool = False
+    ) -> None:
+        self._residues = np.asarray(residues, dtype=np.int64)
+        self._n = n
+        #: Caller promise: events of one queue always arrive in FIFO
+        #: (``order``-key) order, across feeds — enables the radix
+        #: grouping fast path in :func:`replay_polled_queues`.
+        self._presorted = presorted
+        self._pending: Optional[Tuple[np.ndarray, ...]] = None
+        self._payload: Tuple[np.ndarray, ...] = ()
+
+    def feed(
+        self,
+        queues: np.ndarray,
+        levels: np.ndarray,
+        ready: np.ndarray,
+        order: np.ndarray,
+        payload: Tuple[np.ndarray, ...],
+        boundary: Optional[int],
+    ) -> Tuple[np.ndarray, np.ndarray, Tuple[np.ndarray, ...]]:
+        """Returns ``(service, order, payload)`` of the finalized events."""
+        if self._pending is not None:
+            p_queues, p_levels, p_ready, p_order = self._pending
+            queues = np.concatenate([p_queues, queues])
+            levels = np.concatenate([p_levels, levels])
+            ready = np.concatenate([p_ready, ready])
+            order = np.concatenate([p_order, order])
+            payload = tuple(
+                np.concatenate([old, new])
+                for old, new in zip(self._payload, payload)
+            )
+        if len(queues) == 0:
+            self._pending = None
+            self._payload = ()
+            return np.empty(0, dtype=np.int64), order, payload
+        service = replay_polled_queues(
+            queues, levels, ready, order, self._residues, self._n,
+            presorted=self._presorted,
+        )
+        if boundary is None:
+            self._pending = None
+            self._payload = ()
+            return service, order, payload
+        done = service < boundary
+        keep = ~done
+        self._pending = (
+            queues[keep],
+            levels[keep],
+            np.maximum(ready[keep], boundary),
+            order[keep],
+        )
+        self._payload = tuple(a[keep] for a in payload)
+        return service[done], order[done], tuple(a[done] for a in payload)
+
+
+class UnitAssembler:
+    """Carried partial aggregation units (stripes / full frames) per VOQ.
+
+    ``unit_size[voq]`` consecutive arrivals of a VOQ form one unit; a
+    unit completes when its last packet arrives, which may be many
+    windows after its first.  ``feed`` buffers the trailing partial unit
+    of every VOQ and emits the packets of units completed so far,
+    mirroring :func:`unit_completion` run on the whole stream.
+    """
+
+    def __init__(self, unit_size: np.ndarray) -> None:
+        self._size = np.asarray(unit_size, dtype=np.int64)
+        self._num = len(self._size)
+        #: Rank of the next packet to arrive per VOQ.
+        self._rank_next = np.zeros(self._num, dtype=np.int64)
+        empty = np.empty(0, dtype=np.int64)
+        self._buf = (empty, empty, empty, empty)
+
+    def feed(
+        self,
+        voqs: np.ndarray,
+        slots: np.ndarray,
+        seqs: np.ndarray,
+        gidx: np.ndarray,
+    ) -> Tuple[np.ndarray, ...]:
+        """Add packets (generation order); return completed-unit packets.
+
+        Returns ``(voq, slot, seq, gidx, pos, c_slot, c_order)`` — the
+        per-packet unit data of :func:`unit_completion`, restricted to
+        units whose completing packet has now arrived.
+        """
+        b_voq, b_slot, b_seq, b_g = self._buf
+        voq = np.concatenate([b_voq, voqs])
+        slot = np.concatenate([b_slot, slots])
+        seq = np.concatenate([b_seq, seqs])
+        g = np.concatenate([b_g, gidx])
+        if len(voq) == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return (empty,) * 7
+        if len(voqs):
+            self._rank_next += np.bincount(voqs, minlength=self._num)
+        # One stable sort groups the union by VOQ; buffered packets come
+        # first (lower concat index and lower ranks), new packets follow
+        # in generation order, so group ranks are consecutive from the
+        # group's first buffered rank — no per-packet rank storage.
+        order = stable_id_argsort(voq, self._num)
+        voq_s = voq[order]
+        slot_s = slot[order]
+        seq_s = seq[order]
+        g_s = g[order]
+        is_start = np.r_[True, voq_s[1:] != voq_s[:-1]]
+        seg = np.cumsum(is_start) - 1
+        seg_first = np.flatnonzero(is_start)
+        seg_bounds = np.flatnonzero(np.r_[is_start, True])
+        seg_last = seg_bounds[1:] - 1
+        # rank = first buffered rank of the VOQ + index within the group;
+        # the first buffered rank is rank_next minus everything now held
+        # (note rank_next was already advanced by the new arrivals).
+        within = np.arange(len(voq_s), dtype=np.int64) - seg_first[seg]
+        group_count = (seg_last - seg_first + 1)[seg]
+        base = self._rank_next[voq_s] - group_count
+        rank_s = base + within
+        size = self._size[voq_s]
+        pos = rank_s % size
+        completer_rank = rank_s - pos + size - 1
+        complete = completer_rank <= rank_s[seg_last][seg]
+        completer_at = np.minimum(
+            seg_first[seg] + (completer_rank - base), len(voq_s) - 1
+        )
+        keep = ~complete
+        self._buf = (voq_s[keep], slot_s[keep], seq_s[keep], g_s[keep])
+        return (
+            voq_s[complete],
+            slot_s[complete],
+            seq_s[complete],
+            g_s[complete],
+            pos[complete],
+            slot_s[completer_at][complete],
+            g_s[completer_at][complete],
+        )
+
+
+class WindowStacker:
+    """Stack per-seed arrival windows into one disjoint-id event block.
+
+    Tracks per-block generation counters so every packet gets the same
+    run-global generation index it would have in a monolithic batch (the
+    FIFO tie-break the kernels key on), and checks the windows advance in
+    lock-step.
+    """
+
+    def __init__(self, num_blocks: int) -> None:
+        self._gnext = np.zeros(num_blocks, dtype=np.int64)
+        self.num_blocks = num_blocks
+
+    def stack(self, windows) -> Tuple[np.ndarray, ...]:
+        """Returns ``(block, slots, inputs, outputs, seqs, gidx, boundary)``.
+
+        ``block[k]`` is the window (seed) index of event ``k``; ``gidx``
+        is the per-block generation index; ``boundary`` is the common end
+        slot of the windows (events of later windows are all at or past
+        it).
+        """
+        if len(windows) != self.num_blocks:
+            raise ValueError(
+                f"expected {self.num_blocks} windows, got {len(windows)}"
+            )
+        spans = {(w.start_slot, w.num_slots) for w in windows}
+        if len(spans) != 1:
+            raise ValueError("seed windows must cover the same slot range")
+        parts_b, parts_g = [], []
+        for b, w in enumerate(windows):
+            count = len(w)
+            parts_b.append(np.full(count, b, dtype=np.int64))
+            parts_g.append(
+                self._gnext[b] + np.arange(count, dtype=np.int64)
+            )
+            self._gnext[b] += count
+        return (
+            np.concatenate(parts_b),
+            np.concatenate([w.slots for w in windows]),
+            np.concatenate([w.inputs for w in windows]),
+            np.concatenate([w.outputs for w in windows]),
+            np.concatenate([w.seqs for w in windows]),
+            np.concatenate(parts_g),
+            windows[0].end_slot,
+        )

@@ -30,15 +30,25 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from ...traffic.batch import ArrivalBatch
-from .base import Departures, composite_argsort, mid_residues, replay_polled_queues
+from .base import (
+    Departures,
+    PolledQueueBank,
+    WindowStacker,
+    composite_argsort,
+    mid_residues,
+    replay_polled_queues,
+)
 from .frames import (
+    FrameFormationStream,
+    FramedPacketBuffer,
     build_frame_schedule,
+    drain_cut,
     drain_horizon,
     foff_picker,
     frame_membership,
 )
 
-__all__ = ["departures"]
+__all__ = ["departures", "stream"]
 
 
 def _resequencer_peak(
@@ -188,3 +198,291 @@ def _voq_first_seq(batch: ArrivalBatch) -> np.ndarray:
     first = np.full(n * n, np.iinfo(np.int64).max, dtype=np.int64)
     np.minimum.at(first, batch.voqs, batch.seqs)
     return first[batch.voqs]
+
+
+class _FoffStream:
+    """Windowed (and seed-stacked) replay of the FOFF switch.
+
+    The input side streams like PF without padding; the new carried
+    state is the in-flight resequencer replay: per VOQ, the next rank
+    awaiting release, the running max wire arrival among processed
+    predecessors (with the intermediate port of its last achiever — the
+    release trigger), a buffer of wire-arrived packets still missing a
+    predecessor, and the per-output resequencer occupancies feeding the
+    ``max_resequencer`` extra.
+    """
+
+    def __init__(self, matrix: np.ndarray, seeds, total_slots: int) -> None:
+        n = matrix.shape[0]
+        self.n = n
+        self.num_blocks = len(seeds)
+        num_voqs = self.num_blocks * n * n
+        self._stacker = WindowStacker(self.num_blocks)
+        self._formation = FrameFormationStream(
+            n, self.num_blocks, lambda b, i: foff_picker(n)
+        )
+        self._packets = FramedPacketBuffer(num_voqs)
+        self._stage2 = PolledQueueBank(
+            np.tile(mid_residues(n), self.num_blocks), n
+        )
+        self._cut = drain_cut(total_slots, n)
+        # Resequencer replay state.
+        self._next_rank = np.zeros(num_voqs, dtype=np.int64)
+        self._run_max = np.full(num_voqs, -1, dtype=np.int64)
+        self._trig_mid = np.zeros(num_voqs, dtype=np.int64)
+        empty = np.empty(0, dtype=np.int64)
+        # Wire-arrived packets whose release awaits a predecessor:
+        # (voq_x, rank, wire, mid, seq, slot, assembled, tx).
+        self._held = (empty,) * 8
+        # Per-block observation-rank counters, per-(block, output)
+        # resequencer occupancies, per-block peaks.
+        self._obs_next = np.zeros(self.num_blocks, dtype=np.int64)
+        self._occupancy = np.zeros(self.num_blocks * n, dtype=np.int64)
+        self._peak = np.zeros(self.num_blocks, dtype=np.int64)
+
+    def _resequence(self, new):
+        """Absorb newly wire-arrived packets; release what is now in order.
+
+        Returns the released packets' arrays plus their departures and
+        trigger mids, and the occupancy delta events of this round.
+        """
+        n = self.n
+        voq, rank, wire, mid, seq, slot, assembled, tx = tuple(
+            np.concatenate([old, fresh])
+            for old, fresh in zip(self._held, new)
+        )
+        new_count = len(new[0])
+        is_new = np.zeros(len(voq), dtype=bool)
+        is_new[len(voq) - new_count :] = True
+        if len(voq) == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return (empty,) * 11 + (empty, empty, empty)
+        order = composite_argsort(voq, rank)
+        voq, rank, wire, mid, seq, slot, assembled, tx, is_new = (
+            voq[order], rank[order], wire[order], mid[order], seq[order],
+            slot[order], assembled[order], tx[order], is_new[order],
+        )
+        is_start = np.r_[True, voq[1:] != voq[:-1]]
+        seg = np.cumsum(is_start) - 1
+        seg_first = np.flatnonzero(is_start)
+        within = np.arange(len(voq), dtype=np.int64) - seg_first[seg]
+        # A packet is releasable iff its rank closes the gap to the VOQ's
+        # next expected rank — ranks are unique per VOQ, so the equality
+        # test selects exactly the contiguous releasable prefix.
+        proc = rank == self._next_rank[voq] + within
+        keep = ~proc
+        held_new = is_new & keep  # still-buffered new arrivals: held +1
+        held_events = (voq[held_new], wire[held_new], mid[held_new])
+        self._held = (
+            voq[keep], rank[keep], wire[keep], mid[keep], seq[keep],
+            slot[keep], assembled[keep], tx[keep],
+        )
+        voq_p, rank_p, wire_p, mid_p, seq_p, slot_p, asm_p, tx_p, new_p = (
+            voq[proc], rank[proc], wire[proc], mid[proc], seq[proc],
+            slot[proc], assembled[proc], tx[proc], is_new[proc],
+        )
+        if len(voq_p) == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return (empty,) * 11 + held_events
+        # Per-VOQ running max of wire arrivals, seeded with the carried
+        # max: departure = latest wire among self and predecessors.
+        p_start = np.r_[True, voq_p[1:] != voq_p[:-1]]
+        p_seg = np.cumsum(p_start) - 1
+        p_first = np.flatnonzero(p_start)
+        p_bounds = np.flatnonzero(np.r_[p_start, True])
+        p_last = p_bounds[1:] - 1
+        big = np.int64(int(wire_p.max()) + 1)
+        run = np.maximum.accumulate(wire_p + voq_p * big) - voq_p * big
+        departure = np.maximum(run, self._run_max[voq_p])
+        # The trigger (the packet whose arrival achieves the running
+        # max) carries the observation tie-break mid; fall back to the
+        # carried trigger when this round's prefix never beats the max.
+        is_trig = wire_p == departure
+        cand = np.where(is_trig, np.arange(len(voq_p), dtype=np.int64), -1)
+        ff = np.maximum.accumulate(cand)
+        in_seg = ff >= p_first[p_seg]
+        t_mid = np.where(
+            in_seg, mid_p[np.maximum(ff, 0)], self._trig_mid[voq_p]
+        )
+        # Update the carried per-VOQ state from each segment's tail.
+        v_last = voq_p[p_last]
+        self._run_max[v_last] = departure[p_last]
+        self._trig_mid[v_last] = t_mid[p_last]
+        self._next_rank[v_last] = rank_p[p_last] + 1
+        return (
+            voq_p, rank_p, wire_p, mid_p, seq_p, slot_p, asm_p, tx_p,
+            departure, t_mid, new_p,
+        ) + held_events
+
+    def _occupancy_events(self, released, held_events, final: bool):
+        """Feed this round's resequencer-buffer deltas; update the peaks.
+
+        Mirrors the monolithic :func:`_resequencer_peak` accounting —
+        exactly one event per packet, at its wire-arrival slot: +1 for a
+        held arrival (peak recorded after the increment), minus the
+        released predecessors at each release trigger.  Released packets
+        that were buffered in an *earlier* round already emitted their
+        +1 back then and contribute nothing now.
+        """
+        n = self.n
+        (voq_p, rank_p, wire_p, mid_p, seq_p, slot_p, asm_p, tx_p,
+         departure, t_mid, new_p) = released
+        h_voq, h_wire, h_mid = held_events
+        # Release-group sizes: packets of a VOQ sharing a departure slot
+        # are released together by the trigger (the not-held packet).
+        held_p = departure > wire_p
+        if len(voq_p):
+            g_start = np.r_[
+                True,
+                (voq_p[1:] != voq_p[:-1]) | (departure[1:] != departure[:-1]),
+            ]
+            g_id = np.cumsum(g_start) - 1
+            g_size = np.bincount(g_id)[g_id]
+            delta_p = np.where(held_p, 1, -(g_size - 1))
+        else:
+            delta_p = np.empty(0, dtype=np.int64)
+        # Event per packet at wire arrival: triggers (always newly
+        # arrived) and newly arrived held packets; previously buffered
+        # released packets already counted.
+        emit = ~held_p | new_p.astype(bool)
+        voq_e = voq_p[emit]
+        out = np.concatenate([voq_e % n, h_voq % n])
+        block = np.concatenate([voq_e, h_voq]) // (n * n)
+        wire = np.concatenate([wire_p[emit], h_wire])
+        delta = np.concatenate(
+            [delta_p[emit], np.ones(len(h_voq), dtype=np.int64)]
+        )
+        held = np.concatenate([held_p[emit], np.ones(len(h_voq), dtype=bool)])
+        if final:
+            # Wire arrivals past the drain horizon never reach the
+            # output in the object engine; their events do not exist.
+            live = wire <= self._cut
+            out, block, wire, delta, held = (
+                out[live], block[live], wire[live], delta[live], held[live]
+            )
+        if len(out) == 0:
+            return
+        out_x = block * n + out
+        order = composite_argsort(out_x, wire)
+        out_x, delta, held, block = (
+            out_x[order], delta[order], held[order], block[order]
+        )
+        running = np.cumsum(delta)
+        starts = np.r_[True, out_x[1:] != out_x[:-1]]
+        seg = np.cumsum(starts) - 1
+        seg_first = np.flatnonzero(starts)
+        before = np.r_[0, running[:-1]]
+        occupancy = (
+            self._occupancy[out_x]
+            + running
+            - before[seg_first[seg]]
+        )
+        bounds = np.flatnonzero(np.r_[starts, True])
+        last = bounds[1:] - 1
+        self._occupancy[out_x[last]] = occupancy[last]
+        if held.any():
+            np.maximum.at(self._peak, block[held], occupancy[held])
+
+    def _emit(self, released, final: bool):
+        """Build per-block Departures with global observation ranks."""
+        n = self.n
+        (voq_p, rank_p, wire_p, mid_p, seq_p, slot_p, asm_p, tx_p,
+         departure, t_mid, new_p) = released
+        if final:
+            ok = departure <= self._cut
+            (voq_p, rank_p, seq_p, slot_p, asm_p, tx_p, departure, t_mid) = (
+                voq_p[ok], rank_p[ok], seq_p[ok], slot_p[ok], asm_p[ok],
+                tx_p[ok], departure[ok], t_mid[ok],
+            )
+        block = voq_p // (n * n)
+        deps = []
+        for b in range(self.num_blocks):
+            pick = block == b
+            observation = composite_argsort(
+                departure[pick] * n + t_mid[pick], rank_p[pick]
+            )
+            wire = np.empty(len(observation), dtype=np.int64)
+            wire[observation] = self._obs_next[b] + np.arange(
+                len(observation), dtype=np.int64
+            )
+            self._obs_next[b] += len(observation)
+            deps.append(
+                Departures(
+                    voq=voq_p[pick] % (n * n),
+                    seq=seq_p[pick],
+                    arrival=slot_p[pick],
+                    departure=departure[pick],
+                    wire=wire,
+                    assembled=asm_p[pick],
+                    tx=tx_p[pick],
+                    wire_is_rank=True,
+                )
+            )
+        return deps
+
+    def _advance(self, schedule, framed, boundary):
+        n = self.n
+        voq_x, slot, seq, gidx, rank, assembled, position = framed
+        tx = assembled + position
+        block = voq_x // (n * n)
+        out = voq_x % n
+        wire, tx, payload = self._stage2.feed(
+            block * n * n + position * n + out,
+            np.zeros(len(tx), dtype=np.int64),
+            tx + 1,
+            tx,
+            (voq_x, rank, position, seq, slot, assembled),
+            boundary,
+        )
+        voq_x, rank, position, seq, slot, assembled = payload
+        arrived = (voq_x, rank, wire, position, seq, slot, assembled, tx)
+        result = self._resequence(arrived)
+        released, held_events = result[:11], result[11:]
+        final = boundary is None
+        self._occupancy_events(released, held_events, final)
+        return self._emit(released, final)
+
+    def _round(self, windows, final: bool):
+        n = self.n
+        boundary = None
+        if windows is not None:
+            block, slots, inputs, outputs, seqs, gidx, end = (
+                self._stacker.stack(windows)
+            )
+            if not final:
+                boundary = end
+            voq_x = block * n * n + inputs * n + outputs
+        else:
+            block = slots = inputs = outputs = seqs = gidx = voq_x = (
+                np.empty(0, dtype=np.int64)
+            )
+        schedule = self._formation.feed(
+            block, slots, inputs, outputs, boundary
+        )
+        framed = self._packets.feed(voq_x, slots, seqs, gidx, schedule)
+        return self._advance(schedule, framed, boundary)
+
+    def feed(self, windows):
+        return self._round(windows, final=False)
+
+    def finish(self, windows=None):
+        deps = self._round(windows, final=True)
+        # FOFF never leaves a packet behind: partial frames sweep every
+        # nonempty VOQ, so the whole stream must have been framed and
+        # every wire arrival released.
+        assert self._packets.pending() == 0, (
+            "FOFF frame formation left packets unframed"
+        )
+        assert len(self._held[0]) == 0, (
+            "FOFF resequencer replay left packets in flight"
+        )
+        extras = [
+            {"max_resequencer": float(self._peak[b])}
+            for b in range(self.num_blocks)
+        ]
+        return deps, extras
+
+
+def stream(matrix: np.ndarray, seeds, total_slots: int) -> _FoffStream:
+    """Resumable multi-seed FOFF replay (see :class:`_FoffStream`)."""
+    return _FoffStream(matrix, seeds, total_slots)

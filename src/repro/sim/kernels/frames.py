@@ -34,8 +34,11 @@ import numpy as np
 from ...traffic.batch import ArrivalBatch, stable_voq_argsort
 
 __all__ = [
+    "FrameFormationStream",
+    "FramedPacketBuffer",
     "FrameSchedule",
     "build_frame_schedule",
+    "drain_cut",
     "drain_horizon",
     "foff_picker",
     "frame_membership",
@@ -43,18 +46,24 @@ __all__ = [
 ]
 
 
-def drain_horizon(batch: ArrivalBatch) -> int:
+def drain_cut(num_slots: int, n: int) -> int:
     """Last slot the object engine's drain phase steps (inclusive).
 
     :class:`~repro.sim.engine.SimulationEngine` drains for at most
     ``max(50 * n, num_slots)`` slots after the arrival stream ends;
-    packets that would depart later stay in flight there, so the replay
-    must discard their departures too.  (The drain's other stop — ``4n``
-    departure-free slots — only fires at quiescence for the frame-at-a-
-    time switches: while any backlog remains a frame forms every ``n``-slot
-    cycle and departs within two fabric revolutions.)
+    packets that would depart later stay in flight there, so any replay
+    (monolithic or streamed) must discard their departures too.  (The
+    drain's other stop — ``4n`` departure-free slots — only fires at
+    quiescence for the frame-at-a-time switches: while any backlog
+    remains a frame forms every ``n``-slot cycle and departs within two
+    fabric revolutions.)
     """
-    return batch.num_slots + max(50 * batch.n, batch.num_slots) - 1
+    return num_slots + max(50 * n, num_slots) - 1
+
+
+def drain_horizon(batch: ArrivalBatch) -> int:
+    """:func:`drain_cut` of a monolithic batch."""
+    return drain_cut(batch.num_slots, batch.n)
 
 #: One cycle's frame decision: ``(voq_output, real_packets, fake_cells)``
 #: or None when the input stays idle this cycle.
@@ -147,6 +156,121 @@ def foff_picker(n: int) -> Picker:
     return pick
 
 
+class _InputFormation:
+    """Resumable frame-formation recursion of one input.
+
+    The per-cycle decision loop of the object engine's frame-at-a-time
+    inputs, restartable at any cycle boundary: the carried state is the
+    VOQ occupancy list, its aggregates, the picker's round-robin
+    pointers, the cycle cursor, and the not-yet-absorbed arrival buffer.
+    ``run`` advances to (exclusive) ``limit_cycle``; ``drain`` runs the
+    quiescence loop of the object engine's drain phase.
+
+    This is the only scalar loop in the PF/FOFF kernels (one iteration
+    per fabric cycle, ``num_slots`` iterations total across the inputs),
+    so it runs on plain Python ints with incrementally maintained
+    aggregates — per-cycle NumPy calls on length-``n`` arrays would cost
+    more than the whole vectorized replay downstream.  Cycles at which
+    the pick declines and no arrival lands are skipped in one jump (the
+    pick is a pure function of unchanged state), which is also what
+    keeps the monolithic path fast for idle inputs.
+    """
+
+    __slots__ = (
+        "n", "residue", "pick", "avail", "taken", "total", "full_count",
+        "cycle", "arrival_cycle", "arrival_out", "at",
+    )
+
+    def __init__(self, n: int, residue: int, pick: Picker) -> None:
+        self.n = n
+        self.residue = residue
+        self.pick = pick
+        self.avail = [0] * n
+        self.taken = [0] * n
+        self.total = 0
+        self.full_count = 0
+        self.cycle = 0
+        self.arrival_cycle: List[int] = []
+        self.arrival_out: List[int] = []
+        self.at = 0
+
+    def absorb(self, cycles, outs) -> None:
+        """Buffer arrivals (cycle-tagged, in acceptance order)."""
+        self.arrival_cycle.extend(int(c) for c in cycles)
+        self.arrival_out.extend(int(j) for j in outs)
+
+    def _step(self, limit_cycle: Optional[int], sink) -> None:
+        f_out, f_start, f_size, f_fakes, f_slot = sink
+        n = self.n
+        residue = self.residue
+        pick = self.pick
+        avail = self.avail
+        taken = self.taken
+        total = self.total
+        full_count = self.full_count
+        arrival_cycle = self.arrival_cycle
+        arrival_out = self.arrival_out
+        at = self.at
+        num_arrivals = len(arrival_cycle)
+        c = self.cycle
+        while True:
+            if limit_cycle is not None and c >= limit_cycle:
+                break
+            while at < num_arrivals and arrival_cycle[at] == c:
+                j = arrival_out[at]
+                at += 1
+                avail[j] += 1
+                total += 1
+                if avail[j] == n:
+                    full_count += 1
+            picked = pick(avail, total, full_count)
+            if picked is not None:
+                j, k, fakes = picked
+                f_out.append(j)
+                f_start.append(taken[j])
+                f_size.append(k)
+                f_fakes.append(fakes)
+                f_slot.append(residue + c * n)
+                taken[j] += k
+                before = avail[j]
+                avail[j] = before - k
+                total -= k
+                if before >= n and avail[j] < n:
+                    full_count -= 1
+                c += 1
+                continue
+            # No frame this cycle.  The pick is a pure function of
+            # (avail, pointers), which an empty cycle leaves untouched,
+            # so every cycle until the next arrival declines too.
+            if at >= num_arrivals:
+                if limit_cycle is None:
+                    # Drain quiescence: no arrivals to come and the pick
+                    # declines — the object engine's drain sees the same.
+                    break
+                c = limit_cycle
+            else:
+                nxt = arrival_cycle[at]
+                c = nxt if limit_cycle is None else min(nxt, limit_cycle)
+        # Save state; drop the consumed arrival prefix.
+        self.cycle = c
+        self.total = total
+        self.full_count = full_count
+        if at:
+            del arrival_cycle[:at]
+            del arrival_out[:at]
+        self.at = 0
+
+    def run(self, limit_cycle: int, sink) -> None:
+        """Advance through every cycle strictly below ``limit_cycle``,
+        appending formed frames to the ``sink`` lists."""
+        if limit_cycle > self.cycle:
+            self._step(limit_cycle, sink)
+
+    def drain(self, sink) -> None:
+        """Run the post-arrival quiescence loop (object-engine drain)."""
+        self._step(None, sink)
+
+
 def _input_frames(
     n: int,
     residue: int,
@@ -160,57 +284,12 @@ def _input_frames(
     tagged with the first cycle index whose start slot is >= the arrival
     slot (arrivals in the boundary slot itself are visible to that
     cycle's pick — the slot protocol accepts before serving).
-
-    This is the only scalar loop in the PF/FOFF kernels (one iteration
-    per fabric cycle, ``num_slots`` iterations total across the inputs),
-    so it runs on plain Python ints with incrementally maintained
-    aggregates — per-cycle NumPy calls on length-``n`` arrays would cost
-    more than the whole vectorized replay downstream.
     """
-    last_cycle = int(cycles[-1]) if len(cycles) else -1
-    arrival_cycle = cycles.tolist()
-    arrival_out = outs.tolist()
-    num_arrivals = len(arrival_cycle)
-    at = 0
-    avail = [0] * n
-    taken = [0] * n
-    total = 0
-    full_count = 0
-    f_out: List[int] = []
-    f_start: List[int] = []
-    f_size: List[int] = []
-    f_fakes: List[int] = []
-    f_slot: List[int] = []
-    c = 0
-    while True:
-        while at < num_arrivals and arrival_cycle[at] == c:
-            j = arrival_out[at]
-            at += 1
-            avail[j] += 1
-            total += 1
-            if avail[j] == n:
-                full_count += 1
-        picked = pick(avail, total, full_count)
-        if picked is not None:
-            j, k, fakes = picked
-            f_out.append(j)
-            f_start.append(taken[j])
-            f_size.append(k)
-            f_fakes.append(fakes)
-            f_slot.append(residue + c * n)
-            taken[j] += k
-            before = avail[j]
-            avail[j] = before - k
-            total -= k
-            if before >= n and avail[j] < n:
-                full_count -= 1
-        elif c >= last_cycle:
-            # No frame and no arrivals to come: the pick is a pure
-            # function of (avail, pointers), so every later cycle would
-            # decline too — the switch is quiescent.
-            break
-        c += 1
-    return f_out, f_start, f_size, f_fakes, f_slot
+    state = _InputFormation(n, residue, pick)
+    state.absorb(cycles, outs)
+    sink: Tuple[List[int], ...] = ([], [], [], [], [])
+    state.drain(sink)
+    return sink
 
 
 def build_frame_schedule(
@@ -291,3 +370,191 @@ def frame_membership(
     assembled = schedule.slot[f_order][at]
     position = rank - f_start
     return member, assembled, position
+
+
+# ---------------------------------------------------------------------------
+# Streaming (windowed-replay) frame formation
+# ---------------------------------------------------------------------------
+
+
+class FrameFormationStream:
+    """Resumable frame formation across all inputs (and seed blocks).
+
+    One :class:`_InputFormation` per (block, input); block ``b`` of a
+    multi-seed replay owns VOQ ids ``b * n^2 + i * n + j``.  ``feed``
+    absorbs one window of arrivals and forms every frame whose cycle
+    boundary slot is strictly below the window's end (later cycles could
+    still see this window's backlog *plus future arrivals*, so they must
+    wait); ``finish`` runs the per-input drain loops.
+    """
+
+    def __init__(self, n: int, num_blocks: int, make_picker) -> None:
+        self.n = n
+        self.num_blocks = num_blocks
+        self._states = [
+            _InputFormation(n, (-i) % n, make_picker(b, i))
+            for b in range(num_blocks)
+            for i in range(n)
+        ]
+
+    def _collect(self, advance) -> FrameSchedule:
+        n = self.n
+        voq_l: List[int] = []
+        start_l: List[int] = []
+        size_l: List[int] = []
+        fakes_l: List[int] = []
+        slot_l: List[int] = []
+        for b in range(self.num_blocks):
+            for i in range(n):
+                state = self._states[b * n + i]
+                sink: Tuple[List[int], ...] = ([], [], [], [], [])
+                advance(state, sink)
+                f_out, f_start, f_size, f_fakes, f_slot = sink
+                base = b * n * n + i * n
+                voq_l.extend(base + j for j in f_out)
+                start_l.extend(f_start)
+                size_l.extend(f_size)
+                fakes_l.extend(f_fakes)
+                slot_l.extend(f_slot)
+        return FrameSchedule(
+            voq=np.asarray(voq_l, dtype=np.int64),
+            start=np.asarray(start_l, dtype=np.int64),
+            size=np.asarray(size_l, dtype=np.int64),
+            fakes=np.asarray(fakes_l, dtype=np.int64),
+            slot=np.asarray(slot_l, dtype=np.int64),
+        )
+
+    def feed(
+        self,
+        blocks: np.ndarray,
+        slots: np.ndarray,
+        inputs: np.ndarray,
+        outputs: np.ndarray,
+        boundary: Optional[int],
+    ) -> FrameSchedule:
+        """Absorb one window's arrivals; form frames for cycles < boundary.
+
+        ``boundary=None`` runs the drain instead: every remaining frame
+        forms (the object engine's post-arrival quiescence loop).
+        """
+        n = self.n
+        if len(blocks):
+            key = blocks * n + inputs
+            order = np.argsort(key, kind="stable")
+            counts = np.bincount(key, minlength=self.num_blocks * n)
+            offsets = np.concatenate(([0], np.cumsum(counts)))
+            for k in range(self.num_blocks * n):
+                idx = order[offsets[k] : offsets[k + 1]]
+                if len(idx):
+                    state = self._states[k]
+                    residue = state.residue
+                    cycles = (slots[idx] - residue + n - 1) // n
+                    state.absorb(cycles, outputs[idx])
+        if boundary is None:
+            return self._collect(lambda state, sink: state.drain(sink))
+
+        def advance(state: _InputFormation, sink) -> None:
+            limit = (boundary - state.residue + n - 1) // n
+            state.run(limit, sink)
+
+        return self._collect(advance)
+
+    def finish(self) -> FrameSchedule:
+        """Form every remaining frame (the object engine's drain loop)."""
+        return self._collect(lambda state, sink: state.drain(sink))
+
+
+class FramedPacketBuffer:
+    """Carried unframed packets, mapped to frames as they form.
+
+    The streamed counterpart of :func:`frame_membership`: packets wait in
+    per-VOQ rank order until a frame covers their rank (frames always
+    consume a contiguous rank prefix), then leave with their frame's
+    formation slot and their position inside it.  PF's sub-threshold VOQ
+    tails simply stay buffered forever, exactly like the object engine's
+    never-framed packets.
+    """
+
+    def __init__(self, num_voqs: int) -> None:
+        self._num = num_voqs
+        self._rank_next = np.zeros(num_voqs, dtype=np.int64)
+        empty = np.empty(0, dtype=np.int64)
+        self._buf = (empty, empty, empty, empty, empty)
+
+    def pending(self) -> int:
+        """Packets still waiting for a frame."""
+        return len(self._buf[0])
+
+    def feed(
+        self,
+        voqs: np.ndarray,
+        slots: np.ndarray,
+        seqs: np.ndarray,
+        gidx: np.ndarray,
+        schedule: FrameSchedule,
+    ) -> Tuple[np.ndarray, ...]:
+        """Add packets and frames; return the newly framed packets.
+
+        Returns ``(voq, slot, seq, gidx, rank, assembled, position)``.
+        """
+        from .base import stable_id_argsort
+
+        ranks = np.empty(len(voqs), dtype=np.int64)
+        if len(voqs):
+            order = stable_id_argsort(voqs, self._num)
+            counts = np.bincount(voqs, minlength=self._num)
+            starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+            ranks[order] = (
+                np.arange(len(voqs), dtype=np.int64) - starts[voqs[order]]
+            ) + self._rank_next[voqs[order]]
+            self._rank_next += counts
+        b_voq, b_rank, b_slot, b_seq, b_g = self._buf
+        voq = np.concatenate([b_voq, voqs])
+        rank = np.concatenate([b_rank, ranks])
+        slot = np.concatenate([b_slot, slots])
+        seq = np.concatenate([b_seq, seqs])
+        g = np.concatenate([b_g, gidx])
+        empty = np.empty(0, dtype=np.int64)
+        if len(voq) == 0:
+            return (empty,) * 7
+        order = stable_id_argsort(voq, self._num)
+        voq_s = voq[order]
+        rank_s = rank[order]
+        slot_s = slot[order]
+        seq_s = seq[order]
+        g_s = g[order]
+        if len(schedule) == 0:
+            self._buf = (voq_s, rank_s, slot_s, seq_s, g_s)
+            return (empty,) * 7
+        # Frames of one VOQ form in ascending start order, so a stable
+        # sort by VOQ yields a sorted composite (voq, start) key.
+        f_order = np.argsort(schedule.voq, kind="stable")
+        f_voq = schedule.voq[f_order]
+        f_start = schedule.start[f_order]
+        f_size = schedule.size[f_order]
+        f_slot = schedule.slot[f_order]
+        big = np.int64(
+            max(int(rank_s.max()), int(f_start.max())) + 2
+        )
+        at = np.searchsorted(f_voq * big + f_start, voq_s * big + rank_s,
+                             side="right") - 1
+        valid = at >= 0
+        at = np.maximum(at, 0)
+        member = (
+            valid
+            & (f_voq[at] == voq_s)
+            & (rank_s < f_start[at] + f_size[at])
+        )
+        keep = ~member
+        self._buf = (
+            voq_s[keep], rank_s[keep], slot_s[keep], seq_s[keep], g_s[keep]
+        )
+        return (
+            voq_s[member],
+            slot_s[member],
+            seq_s[member],
+            g_s[member],
+            rank_s[member],
+            f_slot[at][member],
+            (rank_s - f_start[at])[member],
+        )

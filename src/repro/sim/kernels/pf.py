@@ -25,15 +25,34 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from ...traffic.batch import ArrivalBatch
-from .base import Departures, mid_residues, replay_polled_queues
+from .base import (
+    Departures,
+    PolledQueueBank,
+    WindowStacker,
+    mid_residues,
+    replay_polled_queues,
+)
 from .frames import (
+    FrameFormationStream,
+    FramedPacketBuffer,
     build_frame_schedule,
+    drain_cut,
     drain_horizon,
     frame_membership,
     pf_picker,
 )
 
-__all__ = ["departures"]
+__all__ = ["departures", "stream"]
+
+
+def _check_threshold(n: int, threshold: Optional[int]) -> int:
+    if threshold is None:
+        threshold = max(1, n // 2)
+    if not 1 <= threshold <= n:
+        # Same contract as PaddedFramesSwitch: threshold 0 would pad
+        # empty VOQs forever, threshold > n would never pad at all.
+        raise ValueError(f"threshold must be in [1, {n}], got {threshold}")
+    return threshold
 
 
 def departures(
@@ -44,12 +63,7 @@ def departures(
 ) -> Tuple[Departures, Optional[Dict[str, float]]]:
     """Replay the Padded Frames switch."""
     n = batch.n
-    if threshold is None:
-        threshold = max(1, n // 2)
-    if not 1 <= threshold <= n:
-        # Same contract as PaddedFramesSwitch: threshold 0 would pad
-        # empty VOQs forever, threshold > n would never pad at all.
-        raise ValueError(f"threshold must be in [1, {n}], got {threshold}")
+    threshold = _check_threshold(n, threshold)
     schedule = build_frame_schedule(batch, lambda i: pf_picker(n, threshold))
     member, assembled, position = frame_membership(batch, schedule)
 
@@ -105,3 +119,170 @@ def departures(
     sent = int(departed.sum()) + fakes_departed
     extras = {"padding_overhead": fakes_departed / sent if sent else 0.0}
     return dep, extras
+
+
+def _fake_cells(schedule, n: int):
+    """Stage-2 events of a frame schedule's fake cells.
+
+    Fake cells fill positions size .. n-1 of their frame, heading to the
+    padded VOQ's output.  Returns ``(queue_local, tx, block)`` — the
+    (mid, output) queue id within the frame's seed block, the crossing
+    slot, and the block.
+    """
+    padded = schedule.fakes > 0
+    reps = schedule.fakes[padded]
+    num_fakes = int(reps.sum())
+    if num_fakes == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, empty
+    ends = np.cumsum(reps)
+    within = np.arange(num_fakes, dtype=np.int64) - np.repeat(
+        ends - reps, reps
+    )
+    fake_pos = np.repeat(schedule.size[padded], reps) + within
+    fake_tx = np.repeat(schedule.slot[padded], reps) + fake_pos
+    voq_x = np.repeat(schedule.voq[padded], reps)
+    fake_out = voq_x % n
+    block = voq_x // (n * n)
+    return fake_pos * n + fake_out, fake_tx, block
+
+
+class _PfStream:
+    """Windowed (and seed-stacked) replay of the Padded Frames switch.
+
+    Frame formation streams cycle-by-cycle (:class:`FrameFormationStream`),
+    framed packets and fake cells enter the stage-2 polled queues as they
+    form, and the object engine's finite drain horizon is applied to the
+    flushed services at the end — exactly the monolithic pipeline, window
+    at a time.
+    """
+
+    def __init__(
+        self,
+        matrix: np.ndarray,
+        seeds,
+        total_slots: int,
+        threshold: Optional[int] = None,
+    ) -> None:
+        n = matrix.shape[0]
+        self.n = n
+        self.num_blocks = len(seeds)
+        threshold = _check_threshold(n, threshold)
+        self._stacker = WindowStacker(self.num_blocks)
+        self._formation = FrameFormationStream(
+            n, self.num_blocks, lambda b, i: pf_picker(n, threshold)
+        )
+        self._packets = FramedPacketBuffer(self.num_blocks * n * n)
+        self._stage2 = PolledQueueBank(
+            np.tile(mid_residues(n), self.num_blocks), n
+        )
+        # The drain horizon needs the run length: services past it are
+        # unobserved in the object engine.
+        self._cut = drain_cut(total_slots, n)
+        self._fakes_departed = np.zeros(self.num_blocks, dtype=np.int64)
+        self._real_departed = np.zeros(self.num_blocks, dtype=np.int64)
+
+    def _advance(self, schedule, new_packets, boundary):
+        n = self.n
+        voq_x, slot, seq, gidx, rank, assembled, position = new_packets
+        tx = assembled + position
+        block = voq_x // (n * n)
+        out = voq_x % n
+        fake_queue, fake_tx, fake_block = _fake_cells(schedule, n)
+        is_fake = np.concatenate([
+            np.zeros(len(tx), dtype=np.int64),
+            np.ones(len(fake_tx), dtype=np.int64),
+        ])
+        zero = np.zeros(len(fake_tx), dtype=np.int64)
+        queues = np.concatenate([
+            block * n * n + position * n + out,
+            fake_block * n * n + fake_queue,
+        ])
+        ready = np.concatenate([tx, fake_tx]) + 1
+        fifo_order = np.concatenate([tx, fake_tx])
+        payload = (
+            np.concatenate([voq_x, fake_block * n * n]),
+            np.concatenate([seq, zero]),
+            np.concatenate([slot, zero]),
+            np.concatenate([position, zero]),
+            np.concatenate([assembled, zero]),
+            is_fake,
+        )
+        service, tx, payload = self._stage2.feed(
+            queues,
+            np.zeros(len(queues), dtype=np.int64),
+            ready,
+            fifo_order,
+            payload,
+            boundary,
+        )
+        voq_x, seq, slot, position, assembled, is_fake = payload
+        # The object engine's drain phase is finite: cells that would
+        # depart after its horizon stay in flight there, unobserved.
+        # Window-finalized services are always below the horizon (the
+        # boundary never exceeds the run length); the final flush is
+        # where the cut actually bites.
+        seen = service <= self._cut
+        block = voq_x // (n * n)
+        fake = is_fake == 1
+        np.add.at(self._fakes_departed, block[fake & seen], 1)
+        real = ~fake & seen
+        np.add.at(self._real_departed, block[real], 1)
+        return Departures(
+            voq=voq_x[real],
+            seq=seq[real],
+            arrival=slot[real],
+            departure=service[real],
+            wire=position[real],
+            assembled=assembled[real],
+            tx=tx[real],
+        )
+
+    def _round(self, windows, final: bool):
+        from .sprinklers import _split_blocks
+
+        n = self.n
+        boundary = None
+        if windows is not None:
+            block, slots, inputs, outputs, seqs, gidx, end = (
+                self._stacker.stack(windows)
+            )
+            if not final:
+                boundary = end
+            voq_x = block * n * n + inputs * n + outputs
+        else:
+            block = slots = inputs = outputs = seqs = gidx = voq_x = (
+                np.empty(0, dtype=np.int64)
+            )
+        schedule = self._formation.feed(
+            block, slots, inputs, outputs, boundary
+        )
+        framed = self._packets.feed(voq_x, slots, seqs, gidx, schedule)
+        return _split_blocks(
+            self._advance(schedule, framed, boundary), n, self.num_blocks
+        )
+
+    def feed(self, windows):
+        return self._round(windows, final=False)
+
+    def finish(self, windows=None):
+        deps = self._round(windows, final=True)
+        extras = []
+        for b in range(self.num_blocks):
+            sent = int(self._real_departed[b] + self._fakes_departed[b])
+            extras.append({
+                "padding_overhead": (
+                    int(self._fakes_departed[b]) / sent if sent else 0.0
+                )
+            })
+        return deps, extras
+
+
+def stream(
+    matrix: np.ndarray,
+    seeds,
+    total_slots: int,
+    threshold: Optional[int] = None,
+) -> _PfStream:
+    """Resumable multi-seed PF replay (see :class:`_PfStream`)."""
+    return _PfStream(matrix, seeds, total_slots, threshold=threshold)

@@ -35,7 +35,10 @@ class SweepJob(NamedTuple):
     ``scenario`` (spec dict / registry name) with ``n``; ``load_label``
     doubles as the scenario's target load.  ``store`` is the experiment
     store's directory path (not the object — jobs stay fully described by
-    picklable primitives).
+    picklable primitives).  ``switch_params`` passes schema-checked
+    constructor parameters (e.g. PF's ``threshold``) through to
+    :func:`~repro.sim.experiment.run_single` — as a plain dict, so jobs
+    stay picklable.
     """
 
     switch_name: str
@@ -47,6 +50,7 @@ class SweepJob(NamedTuple):
     scenario: Optional[object] = None
     n: Optional[int] = None
     store: Optional[str] = None
+    switch_params: Optional[dict] = None
 
 
 def _run_job(job: SweepJob) -> SimulationResult:
@@ -66,6 +70,7 @@ def _run_job(job: SweepJob) -> SimulationResult:
         keep_samples=False,
         engine=job.engine,
         store=job.store,
+        switch_params=job.switch_params,
         **scenario_args,
     )
 

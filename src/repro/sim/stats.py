@@ -21,7 +21,13 @@ from typing import List, NamedTuple, Sequence
 import numpy as np
 from scipy import stats as scipy_stats
 
-__all__ = ["mser_truncation", "batch_means", "BatchMeansResult", "compare_means"]
+__all__ = [
+    "MIN_MSER_TAIL",
+    "mser_truncation",
+    "batch_means",
+    "BatchMeansResult",
+    "compare_means",
+]
 
 
 class BatchMeansResult(NamedTuple):
@@ -44,11 +50,19 @@ class BatchMeansResult(NamedTuple):
         return low <= value <= high
 
 
+#: Smallest tail a candidate MSER truncation may leave.  A near-empty
+#: tail has a degenerate standard error (a 1-sample tail scores 0), so
+#: without a floor ``max_fraction`` close to 1 discards nearly the whole
+#: series; the MSER-5 literature's batch floor serves the same purpose.
+MIN_MSER_TAIL = 5
+
+
 def mser_truncation(series: Sequence[float], max_fraction: float = 0.5) -> int:
     """MSER warm-up point: the truncation minimizing the standard error.
 
     Scans candidate truncation points ``d`` and returns the ``d`` (at most
-    ``max_fraction`` of the series) minimizing
+    ``max_fraction`` of the series, and always leaving a tail of at least
+    :data:`MIN_MSER_TAIL` samples) minimizing
     ``std(series[d:]) / sqrt(len - d)``.  Classic MSER evaluates every
     prefix; we scan on a stride for long series (the optimum is flat).
 
@@ -59,7 +73,9 @@ def mser_truncation(series: Sequence[float], max_fraction: float = 0.5) -> int:
     values = np.asarray(series, dtype=float)
     if values.size < 4:
         return 0
-    limit = int(values.size * max_fraction)
+    limit = min(int(values.size * max_fraction), values.size - MIN_MSER_TAIL)
+    if limit < 0:
+        return 0
     stride = max(1, limit // 256)
     best_d, best_score = 0, math.inf
     for d in range(0, limit + 1, stride):

@@ -43,7 +43,18 @@ class ArrivalProcess:
         raise NotImplementedError
 
     def events(self, num_slots: int, chunk_slots: int = 4096) -> Iterator[Chunk]:
-        """Iterate chunks covering ``[0, num_slots)``."""
+        """Iterate chunks covering ``[0, num_slots)``.
+
+        The chunking here is the *RNG-consumption unit* of a run: every
+        consumer (the object generator's slot stream, the batch
+        generator's monolithic ``draw`` and its windowed ``draw_chunks``)
+        steps the arrival process through exactly these chunks, drawing
+        destinations after each one, so reading the same run in
+        different window sizes can never perturb the stream.  Stateful
+        processes (the on/off model's Markov state) rely on being
+        stepped through one ``events`` sweep per run for the same
+        reason.
+        """
         start = 0
         while start < num_slots:
             size = min(chunk_slots, num_slots - start)

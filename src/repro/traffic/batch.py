@@ -16,7 +16,7 @@ object-vs-vectorized engine parity *exact*, and it is pinned by tests.
 
 from __future__ import annotations
 
-from typing import List, NamedTuple, Optional
+from typing import Iterator, List, NamedTuple, Optional
 
 import numpy as np
 
@@ -56,11 +56,18 @@ class ArrivalBatch(NamedTuple):
     ``(slot, input)`` — the exact order in which ``TrafficGenerator``
     hands packets to a switch (its per-slot lists are sorted by input
     port).
+
+    A batch covers the slot range ``[start_slot, start_slot +
+    num_slots)``.  :meth:`BatchTrafficGenerator.draw` always emits a
+    whole run as one batch starting at slot 0;
+    :meth:`BatchTrafficGenerator.draw_chunks` emits consecutive windows
+    of one run, each tagged with its absolute ``start_slot`` (packet
+    ``slots`` stay absolute run slots in both cases).
     """
 
     #: Switch size.
     n: int
-    #: Number of slots the batch covers (``[0, num_slots)`` of this draw).
+    #: Number of slots the batch covers.
     num_slots: int
     #: Arrival slot of each packet.
     slots: np.ndarray
@@ -70,9 +77,16 @@ class ArrivalBatch(NamedTuple):
     outputs: np.ndarray
     #: Per-VOQ sequence number of each packet (assigned at arrival).
     seqs: np.ndarray
+    #: First slot the batch covers (0 for a monolithic draw).
+    start_slot: int = 0
 
     def __len__(self) -> int:
         return len(self.slots)
+
+    @property
+    def end_slot(self) -> int:
+        """One past the last slot the batch covers."""
+        return self.start_slot + self.num_slots
 
     @property
     def voqs(self) -> np.ndarray:
@@ -116,6 +130,26 @@ class BatchTrafficGenerator:
         self._seq_next = np.zeros(self.n * self.n, dtype=np.int64)
         self.generated = 0
 
+    def _event_chunks(self, num_slots: int):
+        """Iterate ``(slots, inputs, outputs)`` arrival chunks of one run.
+
+        This is *the* RNG-consumption unit shared by :meth:`draw` and
+        :meth:`draw_chunks`: the arrival process is stepped in chunks of
+        ``chunk_slots`` slots and each chunk's destinations are drawn
+        immediately after it, so how callers re-window the events can
+        never perturb the stream.  (`np.nonzero` emits chunk events in
+        row-major ``(slot, input)`` order already; destinations come from
+        the same shared sampler — hence the same RNG consumption — as
+        ``TrafficGenerator.slots()``.)
+        """
+        for slots, inputs in self.arrivals.events(num_slots, self.chunk_slots):
+            dests = self._destinations.draw(self._rng, slots, inputs, self.n)
+            yield (
+                np.asarray(slots, dtype=np.int64),
+                np.asarray(inputs, dtype=np.int64),
+                dests,
+            )
+
     def draw(self, num_slots: int) -> ArrivalBatch:
         """Draw ``num_slots`` slots of arrivals as one batch of arrays."""
         if num_slots <= 0:
@@ -124,13 +158,9 @@ class BatchTrafficGenerator:
         slot_parts: List[np.ndarray] = []
         input_parts: List[np.ndarray] = []
         output_parts: List[np.ndarray] = []
-        for slots, inputs in self.arrivals.events(num_slots, self.chunk_slots):
-            # `np.nonzero` emits chunk events in row-major (slot, input)
-            # order already; destinations come from the same shared sampler
-            # (hence the same RNG consumption) as TrafficGenerator.slots().
-            dests = self._destinations.draw(self._rng, slots, inputs, n)
-            slot_parts.append(np.asarray(slots, dtype=np.int64))
-            input_parts.append(np.asarray(inputs, dtype=np.int64))
+        for slots, inputs, dests in self._event_chunks(num_slots):
+            slot_parts.append(slots)
+            input_parts.append(inputs)
             output_parts.append(dests)
 
         slots_all = (
@@ -154,6 +184,60 @@ class BatchTrafficGenerator:
             outputs=outputs_all,
             seqs=seqs,
         )
+
+    def draw_chunks(
+        self, num_slots: int, window_slots: int
+    ) -> Iterator[ArrivalBatch]:
+        """Draw one ``num_slots`` run as consecutive slot windows.
+
+        Yields :class:`ArrivalBatch` windows covering ``[0, window_slots)``,
+        ``[window_slots, 2 * window_slots)``, … (the last window may be
+        shorter), with *identical RNG consumption* to a single
+        ``draw(num_slots)`` — the arrival process is still stepped in
+        ``chunk_slots`` units internally and the windows are sliced from
+        the buffered events, so concatenating the windows' arrays
+        reproduces the monolithic batch field-for-field (per-VOQ sequence
+        numbers continue across windows).  Peak buffered-event memory is
+        O(``window_slots + chunk_slots``) instead of O(``num_slots``).
+        """
+        if num_slots <= 0:
+            raise ValueError("num_slots must be positive")
+        if window_slots <= 0:
+            raise ValueError("window_slots must be positive")
+        n = self.n
+        pending_slots = np.empty(0, np.int64)
+        pending_inputs = np.empty(0, np.int64)
+        pending_outputs = np.empty(0, np.int64)
+        covered = 0  # slots fully drawn so far
+        emitted = 0  # slots already yielded as windows
+        chunks = self._event_chunks(num_slots)
+        while emitted < num_slots:
+            window_end = min(emitted + window_slots, num_slots)
+            while covered < window_end:
+                slots, inputs, dests = next(chunks)
+                covered = min(covered + self.chunk_slots, num_slots)
+                pending_slots = np.concatenate([pending_slots, slots])
+                pending_inputs = np.concatenate([pending_inputs, inputs])
+                pending_outputs = np.concatenate([pending_outputs, dests])
+            cut = int(np.searchsorted(pending_slots, window_end, side="left"))
+            w_slots = pending_slots[:cut]
+            w_inputs = pending_inputs[:cut]
+            w_outputs = pending_outputs[:cut]
+            pending_slots = pending_slots[cut:]
+            pending_inputs = pending_inputs[cut:]
+            pending_outputs = pending_outputs[cut:]
+            seqs = self._assign_seqs(w_inputs * n + w_outputs)
+            self.generated += len(w_slots)
+            yield ArrivalBatch(
+                n=n,
+                num_slots=window_end - emitted,
+                slots=w_slots,
+                inputs=w_inputs,
+                outputs=w_outputs,
+                seqs=seqs,
+                start_slot=emitted,
+            )
+            emitted = window_end
 
     def _assign_seqs(self, voqs: np.ndarray) -> np.ndarray:
         """Per-VOQ consecutive sequence numbers, in generation order."""

@@ -55,6 +55,66 @@ def destination_distributions(matrix):
     return matrix, row_sums, dists
 
 
+def _row_cdfs(
+    dest_dists: List[Optional[np.ndarray]],
+) -> List[Optional[np.ndarray]]:
+    """Normalized CDF right-edges per destination distribution.
+
+    Exactly the cumulative table ``np.random.Generator.choice`` builds
+    internally for a weighted draw — precomputing it once per generator
+    removes choice's per-call validation and cumsum from the hot path
+    while consuming the *same* uniforms and returning the *same* values
+    (pinned by tests).
+    """
+    cdfs: List[Optional[np.ndarray]] = []
+    for dist in dest_dists:
+        if dist is None:
+            cdfs.append(None)
+        else:
+            cdf = dist.cumsum()
+            cdf /= cdf[-1]
+            cdfs.append(cdf)
+    return cdfs
+
+
+def _draw_from_cdfs(
+    rng: np.random.Generator,
+    inputs: np.ndarray,
+    cdfs: List[Optional[np.ndarray]],
+    n: int,
+) -> np.ndarray:
+    """Destination draws against precomputed CDFs (see :func:`_row_cdfs`).
+
+    One vectorized draw per input present, inputs ascending — the
+    canonical consumption order.  Events are grouped per input with one
+    radix sort instead of one boolean-mask pass per input.
+    """
+    dests = np.empty(len(inputs), dtype=np.int64)
+    if len(inputs) == 0:
+        return dests
+    order = np.argsort(
+        inputs.astype(np.uint16) if n <= np.iinfo(np.uint16).max else inputs,
+        kind="stable",
+    )
+    counts = np.bincount(inputs, minlength=n)
+    sorted_dests = np.empty(len(inputs), dtype=np.int64)
+    at = 0
+    for inp in np.flatnonzero(counts):
+        count = int(counts[inp])
+        cdf = cdfs[int(inp)]
+        if cdf is None:
+            sorted_dests[at : at + count] = rng.integers(0, n, size=count)
+        else:
+            # Generator.choice(n, size, p) ≡ inverse-CDF over one
+            # uniform block: identical stream consumption and values.
+            sorted_dests[at : at + count] = cdf.searchsorted(
+                rng.random(count), side="right"
+            )
+        at += count
+    dests[order] = sorted_dests
+    return dests
+
+
 def draw_destinations(
     rng: np.random.Generator,
     inputs: np.ndarray,
@@ -67,18 +127,11 @@ def draw_destinations(
     follow: one vectorized draw per input present in the chunk, inputs
     ascending.  An input with no configured rate can only see arrivals
     from a custom arrival process; those are spread uniformly so they are
-    not silently dropped.
+    not silently dropped.  Draws are bit-identical to the historical
+    ``rng.choice(n, size=count, p=dist)`` calls (same uniforms, same
+    values) — the per-row CDFs are just precomputed.
     """
-    dests = np.empty(len(inputs), dtype=np.int64)
-    for inp in np.unique(inputs):
-        dist = dest_dists[int(inp)]
-        mask = inputs == inp
-        count = int(mask.sum())
-        if dist is None:
-            dests[mask] = rng.integers(0, n, size=count)
-        else:
-            dests[mask] = rng.choice(n, size=count, p=dist)
-    return dests
+    return _draw_from_cdfs(rng, inputs, _row_cdfs(dest_dists), n)
 
 
 class DestinationSampler:
@@ -114,6 +167,7 @@ class MatrixDestinations(DestinationSampler):
 
     def __init__(self, dest_dists: List[Optional[np.ndarray]]) -> None:
         self._dest_dists = dest_dists
+        self._cdfs = _row_cdfs(dest_dists)
 
     def draw(
         self,
@@ -122,7 +176,7 @@ class MatrixDestinations(DestinationSampler):
         inputs: np.ndarray,
         n: int,
     ) -> np.ndarray:
-        return draw_destinations(rng, inputs, self._dest_dists, n)
+        return _draw_from_cdfs(rng, inputs, self._cdfs, n)
 
 
 class DriftingDestinations(DestinationSampler):

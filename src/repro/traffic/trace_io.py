@@ -16,15 +16,21 @@ from __future__ import annotations
 
 import csv
 import gzip
+import warnings
 from pathlib import Path
 from typing import Iterable, List, Optional, Tuple, Union
 
 from ..switching.packet import Packet
 from .arrivals import TraceArrivals
 from .generator import TrafficGenerator
-from .matrices import validate_matrix
 
-__all__ = ["record_trace", "write_trace", "read_trace", "replay_generator"]
+__all__ = [
+    "record_trace",
+    "write_trace",
+    "read_trace",
+    "replay_generator",
+    "trace_to_arrival_process",
+]
 
 TraceEvent = Tuple[int, int, int, Optional[int]]  # slot, input, output, flow
 
@@ -85,7 +91,17 @@ class _ReplaySource:
         self._events = events
         self.generated = 0
 
-    def slots(self, num_slots: int, chunk_slots: int = 4096):
+    def slots(self, num_slots: int):
+        beyond = sum(1 for event in self._events if event[0] >= num_slots)
+        if beyond:
+            warnings.warn(
+                f"replaying {num_slots} slots truncates the trace: "
+                f"{beyond} of {len(self._events)} events arrive at slot "
+                f">= {num_slots} and will not be injected (throughput "
+                f"metrics would silently undercount `generated`)",
+                UserWarning,
+                stacklevel=2,
+            )
         cursor = 0
         seqs = {}
         for slot in range(num_slots):

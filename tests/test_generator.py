@@ -8,6 +8,42 @@ from repro.traffic.generator import FlowModel, TrafficGenerator, bernoulli_traff
 from repro.traffic.matrices import diagonal_matrix, uniform_matrix
 
 
+class TestDrawDestinations:
+    def test_bit_identical_to_generator_choice(self):
+        """The precomputed-CDF fast path must consume and produce exactly
+        what the historical per-input ``rng.choice(n, size, p)`` calls
+        did — this is what keeps old seeded runs (and the experiment
+        store's cached results) valid."""
+        from repro.traffic.generator import (
+            destination_distributions,
+            draw_destinations,
+        )
+
+        n = 8
+        matrix = diagonal_matrix(n, 0.7)
+        _, _, dists = destination_distributions(matrix)
+        events = np.random.default_rng(9).integers(0, n, 500)
+        fast_rng = np.random.default_rng(31)
+        fast = draw_destinations(fast_rng, events, dists, n)
+        ref_rng = np.random.default_rng(31)
+        ref = np.empty(len(events), dtype=np.int64)
+        for inp in np.unique(events):
+            mask = events == inp
+            ref[mask] = ref_rng.choice(n, size=int(mask.sum()), p=dists[inp])
+        assert np.array_equal(fast, ref)
+        # Stream positions agree afterwards too.
+        assert fast_rng.random() == ref_rng.random()
+
+    def test_idle_input_falls_back_to_uniform(self):
+        from repro.traffic.generator import draw_destinations
+
+        dests = draw_destinations(
+            np.random.default_rng(0), np.zeros(50, dtype=np.int64),
+            [None, None], 2,
+        )
+        assert set(np.unique(dests)) <= {0, 1}
+
+
 class TestTrafficGenerator:
     def test_slot_stream_is_complete_and_ordered(self, rng):
         gen = TrafficGenerator(uniform_matrix(4, 0.5), rng)

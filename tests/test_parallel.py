@@ -29,6 +29,54 @@ class TestRunJobs:
             assert a.mean_delay == b.mean_delay
             assert a.measured_packets == b.measured_packets
 
+    def test_switch_params_reach_the_run(self):
+        """Regression: SweepJob dropped switch_params entirely, so
+        parameterized switches (PF threshold) could not be swept or
+        replicated in parallel at all."""
+        from repro.sim.experiment import run_single
+
+        matrix = uniform_matrix(4, 0.6)
+        jobs = [
+            SweepJob(
+                "pf", matrix, 600, 2, 0.6, switch_params={"threshold": t}
+            )
+            for t in (1, 4)
+        ]
+        inline = run_jobs(jobs, max_workers=1)
+        pooled = run_jobs(jobs, max_workers=2)
+        for job, a, b in zip(jobs, inline, pooled):
+            want = run_single(
+                "pf", matrix, 600, seed=2, load_label=0.6,
+                keep_samples=False,
+                switch_params=job.switch_params,
+            )
+            assert a.mean_delay == want.mean_delay
+            assert b.mean_delay == want.mean_delay
+        # Thresholds 1 and 4 genuinely produce different dynamics, so the
+        # parameter demonstrably arrived (it is not defaulted away).
+        assert inline[0].mean_delay != inline[1].mean_delay
+
+    def test_switch_params_default_cache_keys_unchanged(self, tmp_path):
+        """Default-parameter jobs must hit the same store entries as
+        before the switch_params field existed (key only present when
+        non-default)."""
+        from repro.sim.experiment import run_single, single_run_params
+
+        matrix = uniform_matrix(4, 0.6)
+        params_none = single_run_params(
+            "pf", matrix, 600, 2, 0.6, 0.1, False, "object", None, None
+        )
+        params_empty = single_run_params(
+            "pf", matrix, 600, 2, 0.6, 0.1, False, "object", None, {}
+        )
+        assert params_none == params_empty
+        assert "switch_params" not in params_none
+        custom = single_run_params(
+            "pf", matrix, 600, 2, 0.6, 0.1, False, "object", None,
+            {"threshold": 3},
+        )
+        assert custom["switch_params"] == {"threshold": 3}
+
 
 class TestParallelSweep:
     def test_matches_sequential_sweep(self):

@@ -46,6 +46,24 @@ class TestReplicate:
         assert result.metric == "late"
         assert result.mean == 0.0  # never reorders, any seed
 
+    def test_switch_params_replicated(self):
+        """Regression: replicate() dropped switch_params, so a
+        parameterized switch could not be replicated at all."""
+        from repro.sim.experiment import run_single
+
+        matrix = uniform_matrix(4, 0.6)
+        result = replicate(
+            "pf", matrix, 800, replications=3,
+            switch_params={"threshold": 1},
+        )
+        want = run_single(
+            "pf", matrix, 800, seed=0, keep_samples=False,
+            switch_params={"threshold": 1},
+        )
+        assert result.values[0] == float(want.mean_delay)
+        plain = replicate("pf", matrix, 800, replications=3)
+        assert result.values != plain.values
+
     def test_needs_two_replications(self):
         with pytest.raises(ValueError):
             replicate("ufs", uniform_matrix(4, 0.5), 500, replications=1)

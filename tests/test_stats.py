@@ -24,6 +24,27 @@ class TestMser:
         series = list(rng.random(100))
         assert mser_truncation(series, max_fraction=0.3) <= 30
 
+    def test_degenerate_tail_not_selected(self, rng):
+        """Regression: with max_fraction ~ 1, a near-empty tail has a
+        degenerate score (a 1-sample tail's std is 0, so its standard
+        error is 0) and the old scan discarded nearly the whole series.
+        Candidates must leave at least MIN_MSER_TAIL samples."""
+        from repro.sim.stats import MIN_MSER_TAIL
+
+        # A slowly decreasing series: every longer truncation looks
+        # (spuriously) better, so the scan runs into the tail cap.
+        series = list(np.linspace(100.0, 0.0, 200))
+        cut = mser_truncation(series, max_fraction=1.0)
+        assert cut <= len(series) - MIN_MSER_TAIL
+        # The stationary-tail property still holds with a transient.
+        series = [1000.0] * 20 + [10.0] * 200
+        cut = mser_truncation(series, max_fraction=1.0)
+        assert 15 <= cut <= 40
+
+    def test_short_series_with_full_fraction(self):
+        # size 4 (the scan threshold): the tail floor must not underflow.
+        assert mser_truncation([5.0, 4.0, 3.0, 2.0], max_fraction=1.0) == 0
+
 
 class TestBatchMeans:
     def test_covers_true_mean_iid(self, rng):

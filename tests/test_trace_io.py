@@ -117,6 +117,42 @@ class TestReplay:
         with pytest.raises(ValueError):
             replay_generator(2, [(0, 5, 0, None)])
 
+    def test_truncated_replay_warns(self):
+        """Regression: events at slot >= num_slots were silently dropped,
+        undercounting `generated` and skewing throughput metrics."""
+        events = [(0, 0, 1, None), (5, 1, 2, None), (9, 2, 3, None)]
+        source = replay_generator(4, events)
+        with pytest.warns(UserWarning, match="truncates the trace"):
+            consumed = [
+                (slot, len(packets)) for slot, packets in source.slots(6)
+            ]
+        assert len(consumed) == 6
+        assert source.generated == 2  # the slot-9 event never injects
+
+    def test_full_replay_does_not_warn(self):
+        events = make_events(slots=50)
+        source = replay_generator(4, events)
+        import warnings as warnings_module
+
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            for _slot, _packets in source.slots(50):
+                pass
+        assert source.generated == len(events)
+
+    def test_replay_slots_signature_has_no_chunk_arg(self):
+        """The unused chunk_slots parameter is gone for good."""
+        import inspect
+
+        source = replay_generator(4, [])
+        params = inspect.signature(source.slots).parameters
+        assert list(params) == ["num_slots"]
+
+    def test_exported_in_all(self):
+        import repro.traffic.trace_io as trace_io
+
+        assert "trace_to_arrival_process" in trace_io.__all__
+
     def test_arrival_skeleton_projection(self):
         events = [(0, 1, 3, None), (2, 0, 2, 7)]
         proc = trace_to_arrival_process(4, events)
