@@ -12,15 +12,76 @@ The shared generator here is parameterized by the traffic pattern;
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
-from ..models import PAPER_SWITCHES
-from ..sim.experiment import delay_vs_load_sweep
+from ..models import PAPER_SWITCHES, canonical_name
+from ..sim.experiment import (
+    TRAFFIC_PATTERNS,
+    delay_vs_load_sweep,
+    single_run_params,
+)
+from ..store import cache_key, coerce_store
 from .render import ascii_log_chart, format_table
 
-__all__ = ["generate", "render", "DEFAULT_LOADS"]
+__all__ = ["generate", "render", "table_params", "DEFAULT_LOADS"]
 
 DEFAULT_LOADS: Sequence[float] = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95)
+
+
+def table_params(
+    pattern,
+    figure_name: str,
+    n: int,
+    loads: Sequence[float],
+    num_slots: int,
+    switches: Sequence[str],
+    seed: int,
+    engine: str,
+) -> Dict:
+    """The store cache-key parameters of one rendered figure table.
+
+    Content-addressed over the figure spec *and* the constituent run
+    keys: the ``runs`` field lists the per-cell ``run_single`` cache keys
+    (exactly the keys the sweep consults), so any change that would
+    recompute a cell — run-params schema bump included — also misses the
+    rendered table, while bit-identical execution details that do not
+    enter run keys (e.g. ``window_slots``) hit it.
+    """
+    from ..scenarios.registry import resolve_scenario
+    from ..scenarios.spec import effective_matrix
+
+    spec = None
+    if not (isinstance(pattern, str) and pattern in TRAFFIC_PATTERNS):
+        spec = resolve_scenario(pattern)
+    run_keys = []
+    for load in loads:
+        matrix = (
+            TRAFFIC_PATTERNS[pattern](n, load)
+            if spec is None
+            else effective_matrix(spec, n, load)
+        )
+        for name in switches:
+            run_keys.append(
+                cache_key(
+                    single_run_params(
+                        canonical_name(name), matrix, num_slots, seed,
+                        float(load), 0.1, False, engine, spec,
+                    )
+                )
+            )
+    return {
+        "schema": 1,
+        "kind": "figure_table",
+        "figure": figure_name,
+        "pattern": spec.to_dict() if spec is not None else pattern,
+        "n": int(n),
+        "loads": [float(load) for load in loads],
+        "num_slots": int(num_slots),
+        "seed": int(seed),
+        "engine": engine,
+        "switches": [canonical_name(name) for name in switches],
+        "runs": run_keys,
+    }
 
 
 def generate(
@@ -80,7 +141,24 @@ def render(
     store=None,
     window_slots=None,
 ) -> str:
-    """Delay-vs-load table and log-scale chart for one traffic pattern."""
+    """Delay-vs-load table and log-scale chart for one traffic pattern.
+
+    With a ``store``, the *whole rendered table* is memoized through the
+    experiment store (see :func:`table_params` for the key scheme) on top
+    of the per-cell run caching: re-rendering a figure whose runs are all
+    cached skips even the cache assembly.  ``store=None`` (the CLI's
+    ``--no-store``) disables both layers.
+    """
+    cache = coerce_store(store)
+    params: Optional[Dict] = None
+    if cache is not None:
+        params = table_params(
+            pattern, figure_name, n, loads, num_slots, PAPER_SWITCHES,
+            seed, engine,
+        )
+        cached = cache.fetch_artifact(params)
+        if cached is not None:
+            return cached["text"]
     rows = generate(
         pattern,
         n=n,
@@ -88,7 +166,7 @@ def render(
         num_slots=num_slots,
         seed=seed,
         engine=engine,
-        store=store,
+        store=cache,
         window_slots=window_slots,
     )
     series: Dict[str, List[tuple]] = {}
@@ -97,10 +175,13 @@ def render(
             (row["load"], row["mean_delay"])
         )
     chart = ascii_log_chart(series, x_label="load", y_label="mean delay")
-    return (
+    text = (
         f"{figure_name}: average delay vs load ({pattern} traffic, N={n}, "
         f"{num_slots} slots)\n"
         + format_table(rows)
         + "\n\n"
         + chart
     )
+    if cache is not None:
+        cache.save_artifact(params, {"text": text})
+    return text

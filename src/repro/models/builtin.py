@@ -139,7 +139,11 @@ register(SwitchModel(
     builder=_build_foff,
     kernel=_k_foff.departures,
     stream_kernel=_k_foff.stream,
-    capabilities={Capability.EXACT_REPLAY, Capability.SUPPORTS_DRIFT},
+    capabilities={
+        Capability.EXACT_REPLAY,
+        Capability.SUPPORTS_DRIFT,
+        Capability.SEED_BATCHED,
+    },
 ))
 
 register(SwitchModel(
@@ -151,7 +155,11 @@ register(SwitchModel(
     builder=_build_pf,
     kernel=_k_pf.departures,
     stream_kernel=_k_pf.stream,
-    capabilities={Capability.EXACT_REPLAY, Capability.SUPPORTS_DRIFT},
+    capabilities={
+        Capability.EXACT_REPLAY,
+        Capability.SUPPORTS_DRIFT,
+        Capability.SEED_BATCHED,
+    },
     params=(
         ParamSpec("threshold", int, None,
                   "minimum VOQ length to pad (default N // 2)"),

@@ -75,6 +75,12 @@ def _make_arrivals(
         duty_floor = float(
             spec.arrivals.get("duty_floor", _ONOFF_DUTY_FLOOR)
         )
+        # ``phases`` shares modulator chains across inputs (input i
+        # follows chain i mod phases; 1 = the whole switch breathes in
+        # lock-step).  Absent means one chain per input, the classic
+        # independent model — construction (and RNG consumption) is then
+        # unchanged, so pre-existing scenarios keep their exact streams.
+        phases = spec.arrivals.get("phases")
         row_rates = matrix.sum(axis=1)
         row_peak = float(row_rates.max()) if n else 0.0
         # One duty cycle for the whole switch (a common burst cadence),
@@ -91,7 +97,12 @@ def _make_arrivals(
             else np.zeros(n)
         )
         mean_off = max(1.0, mean_on * (1.0 - duty) / duty)
-        return OnOffArrivals(n, peaks, mean_on, mean_off, rng)
+        # Clamped to n so one spec runs across the whole N grid (a
+        # 4-phase scenario at N=2 degenerates to per-input chains).
+        return OnOffArrivals(
+            n, peaks, mean_on, mean_off, rng,
+            phases=min(int(phases), n) if phases is not None else None,
+        )
     raise ValueError(f"unknown arrival kind {kind!r}")  # pragma: no cover
 
 

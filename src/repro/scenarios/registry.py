@@ -211,6 +211,24 @@ register_scenario(ScenarioSpec(
 ))
 
 register_scenario(ScenarioSpec(
+    name="correlated-bursts",
+    description=(
+        "Every input shares ONE on/off modulator phase (mean burst 32 "
+        "slots, 50% duty floor, uniform destinations): the whole switch "
+        "bursts in lock-step instead of independently. During an episode "
+        "the aggregate offered load doubles at every input simultaneously "
+        "— the correlated overload the paper's i.i.d. analysis (and the "
+        "Chernoff bound's independence assumptions) never sees — then the "
+        "switch drains in the shared silence. Stresses frame formation "
+        "(every input starts frames in the same cycles), stage-2 fan-in, "
+        "and the drain dynamics of frame-at-a-time service."
+    ),
+    arrivals={
+        "kind": "onoff", "mean_on": 32.0, "duty_floor": 0.5, "phases": 1,
+    },
+))
+
+register_scenario(ScenarioSpec(
     name="adversarial-stride",
     description=(
         "Each input concentrates all traffic on output (2i mod N): "

@@ -567,10 +567,11 @@ def run_replications_fast(
     per-call overheads that dominate short replications.
 
     Requires the model to declare
-    :data:`~repro.models.Capability.SEED_BATCHED` (the frame-at-a-time
-    switches PF and FOFF do not: their per-cycle formation recursion
-    gains nothing from stacking, so :func:`repro.sim.replication.replicate`
-    falls back to per-seed runs for them).
+    :data:`~repro.models.Capability.SEED_BATCHED` — which every
+    vectorized switch does, the frame-at-a-time PF/FOFF included: their
+    array-stepped formation engine treats each (seed, input) pair as one
+    more lane, so stacking seeds widens the per-cycle vector step
+    instead of multiplying the step count.
 
     ``batch_traffics`` substitutes pre-built per-seed packet sources (one
     per seed, e.g. scenario traffic); ``window_slots`` bounds arrival

@@ -36,6 +36,7 @@ __all__ = [
     "UnitAssembler",
     "WindowStacker",
     "composite_argsort",
+    "concat_ranges",
     "fifo_service",
     "mid_residues",
     "periodic_fifo_service",
@@ -45,6 +46,25 @@ __all__ = [
     "stable_id_argsort",
     "unit_completion",
 ]
+
+
+def concat_ranges(starts: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Concatenated index ranges ``[starts[i], starts[i] + counts[i])``.
+
+    The vectorized form of ``np.concatenate([np.arange(s, s + c) ...])``
+    — one ``repeat`` plus one ``arange`` regardless of how many ranges
+    there are.  Used wherever a kernel expands variable-length per-event
+    runs in one shot (PF's fake-cell positions fill ``[size, n)`` of
+    each padded frame).
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    ends = np.cumsum(counts)
+    return np.repeat(starts - (ends - counts), counts) + np.arange(
+        total, dtype=np.int64
+    )
 
 
 def stable_id_argsort(ids: np.ndarray, id_space: int) -> np.ndarray:

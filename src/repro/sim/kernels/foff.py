@@ -37,6 +37,7 @@ from .base import (
     composite_argsort,
     mid_residues,
     replay_polled_queues,
+    stable_id_argsort,
 )
 from .frames import (
     FrameFormationStream,
@@ -44,7 +45,7 @@ from .frames import (
     build_frame_schedule,
     drain_cut,
     drain_horizon,
-    foff_picker,
+    foff_rule,
     frame_membership,
 )
 
@@ -57,6 +58,7 @@ def _resequencer_peak(
     wire_slot: np.ndarray,
     departure: np.ndarray,
     cut: int,
+    grouping: np.ndarray,
 ) -> int:
     """Peak occupancy across the per-output resequencing buffers.
 
@@ -66,13 +68,16 @@ def _resequencer_peak(
     its arrival releases.  The peak is recorded at hold instants, after
     the increment — exactly :class:`~repro.switching.resequencer.
     Resequencer`'s accounting.
+
+    ``grouping`` is any ``(voq, departure)``-sorted order; the caller
+    passes its ``(voq, rank)`` sort, which qualifies because departures
+    are a per-VOQ running max over rank — no second full-size argsort.
     """
     if len(outs) == 0:
         return 0
     held = departure > wire_slot
     # Release-group sizes: all packets of a VOQ sharing a departure slot
     # are released together by the one packet that arrived last.
-    grouping = composite_argsort(voq, departure)
     g_voq = voq[grouping]
     g_dep = departure[grouping]
     new_group = np.r_[
@@ -120,7 +125,7 @@ def departures(
         )
         return dep, {"max_resequencer": 0.0}
 
-    schedule = build_frame_schedule(batch, lambda i: foff_picker(n))
+    schedule = build_frame_schedule(batch, foff_rule())
     member, assembled, position = frame_membership(batch, schedule)
     # FOFF never leaves a packet behind: partial frames sweep every
     # nonempty VOQ, so the whole batch is framed.
@@ -176,7 +181,7 @@ def departures(
     wire[observation] = np.arange(len(observation), dtype=np.int64)
 
     peak = _resequencer_peak(
-        batch.outputs, batch.voqs, wire_slot, departure, cut
+        batch.outputs, batch.voqs, wire_slot, departure, cut, order
     )
     dep = Departures(
         voq=batch.voqs[released],
@@ -193,10 +198,15 @@ def departures(
 
 def _voq_first_seq(batch: ArrivalBatch) -> np.ndarray:
     """Each packet's VOQ base sequence number (0 for a fresh generator,
-    nonzero when a batch continues an earlier draw's numbering)."""
+    nonzero when a batch continues an earlier draw's numbering).
+
+    Sequence numbers ascend per VOQ in batch order, so the minimum is
+    each VOQ's *first* occurrence: a reversed scatter assignment (last
+    write wins) lands it without a slow ``np.minimum.at`` pass.
+    """
     n = batch.n
-    first = np.full(n * n, np.iinfo(np.int64).max, dtype=np.int64)
-    np.minimum.at(first, batch.voqs, batch.seqs)
+    first = np.zeros(n * n, dtype=np.int64)
+    first[batch.voqs[::-1]] = batch.seqs[::-1]
     return first[batch.voqs]
 
 
@@ -219,7 +229,7 @@ class _FoffStream:
         num_voqs = self.num_blocks * n * n
         self._stacker = WindowStacker(self.num_blocks)
         self._formation = FrameFormationStream(
-            n, self.num_blocks, lambda b, i: foff_picker(n)
+            n, self.num_blocks, foff_rule()
         )
         self._packets = FramedPacketBuffer(num_voqs)
         self._stage2 = PolledQueueBank(
@@ -383,9 +393,11 @@ class _FoffStream:
         if held.any():
             np.maximum.at(self._peak, block[held], occupancy[held])
 
-    def _emit(self, released, final: bool):
-        """Build per-block Departures with global observation ranks."""
-        n = self.n
+    def _cut_released(self, released, final: bool):
+        """The released packets an emit may observe: past the object
+        engine's finite drain horizon, packets stay in the resequencers
+        there, unobserved.  Shared by both emit paths so the per-seed
+        and stacked records can never diverge on the cut."""
         (voq_p, rank_p, wire_p, mid_p, seq_p, slot_p, asm_p, tx_p,
          departure, t_mid, new_p) = released
         if final:
@@ -394,12 +406,72 @@ class _FoffStream:
                 voq_p[ok], rank_p[ok], seq_p[ok], slot_p[ok], asm_p[ok],
                 tx_p[ok], departure[ok], t_mid[ok],
             )
+        return voq_p, rank_p, seq_p, slot_p, asm_p, tx_p, departure, t_mid
+
+    def _emit_stacked(self, released, final: bool):
+        """One seed-extended Departures record with per-block observation
+        ranks (the stacked metrics fold compares ranks only within a
+        block, so a block-major composite sort assigns them in one pass).
+        """
+        n = self.n
+        (voq_p, rank_p, seq_p, slot_p, asm_p, tx_p, departure, t_mid) = (
+            self._cut_released(released, final)
+        )
         block = voq_p // (n * n)
+        observation = composite_argsort(
+            (block * np.int64(self._cut + 2) + departure) * n + t_mid, rank_p
+        )
+        counts = np.bincount(block, minlength=self.num_blocks)
+        starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        sorted_block = block[observation]
+        within = (
+            np.arange(len(observation), dtype=np.int64)
+            - starts[sorted_block]
+        )
+        wire = np.empty(len(observation), dtype=np.int64)
+        wire[observation] = self._obs_next[sorted_block] + within
+        self._obs_next += counts
+        return Departures(
+            voq=voq_p,
+            seq=seq_p,
+            arrival=slot_p,
+            departure=departure,
+            wire=wire,
+            assembled=asm_p,
+            tx=tx_p,
+            wire_is_rank=True,
+        )
+
+    def _emit(self, released, final: bool):
+        """Build per-block Departures with global observation ranks.
+
+        One stable sort by seed block plus contiguous slices (the
+        :func:`~repro.sim.kernels.sprinklers._split_blocks` pattern)
+        instead of one boolean-mask pass per seed; within-block order is
+        preserved, so the per-block records are unchanged.
+        """
+        n = self.n
+        (voq_p, rank_p, seq_p, slot_p, asm_p, tx_p, departure, t_mid) = (
+            self._cut_released(released, final)
+        )
+        block = voq_p // (n * n)
+        order = stable_id_argsort(block, self.num_blocks)
+        voq_s = voq_p[order] % (n * n)
+        seq_s = seq_p[order]
+        slot_s = slot_p[order]
+        asm_s = asm_p[order]
+        tx_s = tx_p[order]
+        dep_s = departure[order]
+        mid_s = t_mid[order]
+        rank_s = rank_p[order]
+        bounds = np.concatenate((
+            [0], np.cumsum(np.bincount(block, minlength=self.num_blocks)),
+        ))
         deps = []
         for b in range(self.num_blocks):
-            pick = block == b
+            lo, hi = bounds[b], bounds[b + 1]
             observation = composite_argsort(
-                departure[pick] * n + t_mid[pick], rank_p[pick]
+                dep_s[lo:hi] * n + mid_s[lo:hi], rank_s[lo:hi]
             )
             wire = np.empty(len(observation), dtype=np.int64)
             wire[observation] = self._obs_next[b] + np.arange(
@@ -408,19 +480,19 @@ class _FoffStream:
             self._obs_next[b] += len(observation)
             deps.append(
                 Departures(
-                    voq=voq_p[pick] % (n * n),
-                    seq=seq_p[pick],
-                    arrival=slot_p[pick],
-                    departure=departure[pick],
+                    voq=voq_s[lo:hi],
+                    seq=seq_s[lo:hi],
+                    arrival=slot_s[lo:hi],
+                    departure=dep_s[lo:hi],
                     wire=wire,
-                    assembled=asm_p[pick],
-                    tx=tx_p[pick],
+                    assembled=asm_s[lo:hi],
+                    tx=tx_s[lo:hi],
                     wire_is_rank=True,
                 )
             )
         return deps
 
-    def _advance(self, schedule, framed, boundary):
+    def _advance(self, schedule, framed, boundary, stacked: bool = False):
         n = self.n
         voq_x, slot, seq, gidx, rank, assembled, position = framed
         tx = assembled + position
@@ -440,9 +512,11 @@ class _FoffStream:
         released, held_events = result[:11], result[11:]
         final = boundary is None
         self._occupancy_events(released, held_events, final)
+        if stacked:
+            return self._emit_stacked(released, final)
         return self._emit(released, final)
 
-    def _round(self, windows, final: bool):
+    def _round(self, windows, final: bool, stacked: bool = False):
         n = self.n
         boundary = None
         if windows is not None:
@@ -460,13 +534,12 @@ class _FoffStream:
             block, slots, inputs, outputs, boundary
         )
         framed = self._packets.feed(voq_x, slots, seqs, gidx, schedule)
-        return self._advance(schedule, framed, boundary)
+        return self._advance(schedule, framed, boundary, stacked=stacked)
 
     def feed(self, windows):
         return self._round(windows, final=False)
 
-    def finish(self, windows=None):
-        deps = self._round(windows, final=True)
+    def _check_drained(self):
         # FOFF never leaves a packet behind: partial frames sweep every
         # nonempty VOQ, so the whole stream must have been framed and
         # every wire arrival released.
@@ -476,11 +549,24 @@ class _FoffStream:
         assert len(self._held[0]) == 0, (
             "FOFF resequencer replay left packets in flight"
         )
-        extras = [
+
+    def _extras(self):
+        return [
             {"max_resequencer": float(self._peak[b])}
             for b in range(self.num_blocks)
         ]
-        return deps, extras
+
+    def finish(self, windows=None):
+        deps = self._round(windows, final=True)
+        self._check_drained()
+        return deps, self._extras()
+
+    def finish_stacked(self, windows=None):
+        """Like :meth:`finish`, but returns the seed-extended stacked
+        record (no per-seed split) for the stacked metrics fold."""
+        dep = self._round(windows, final=True, stacked=True)
+        self._check_drained()
+        return dep, self._extras()
 
 
 def stream(matrix: np.ndarray, seeds, total_slots: int) -> _FoffStream:

@@ -9,14 +9,29 @@ input's VOQ occupancies at the cycle boundary (full frames first behind a
 round-robin pointer; the padding / partial-frame fallback differs per
 switch), and occupancies are arrivals-so-far minus packets already taken
 — no feedback from the rest of the switch.  Frame formation is therefore
-*sequential per input but exactly replayable*: one cheap decision per
-cycle, everything downstream of it vectorized.
+*sequential per input but exactly replayable*.
 
-:func:`build_frame_schedule` runs that per-input, per-cycle recursion
-(the only scalar loop in the PF/FOFF kernels — O(num_slots) iterations
-total across inputs, each a handful of small-array NumPy ops) and
-returns the complete frame schedule; :func:`frame_membership` maps every
-packet to its frame with one composite searchsorted.
+The production path is the **array-stepped formation engine**
+(:class:`_LaneFormation`): every ``(seed block, input)`` pair is one
+*lane*, and all lanes advance through their cycle recursions in lock-step
+— one NumPy pass per cycle index covering every lane at that cycle
+(occupancy deltas gathered from the cycle-sorted arrival buffer, the
+PF/FOFF pickers as masked argmax/argmin selections, round-robin pointers
+as vectors).  Cycle indices at which no lane has a decision to make are
+skipped in one jump: the global cursor moves to the smallest pending
+lane cycle, so quiescent spans between arrivals cost nothing.  A run's
+formation is O(num_cycles) vector steps instead of O(num_slots) Python
+iterations, and stacking seeds widens the per-step arrays instead of
+multiplying the step count — which is what makes PF/FOFF seed-batchable.
+
+:func:`build_frame_schedule` runs the engine over a monolithic batch;
+:class:`FrameFormationStream` is its resumable (windowed / multi-seed)
+form; :func:`frame_membership` maps every packet to its frame with one
+composite searchsorted.  The original per-input scalar recursion
+(:class:`_InputFormation` driven by :data:`Picker` closures) is retained
+as the *test-only reference* — :func:`reference_frame_schedule` /
+:class:`ReferenceFormationStream` — and the formation parity suite pins
+the vectorized engine against it frame for frame.
 
 The formation loop runs past the arrival horizon until a cycle forms no
 frame, mirroring the object engine's drain phase: with no new arrivals a
@@ -32,18 +47,26 @@ from typing import Callable, List, NamedTuple, Optional, Tuple
 import numpy as np
 
 from ...traffic.batch import ArrivalBatch, stable_voq_argsort
+from .base import stable_id_argsort
 
 __all__ = [
+    "FormationRule",
     "FrameFormationStream",
     "FramedPacketBuffer",
     "FrameSchedule",
+    "ReferenceFormationStream",
     "build_frame_schedule",
     "drain_cut",
     "drain_horizon",
     "foff_picker",
+    "foff_rule",
     "frame_membership",
     "pf_picker",
+    "pf_rule",
+    "reference_frame_schedule",
 ]
+
+_INT64_MAX = np.iinfo(np.int64).max
 
 
 def drain_cut(num_slots: int, n: int) -> int:
@@ -65,15 +88,50 @@ def drain_horizon(batch: ArrivalBatch) -> int:
     """:func:`drain_cut` of a monolithic batch."""
     return drain_cut(batch.num_slots, batch.n)
 
+
+class FormationRule(NamedTuple):
+    """Declarative frame chooser, shared by both formation paths.
+
+    ``kind`` is ``"pf"`` (full frames behind a round-robin pointer, else
+    pad the longest VOQ of at least ``threshold`` packets up to a full
+    frame) or ``"foff"`` (full frames RR first, else the next nonempty
+    VOQ behind a second round-robin pointer, taken whole).  The rule is
+    plain data so the vectorized engine can dispatch on it per step and
+    the scalar reference can build the equivalent :data:`Picker`.
+    """
+
+    kind: str
+    threshold: int = 0
+
+    def make_picker(self, n: int) -> "Picker":
+        """The scalar reference chooser for one input (test-only path)."""
+        if self.kind == "pf":
+            return pf_picker(n, self.threshold)
+        if self.kind == "foff":
+            return foff_picker(n)
+        raise ValueError(f"unknown formation rule kind {self.kind!r}")
+
+
+def pf_rule(threshold: int) -> FormationRule:
+    """The Padded Frames formation rule at a given padding threshold."""
+    return FormationRule("pf", threshold)
+
+
+def foff_rule() -> FormationRule:
+    """The FOFF formation rule (full frames RR, else partial frames RR)."""
+    return FormationRule("foff")
+
+
 #: One cycle's frame decision: ``(voq_output, real_packets, fake_cells)``
 #: or None when the input stays idle this cycle.
 Pick = Optional[Tuple[int, int, int]]
-#: Per-input frame chooser: ``pick(avail, total, full_count)`` consumes
-#: the VOQ occupancy list plus its maintained aggregates (total backlog,
-#: number of full-frame VOQs), may mutate its round-robin pointers, and
-#: returns the cycle's :data:`Pick`.  Plain Python scalars throughout —
-#: this runs once per cycle inside the only scalar loop of the PF/FOFF
-#: kernels, where small-array NumPy overhead would dominate the replay.
+#: Per-input frame chooser of the scalar *reference* path:
+#: ``pick(avail, total, full_count)`` consumes the VOQ occupancy list
+#: plus its maintained aggregates (total backlog, number of full-frame
+#: VOQs), may mutate its round-robin pointers, and returns the cycle's
+#: :data:`Pick`.  The production kernels run :class:`_LaneFormation`
+#: instead; pickers survive as the independent implementation the
+#: formation parity tests check the array engine against.
 Picker = Callable[[List[int], int, int], Pick]
 
 
@@ -84,7 +142,10 @@ class FrameSchedule(NamedTuple):
     fill it, the first VOQ rank it covers, how many real packets it took,
     how many fake cells pad it (PF only), and the cycle-start slot at
     which it began transmitting (packet ``k`` crosses at ``slot + k`` to
-    intermediate port ``k``).
+    intermediate port ``k``).  Within one VOQ, entries appear in
+    formation order (ascending ``start``); the global order across VOQs
+    is unspecified (the array engine emits cycle-major, the scalar
+    reference input-major) and nothing downstream may depend on it.
     """
 
     voq: np.ndarray
@@ -156,8 +217,275 @@ def foff_picker(n: int) -> Picker:
     return pick
 
 
+# ---------------------------------------------------------------------------
+# The array-stepped formation engine (the production path)
+# ---------------------------------------------------------------------------
+
+
+class _LaneFormation:
+    """Lock-step frame formation across all ``(block, input)`` lanes.
+
+    Carried state is flat per-lane arrays: the ``(lane, voq)`` occupancy
+    and taken grids, the round-robin pointers, and each lane's current
+    cycle index.  Pending arrivals live in two parallel views of the
+    same event set — cycle-major (tag-sorted, consumed by one global
+    cursor) for occupancy absorption, lane-major (``(lane, tag)``-sorted)
+    for the decline jumps.  One :meth:`run` step serves every lane whose
+    cycle equals the global cursor ``c``:
+
+    1. absorb every arrival with tag <= ``c`` (one scalar searchsorted
+       on the cycle-major tags + one bincount scatter into the occupancy
+       grid — eager for lanes ahead of the cursor, which is safe because
+       a lane's next pick absorbs everything up to its own cycle anyway);
+    2. evaluate the rule's pick as masked vector selections — the
+       cyclic-RR choice is an argmin of ``(j - pointer) mod n`` over the
+       eligible mask, PF's longest-VOQ fallback a plain argmax;
+    3. record the formed frames and update occupancies / pointers; lanes
+       that decline jump straight to their next pending arrival tag (or
+       the window limit / quiescence).
+
+    The cursor then moves to the smallest pending lane cycle, so spans
+    where no lane crosses a decision threshold are skipped in one jump —
+    a lane's sequence of (cycle, decision) pairs is *identical* to the
+    scalar reference recursion, step-skipping included.
+    """
+
+    def __init__(self, n: int, num_blocks: int, rule: FormationRule) -> None:
+        if rule.kind not in ("pf", "foff"):
+            raise ValueError(f"unknown formation rule kind {rule.kind!r}")
+        self.n = n
+        self.num_lanes = num_blocks * n
+        self.rule = rule
+        lanes = np.arange(self.num_lanes, dtype=np.int64)
+        inputs = lanes % n
+        #: Cycle-boundary slot of lane cycle ``c`` is ``residue + c * n``.
+        self.residue = (n - inputs) % n
+        self.voq_base = (lanes // n) * n * n + inputs * n
+        self.avail = np.zeros(self.num_lanes * n, dtype=np.int64)
+        self._avail2d = self.avail.reshape(self.num_lanes, n)
+        self.taken = np.zeros((self.num_lanes, n), dtype=np.int64)
+        self.full_rr = np.zeros(self.num_lanes, dtype=np.int64)
+        self.partial_rr = np.zeros(self.num_lanes, dtype=np.int64)
+        self.cycle = np.zeros(self.num_lanes, dtype=np.int64)
+        #: ``_RRTAB[p, j] = (j - p) mod n``: the cyclic-RR preference of
+        #: VOQ ``j`` behind pointer ``p`` — one row gather per step
+        #: instead of a broadcast subtract + mod.
+        self._rrtab = (self._cols()[None, :] - self._cols()[:, None]) % n
+        empty = np.empty(0, dtype=np.int64)
+        # Pending arrivals: cycle-major tags + occupancy cells behind the
+        # global cursor ``_g``, and the lane-major key/tag arrays the
+        # decline jumps binary-search.
+        self._ctag = empty
+        self._ccell = empty
+        self._g = 0
+        self._lkey = empty
+        self._ltag = empty
+        self._stride = 2
+
+    def _cols(self) -> np.ndarray:
+        return np.arange(self.n, dtype=np.int64)
+
+    def absorb(
+        self, lanes: np.ndarray, tags: np.ndarray, outs: np.ndarray
+    ) -> None:
+        """Buffer one window's arrivals (per-lane tags nondecreasing).
+
+        The not-yet-absorbed remainder is merged with the new events and
+        both sorted views rebuilt.  Carried tags never exceed incoming
+        ones on the same lane (a pending tag is at most the lane's limit
+        cycle, which a new window's arrivals start from), so a stable
+        radix sort by lane re-sorts the union by ``(lane, tag)``; the
+        cycle-major view radix-sorts cursor-relative tags where they fit
+        16 bits (any realistic window) and falls back to a full argsort.
+        """
+        n = self.n
+        carried = self._ccell[self._g :]
+        lane = np.concatenate([carried // n, lanes])
+        tag = np.concatenate([self._ctag[self._g :], tags])
+        out = np.concatenate([carried % n, outs])
+        if len(tag) == 0:
+            empty = np.empty(0, dtype=np.int64)
+            self._ctag = self._ccell = self._lkey = self._ltag = empty
+            self._g = 0
+            self._stride = 2
+            return
+        cell = lane * n + out
+        rel = tag - int(tag.min())
+        if int(rel.max()) <= np.iinfo(np.uint16).max:
+            order = np.argsort(rel.astype(np.uint16), kind="stable")
+        else:
+            order = np.argsort(rel, kind="stable")
+        self._ctag = tag[order]
+        self._ccell = cell[order]
+        self._g = 0
+        lorder = stable_id_argsort(lane, self.num_lanes)
+        self._stride = int(tag.max()) + 2
+        self._ltag = tag[lorder]
+        self._lkey = lane[lorder] * self._stride + self._ltag
+
+    def run(self, limit: Optional[np.ndarray]) -> FrameSchedule:
+        """Advance every lane below its ``limit`` cycle (exclusive).
+
+        ``limit=None`` runs the drain instead: lanes advance until the
+        pick declines with no pending arrivals (the object engine's
+        post-arrival quiescence).
+        """
+        n = self.n
+        rule = self.rule
+        is_pf = rule.kind == "pf"
+        threshold = rule.threshold
+        cycle = self.cycle
+        rrtab = self._rrtab
+        ctag = self._ctag
+        ccell = self._ccell
+        num_events = len(ctag)
+        num_cells = self.num_lanes * n
+        lim = (
+            np.full(self.num_lanes, _INT64_MAX, dtype=np.int64)
+            if limit is None
+            else limit
+        )
+        parts: Tuple[List[np.ndarray], ...] = ([], [], [], [], [])
+        voq_parts, start_parts, size_parts, fakes_parts, slot_parts = parts
+        g = self._g
+        while True:
+            pending = np.where(cycle < lim, cycle, _INT64_MAX)
+            c = int(pending.min())
+            if c == _INT64_MAX:
+                break
+            act = np.flatnonzero(pending == c)
+
+            # Absorb every arrival with tag <= c: one cursor advance over
+            # the cycle-major events.  Lanes ahead of the cursor absorb
+            # early, which cannot change any pick — their next decision
+            # is at their own cycle >= the arrival's tag.
+            if g < num_events:
+                g2 = int(np.searchsorted(ctag, c, side="right"))
+                if g2 > g:
+                    self.avail += np.bincount(
+                        ccell[g:g2], minlength=num_cells
+                    )
+                    g = g2
+
+            rows = self._avail2d[act]
+
+            # The pick, as masked selections.  Cyclic round-robin choice:
+            # the eligible j minimizing (j - pointer) mod n.
+            full = rows >= n
+            rr = self.full_rr[act]
+            off = np.where(full, rrtab[rr], n).min(axis=1)
+            has_full = off < n
+            j_full = (off + rr) % n
+            if is_pf:
+                best = rows.max(axis=1)
+                j_alt = rows.argmax(axis=1)  # ties to the lowest index
+                formed = has_full | (best >= threshold)
+                j = np.where(has_full, j_full, j_alt)
+                k = np.where(has_full, n, best)
+            else:
+                rr2 = self.partial_rr[act]
+                off2 = np.where(rows > 0, rrtab[rr2], n).min(axis=1)
+                formed = off2 < n
+                j_alt = (off2 + rr2) % n
+                j = np.where(has_full, j_full, j_alt)
+                k = np.where(has_full, n, rows[np.arange(len(act)), j])
+
+            if formed.all():
+                lf, jf, kf, took_full = act, j, k, has_full
+                fsel = None
+            else:
+                fsel = np.flatnonzero(formed)
+                lf = act[fsel]
+                jf = j[fsel]
+                kf = k[fsel]
+                took_full = has_full[fsel]
+            if len(lf):
+                voq_parts.append(self.voq_base[lf] + jf)
+                start_parts.append(self.taken[lf, jf])
+                size_parts.append(kf)
+                # Full frames pad nothing (k = n), so PF's fake-cell
+                # count is n - k in both pick branches.
+                fakes_parts.append(
+                    n - kf if is_pf else np.zeros(len(lf), dtype=np.int64)
+                )
+                slot_parts.append(self.residue[lf] + c * n)
+                self.taken[lf, jf] += kf
+                self._avail2d[lf, jf] -= kf
+                tf = np.flatnonzero(took_full)
+                if len(tf):
+                    self.full_rr[lf[tf]] = (jf[tf] + 1) % n
+                if not is_pf:
+                    tp = np.flatnonzero(~took_full)
+                    if len(tp):
+                        self.partial_rr[lf[tp]] = (jf[tp] + 1) % n
+                cycle[lf] = c + 1
+
+            if fsel is not None:
+                # Declining lanes jump to their next pending arrival —
+                # the idle-span skip; the pick is a pure function of
+                # state an empty cycle leaves untouched.
+                ld = act[~formed]
+                if len(self._lkey):
+                    idx = np.searchsorted(
+                        self._lkey,
+                        ld * self._stride + min(c, self._stride - 1),
+                        side="right",
+                    )
+                    idx_c = np.minimum(idx, len(self._lkey) - 1)
+                    have = (idx < len(self._lkey)) & (
+                        self._lkey[idx_c] // self._stride == ld
+                    )
+                    nxt = self._ltag[idx_c]
+                else:
+                    have = np.zeros(len(ld), dtype=bool)
+                    nxt = ld
+                if limit is None:
+                    # Drain quiescence: no arrivals to come and the pick
+                    # declines — the object engine's drain sees the same.
+                    cycle[ld] = np.where(have, nxt, _INT64_MAX)
+                else:
+                    cycle[ld] = np.where(
+                        have, np.minimum(nxt, lim[ld]), lim[ld]
+                    )
+        self._g = g
+        empty = np.empty(0, dtype=np.int64)
+        return FrameSchedule(
+            voq=np.concatenate(voq_parts) if voq_parts else empty,
+            start=np.concatenate(start_parts) if start_parts else empty,
+            size=np.concatenate(size_parts) if size_parts else empty,
+            fakes=np.concatenate(fakes_parts) if fakes_parts else empty,
+            slot=np.concatenate(slot_parts) if slot_parts else empty,
+        )
+
+
+def arrival_tags(
+    slots: np.ndarray, residue: np.ndarray, n: int
+) -> np.ndarray:
+    """First cycle whose boundary slot (``residue + c * n``) is at or
+    after the arrival slot; arrivals in the boundary slot itself are
+    visible to that cycle's pick (the slot protocol accepts before
+    serving).  Never negative since slots >= 0 > residue - n."""
+    return (slots - residue + n - 1) // n
+
+
+def build_frame_schedule(
+    batch: ArrivalBatch, rule: FormationRule
+) -> FrameSchedule:
+    """Run the array-stepped formation engine over one monolithic batch."""
+    n = batch.n
+    form = _LaneFormation(n, 1, rule)
+    tags = arrival_tags(batch.slots, form.residue[batch.inputs], n)
+    form.absorb(batch.inputs, tags, batch.outputs)
+    return form.run(None)
+
+
+# ---------------------------------------------------------------------------
+# The scalar reference recursion (test-only)
+# ---------------------------------------------------------------------------
+
+
 class _InputFormation:
-    """Resumable frame-formation recursion of one input.
+    """Resumable frame-formation recursion of one input (reference path).
 
     The per-cycle decision loop of the object engine's frame-at-a-time
     inputs, restartable at any cycle boundary: the carried state is the
@@ -166,14 +494,13 @@ class _InputFormation:
     ``run`` advances to (exclusive) ``limit_cycle``; ``drain`` runs the
     quiescence loop of the object engine's drain phase.
 
-    This is the only scalar loop in the PF/FOFF kernels (one iteration
-    per fabric cycle, ``num_slots`` iterations total across the inputs),
-    so it runs on plain Python ints with incrementally maintained
-    aggregates — per-cycle NumPy calls on length-``n`` arrays would cost
-    more than the whole vectorized replay downstream.  Cycles at which
-    the pick declines and no arrival lands are skipped in one jump (the
-    pick is a pure function of unchanged state), which is also what
-    keeps the monolithic path fast for idle inputs.
+    This was the production formation path before the array-stepped
+    engine; it survives because it is a genuinely independent
+    implementation (plain Python ints, per-input closures) that the
+    formation parity suite pins :class:`_LaneFormation` against.  Cycles
+    at which the pick declines and no arrival lands are skipped in one
+    jump (the pick is a pure function of unchanged state), exactly like
+    the vector engine's idle-span skip.
     """
 
     __slots__ = (
@@ -292,10 +619,15 @@ def _input_frames(
     return sink
 
 
-def build_frame_schedule(
-    batch: ArrivalBatch, make_picker: Callable[[int], Picker]
+def reference_frame_schedule(
+    batch: ArrivalBatch, rule: FormationRule
 ) -> FrameSchedule:
-    """Run every input's frame-formation recursion; collect the schedule."""
+    """The scalar reference formation (test-only; see :class:`_InputFormation`).
+
+    Runs every input's per-cycle recursion with the rule's scalar picker
+    and collects the schedule input-major.  The formation parity tests
+    compare :func:`build_frame_schedule` against this frame for frame.
+    """
     n = batch.n
     order = np.argsort(batch.inputs, kind="stable")
     counts = np.bincount(batch.inputs, minlength=n)
@@ -308,11 +640,9 @@ def build_frame_schedule(
     for i in range(n):
         idx = order[offsets[i] : offsets[i + 1]]
         residue = (-i) % n
-        # First cycle whose boundary slot (residue + c*n) is >= the
-        # arrival slot; never negative since slots >= 0 > residue - n.
         cycles = (batch.slots[idx] - residue + n - 1) // n
         f_out, f_start, f_size, f_fakes, f_slot = _input_frames(
-            n, residue, cycles, batch.outputs[idx], make_picker(i)
+            n, residue, cycles, batch.outputs[idx], rule.make_picker(n)
         )
         voq_l.extend(i * n + j for j in f_out)
         start_l.extend(f_start)
@@ -380,20 +710,62 @@ def frame_membership(
 class FrameFormationStream:
     """Resumable frame formation across all inputs (and seed blocks).
 
-    One :class:`_InputFormation` per (block, input); block ``b`` of a
+    The windowed form of the array-stepped engine: one
+    :class:`_LaneFormation` lane per (block, input); block ``b`` of a
     multi-seed replay owns VOQ ids ``b * n^2 + i * n + j``.  ``feed``
     absorbs one window of arrivals and forms every frame whose cycle
     boundary slot is strictly below the window's end (later cycles could
     still see this window's backlog *plus future arrivals*, so they must
-    wait); ``finish`` runs the per-input drain loops.
+    wait); ``finish`` runs the quiescence (drain) loop.
     """
 
-    def __init__(self, n: int, num_blocks: int, make_picker) -> None:
+    def __init__(self, n: int, num_blocks: int, rule: FormationRule) -> None:
+        self.n = n
+        self.num_blocks = num_blocks
+        self._form = _LaneFormation(n, num_blocks, rule)
+
+    def feed(
+        self,
+        blocks: np.ndarray,
+        slots: np.ndarray,
+        inputs: np.ndarray,
+        outputs: np.ndarray,
+        boundary: Optional[int],
+    ) -> FrameSchedule:
+        """Absorb one window's arrivals; form frames for cycles < boundary.
+
+        ``boundary=None`` runs the drain instead: every remaining frame
+        forms (the object engine's post-arrival quiescence loop).
+        """
+        n = self.n
+        if len(blocks):
+            lanes = blocks * n + inputs
+            tags = arrival_tags(slots, self._form.residue[lanes], n)
+            self._form.absorb(lanes, tags, outputs)
+        if boundary is None:
+            return self._form.run(None)
+        limit = (boundary - self._form.residue + n - 1) // n
+        return self._form.run(limit)
+
+    def finish(self) -> FrameSchedule:
+        """Form every remaining frame (the object engine's drain loop)."""
+        return self._form.run(None)
+
+
+class ReferenceFormationStream:
+    """Scalar-reference counterpart of :class:`FrameFormationStream`.
+
+    Test-only: one :class:`_InputFormation` per (block, input), advanced
+    through the same feed/finish contract.  The streamed formation
+    parity tests pin the array engine's windowed schedules against this.
+    """
+
+    def __init__(self, n: int, num_blocks: int, rule: FormationRule) -> None:
         self.n = n
         self.num_blocks = num_blocks
         self._states = [
-            _InputFormation(n, (-i) % n, make_picker(b, i))
-            for b in range(num_blocks)
+            _InputFormation(n, (-i) % n, rule.make_picker(n))
+            for _ in range(num_blocks)
             for i in range(n)
         ]
 
@@ -432,11 +804,7 @@ class FrameFormationStream:
         outputs: np.ndarray,
         boundary: Optional[int],
     ) -> FrameSchedule:
-        """Absorb one window's arrivals; form frames for cycles < boundary.
-
-        ``boundary=None`` runs the drain instead: every remaining frame
-        forms (the object engine's post-arrival quiescence loop).
-        """
+        """Absorb one window's arrivals; form frames for cycles < boundary."""
         n = self.n
         if len(blocks):
             key = blocks * n + inputs
@@ -497,8 +865,6 @@ class FramedPacketBuffer:
 
         Returns ``(voq, slot, seq, gidx, rank, assembled, position)``.
         """
-        from .base import stable_id_argsort
-
         ranks = np.empty(len(voqs), dtype=np.int64)
         if len(voqs):
             order = stable_id_argsort(voqs, self._num)

@@ -29,6 +29,7 @@ from .base import (
     Departures,
     PolledQueueBank,
     WindowStacker,
+    concat_ranges,
     mid_residues,
     replay_polled_queues,
 )
@@ -39,7 +40,7 @@ from .frames import (
     drain_cut,
     drain_horizon,
     frame_membership,
-    pf_picker,
+    pf_rule,
 )
 
 __all__ = ["departures", "stream"]
@@ -64,7 +65,7 @@ def departures(
     """Replay the Padded Frames switch."""
     n = batch.n
     threshold = _check_threshold(n, threshold)
-    schedule = build_frame_schedule(batch, lambda i: pf_picker(n, threshold))
+    schedule = build_frame_schedule(batch, pf_rule(threshold))
     member, assembled, position = frame_membership(batch, schedule)
 
     tx = assembled[member] + position[member]
@@ -77,11 +78,7 @@ def departures(
     reps = schedule.fakes[padded]
     num_fakes = int(reps.sum())
     if num_fakes:
-        ends = np.cumsum(reps)
-        within = np.arange(num_fakes, dtype=np.int64) - np.repeat(
-            ends - reps, reps
-        )
-        fake_pos = np.repeat(schedule.size[padded], reps) + within
+        fake_pos = concat_ranges(schedule.size[padded], reps)
         fake_tx = np.repeat(schedule.slot[padded], reps) + fake_pos
         fake_out = np.repeat(schedule.voq[padded] % n, reps)
         queues = np.concatenate([mid * n + out, fake_pos * n + fake_out])
@@ -135,11 +132,7 @@ def _fake_cells(schedule, n: int):
     if num_fakes == 0:
         empty = np.empty(0, dtype=np.int64)
         return empty, empty, empty
-    ends = np.cumsum(reps)
-    within = np.arange(num_fakes, dtype=np.int64) - np.repeat(
-        ends - reps, reps
-    )
-    fake_pos = np.repeat(schedule.size[padded], reps) + within
+    fake_pos = concat_ranges(schedule.size[padded], reps)
     fake_tx = np.repeat(schedule.slot[padded], reps) + fake_pos
     voq_x = np.repeat(schedule.voq[padded], reps)
     fake_out = voq_x % n
@@ -170,7 +163,7 @@ class _PfStream:
         threshold = _check_threshold(n, threshold)
         self._stacker = WindowStacker(self.num_blocks)
         self._formation = FrameFormationStream(
-            n, self.num_blocks, lambda b, i: pf_picker(n, threshold)
+            n, self.num_blocks, pf_rule(threshold)
         )
         self._packets = FramedPacketBuffer(self.num_blocks * n * n)
         self._stage2 = PolledQueueBank(
@@ -238,7 +231,7 @@ class _PfStream:
             tx=tx[real],
         )
 
-    def _round(self, windows, final: bool):
+    def _round(self, windows, final: bool, split: bool = True):
         from .sprinklers import _split_blocks
 
         n = self.n
@@ -258,15 +251,13 @@ class _PfStream:
             block, slots, inputs, outputs, boundary
         )
         framed = self._packets.feed(voq_x, slots, seqs, gidx, schedule)
-        return _split_blocks(
-            self._advance(schedule, framed, boundary), n, self.num_blocks
-        )
+        dep = self._advance(schedule, framed, boundary)
+        return _split_blocks(dep, n, self.num_blocks) if split else dep
 
     def feed(self, windows):
         return self._round(windows, final=False)
 
-    def finish(self, windows=None):
-        deps = self._round(windows, final=True)
+    def _extras(self):
         extras = []
         for b in range(self.num_blocks):
             sent = int(self._real_departed[b] + self._fakes_departed[b])
@@ -275,7 +266,17 @@ class _PfStream:
                     int(self._fakes_departed[b]) / sent if sent else 0.0
                 )
             })
-        return deps, extras
+        return extras
+
+    def finish(self, windows=None):
+        deps = self._round(windows, final=True)
+        return deps, self._extras()
+
+    def finish_stacked(self, windows=None):
+        """Like :meth:`finish`, but returns the seed-extended stacked
+        record (no per-seed split) for the stacked metrics fold."""
+        dep = self._round(windows, final=True, split=False)
+        return dep, self._extras()
 
 
 def stream(

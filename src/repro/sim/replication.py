@@ -144,12 +144,13 @@ def replicate(
 
     ``batch_seeds=True`` (vectorized engine only) replays all seeds in
     *one* stacked kernel pass where the switch supports a seed axis
-    (:data:`~repro.models.Capability.SEED_BATCHED`: sprinklers, UFS,
-    load-balanced, output-queued) — exactly the same per-seed values,
-    but the array-setup overheads that dominate short replications are
-    paid once instead of R times.  Switches without the capability (the
-    frame-at-a-time PF/FOFF, whose formation recursion gains nothing
-    from stacking) silently fall back to per-seed runs.
+    (:data:`~repro.models.Capability.SEED_BATCHED` — every vectorized
+    switch, the frame-at-a-time PF/FOFF included: the array-stepped
+    formation engine stacks seeds as extra lanes, widening each cycle
+    step instead of multiplying the step count) — exactly the same
+    per-seed values, but the array-setup overheads that dominate short
+    replications are paid once instead of R times.  Switches without
+    the capability silently fall back to per-seed runs.
 
     >>> from repro.traffic.matrices import uniform_matrix
     >>> res = replicate("load-balanced", uniform_matrix(4, 0.5), 800,

@@ -116,8 +116,10 @@ class ExperimentStore:
     def _object_path(self, key: str) -> Path:
         return self.objects_dir / key[:2] / f"{key}.json.gz"
 
-    def fetch(self, params: Dict) -> Optional[SimulationResult]:
-        """The cached result for ``params``, or None (counted as a miss)."""
+    def _fetch_payload(self, params: Dict, load):
+        """Shared miss/hit/manifest flow of :meth:`fetch` and
+        :meth:`fetch_artifact`; ``load(payload)`` extracts (and may
+        deserialize) the wanted field, any failure reading as a miss."""
         key = cache_key(params)
         path = self._object_path(key)
         if not path.exists():
@@ -126,11 +128,12 @@ class ExperimentStore:
         try:
             with gzip.open(path, "rt") as handle:
                 payload = json.load(handle)
-            result = SimulationResult.from_dict(payload["result"])
+            value = load(payload)
         except (OSError, EOFError, ValueError, KeyError):
             # A corrupt/truncated object is a miss, not an error (gzip
-            # raises EOFError on truncation); the recomputation will
-            # overwrite it atomically.
+            # raises EOFError on truncation; a wrong-shaped payload —
+            # an artifact under a result fetch — raises KeyError); the
+            # recomputation will overwrite it atomically.
             self.misses += 1
             return None
         self.hits += 1
@@ -143,22 +146,19 @@ class ExperimentStore:
             # (shared cache, another user's CI artifact) must still serve
             # hits, exactly as corrupt objects silently read as misses.
             pass
-        return result
+        return value
+
+    def fetch(self, params: Dict) -> Optional[SimulationResult]:
+        """The cached result for ``params``, or None (counted as a miss)."""
+        return self._fetch_payload(
+            params,
+            lambda payload: SimulationResult.from_dict(payload["result"]),
+        )
 
     def save(self, params: Dict, result: SimulationResult) -> Path:
         """Store a result under its params key; append to the manifest."""
         key = cache_key(params)
-        path = self._object_path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        payload = {"params": params, "result": result.to_dict()}
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        try:
-            with gzip.open(tmp, "wt") as handle:
-                json.dump(payload, handle)
-            os.replace(tmp, path)
-        finally:
-            if tmp.exists():  # pragma: no cover - only on write failure
-                tmp.unlink()
+        path = self._write_object(key, {"params": params, "result": result.to_dict()})
         self._append_manifest(
             {
                 "key": key,
@@ -171,6 +171,46 @@ class ExperimentStore:
                 "scenario": (params.get("workload") or {}).get(
                     "scenario", {}
                 ).get("name"),
+            }
+        )
+        return path
+
+    def _write_object(self, key: str, payload: Dict) -> Path:
+        path = self._object_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        try:
+            with gzip.open(tmp, "wt") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():  # pragma: no cover - only on write failure
+                tmp.unlink()
+        return path
+
+    def fetch_artifact(self, params: Dict) -> Optional[Dict]:
+        """The cached artifact payload for ``params``, or None.
+
+        Artifacts are non-result derived objects — rendered figure
+        tables, for one — stored under the same content-addressed scheme
+        as simulation results (``params`` must carry a distinguishing
+        ``kind``).  Same miss semantics as :meth:`fetch`: absent,
+        corrupt, or result-shaped objects all read as misses.
+        """
+        return self._fetch_payload(
+            params, lambda payload: payload["artifact"]
+        )
+
+    def save_artifact(self, params: Dict, artifact: Dict) -> Path:
+        """Store a derived artifact (JSON-serializable) under its params
+        key; append to the manifest."""
+        key = cache_key(params)
+        path = self._write_object(key, {"params": params, "artifact": artifact})
+        self._append_manifest(
+            {
+                "key": key,
+                "created": time.time(),
+                "kind": params.get("kind"),
             }
         )
         return path

@@ -13,7 +13,7 @@ nondecreasing slot order, each arrival event's slot and input port.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -152,6 +152,18 @@ class OnOffArrivals(ArrivalProcess):
     carry different total rates, where a shared peak would oversubscribe
     the lighter inputs' outputs.
 
+    ``phases`` is the number of independent modulator chains; input ``i``
+    follows chain ``i mod phases``.  The default (``None``) gives every
+    input its own chain — the classic independent on/off model.
+    ``phases=1`` drives *every* input from one shared phase, so the whole
+    switch bursts in lock-step: per-input long-run rates are unchanged
+    (each input still emits at its own peak while ON), but episodes of
+    system-wide overload replace independent per-input bursts — the
+    correlated-burst stress the i.i.d. analysis never sees.  Each input
+    keeps its own per-slot emission draws, so RNG consumption (and hence
+    engine parity) is independent of ``phases``'s chunk geometry for the
+    emission stream; the flip stream shrinks to one column per chain.
+
     Burstiness is the adversary of load balancing; this process lets
     experiments push beyond the paper's i.i.d. assumption.
     """
@@ -163,6 +175,7 @@ class OnOffArrivals(ArrivalProcess):
         mean_on: float,
         mean_off: float,
         rng: np.random.Generator,
+        phases: Optional[int] = None,
     ) -> None:
         if n <= 0:
             raise ValueError("n must be positive")
@@ -173,14 +186,20 @@ class OnOffArrivals(ArrivalProcess):
             raise ValueError("peak_rate must be in [0, 1]")
         if mean_on < 1.0 or mean_off < 1.0:
             raise ValueError("mean sojourn times must be at least one slot")
+        if phases is None:
+            phases = n
+        if not 1 <= phases <= n:
+            raise ValueError(f"phases must be in [1, {n}], got {phases}")
         self.n = n
         self.peak_rate = peak
+        self.phases = phases
+        self._chain = np.arange(n) % phases
         self.p_off = 1.0 / mean_on  # P(on -> off) per slot
         self.p_on = 1.0 / mean_off  # P(off -> on) per slot
         self._rng = rng
-        # Start each input in its stationary state distribution.
+        # Start each chain in its stationary state distribution.
         p_stationary_on = self.p_on / (self.p_on + self.p_off)
-        self._state_on = rng.random(n) < p_stationary_on
+        self._state_on = rng.random(phases) < p_stationary_on
 
     @property
     def mean_rate(self):
@@ -189,12 +208,13 @@ class OnOffArrivals(ArrivalProcess):
 
     def chunk(self, start_slot: int, num_slots: int) -> Chunk:
         rng = self._rng
-        flips = rng.random((num_slots, self.n))
+        flips = rng.random((num_slots, self.phases))
         emits = rng.random((num_slots, self.n)) < self.peak_rate
         arrivals = np.zeros((num_slots, self.n), dtype=bool)
         state = self._state_on
+        chain = self._chain
         for t in range(num_slots):
-            arrivals[t] = state & emits[t]
+            arrivals[t] = state[chain] & emits[t]
             switch_off = state & (flips[t] < self.p_off)
             switch_on = ~state & (flips[t] < self.p_on)
             state = (state & ~switch_off) | switch_on

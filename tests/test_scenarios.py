@@ -354,6 +354,60 @@ class TestEngineParity:
             )
             assert results["object"].measured_packets > 0
 
+    def test_correlated_bursts_share_one_phase(self):
+        """The correlated-bursts spec must actually synchronize inputs:
+        one shared modulator chain, so per-slot arrival counts swing
+        between system-wide silence and near-full fan-in — far burstier
+        in aggregate than independent per-input chains."""
+        from repro.scenarios.build import build_batch_traffic
+        from repro.traffic.arrivals import OnOffArrivals
+
+        spec = get_scenario("correlated-bursts")
+        assert spec.arrivals["phases"] == 1
+        n, slots = 8, 4000
+        gen = build_batch_traffic(spec, n, 0.7, 3, slots)
+        assert isinstance(gen.arrivals, OnOffArrivals)
+        assert gen.arrivals.phases == 1
+        batch = gen.draw(slots)
+        per_slot = np.bincount(batch.slots, minlength=slots)
+        independent = build_batch_traffic(
+            get_scenario("mmpp-bursty"), n, 0.7, 3, slots
+        ).draw(slots)
+        per_slot_ind = np.bincount(independent.slots, minlength=slots)
+        # Shared phase => whole-switch OFF spans (many empty slots) and
+        # higher variance of the per-slot aggregate than independent
+        # chains at a comparable mean rate.
+        assert np.mean(per_slot == 0) > 2 * np.mean(per_slot_ind == 0)
+        assert per_slot.var() > per_slot_ind.var()
+
+    def test_correlated_bursts_parity_on_frame_switches(self):
+        """Like incast: the frame-at-a-time switches must agree across
+        engines on the correlated-burst workload specifically (the
+        shared-phase modulator rides the same RNG lock-step)."""
+        for switch in ("pf", "foff"):
+            results = {
+                engine: run_single(
+                    switch, scenario="correlated-bursts", n=8, load=0.75,
+                    num_slots=1500, seed=9, engine=engine,
+                )
+                for engine in ("object", "vectorized")
+            }
+            assert_results_identical(
+                results["object"], results["vectorized"]
+            )
+            assert results["object"].measured_packets > 0
+
+    def test_onoff_phases_clamped_to_n(self):
+        """A multi-phase spec still runs at tiny N (phases clamp to n)."""
+        from repro.scenarios.build import build_batch_traffic
+
+        spec = ScenarioSpec(
+            name="four-phase",
+            arrivals={"kind": "onoff", "phases": 4},
+        )
+        gen = build_batch_traffic(spec, 2, 0.5, 0, 200)
+        assert gen.arrivals.phases == 2
+
     def test_ordering_preserved_under_stress(self):
         # Sprinklers' core claim must survive the nastiest scenarios.
         for name in ("mmpp-bursty", "matrix-drift", "adversarial-stride"):

@@ -232,11 +232,49 @@ class TestSeedBatched:
             )
             assert_identical(want, got)
 
-    def test_non_batched_switch_raises(self):
-        with pytest.raises(ValueError, match="seed-batched"):
-            run_replications_fast(
-                "pf", uniform_matrix(4, 0.5), 500, [0, 1]
+    def test_frame_switches_are_seed_batched(self):
+        """The ISSUE-5 bar: the array-stepped formation engine lets the
+        frame-at-a-time switches stack seeds too — the whole vectorized
+        roster replicates in one pass."""
+        assert set(SEED_BATCHED_SWITCHES) == set(
+            models.available(engine="vectorized")
+        )
+        assert {"pf", "foff"} <= set(SEED_BATCHED_SWITCHES)
+
+    @pytest.mark.parametrize("switch", ["pf", "foff"])
+    def test_frame_switch_stacked_windowed(self, switch):
+        matrix = diagonal_matrix(8, 0.7)
+        seeds = [1, 2, 3]
+        stacked = run_replications_fast(
+            switch, matrix, SLOTS, seeds, load_label=0.7,
+            window_slots=113,
+        )
+        for seed, got in zip(seeds, stacked):
+            want = run_single_fast(
+                switch, matrix, SLOTS, seed=seed, load_label=0.7
             )
+            assert_identical(want, got)
+
+    def test_non_batched_switch_raises(self):
+        model = models.get("sprinklers")
+        try:
+            models.register(
+                models.SwitchModel(
+                    name="stream-only-test",
+                    builder=model.builder,
+                    kernel=model.kernel,
+                    stream_kernel=model.stream_kernel,
+                    capabilities={models.Capability.EXACT_REPLAY},
+                )
+            )
+            with pytest.raises(ValueError, match="seed-batched"):
+                run_replications_fast(
+                    "stream-only-test", uniform_matrix(4, 0.5), 500, [0, 1]
+                )
+        finally:
+            from repro.models import registry as registry_module
+
+            registry_module._MODELS.pop("stream-only-test", None)
 
 
 class TestBatchedReplicate:
