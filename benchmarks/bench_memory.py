@@ -106,3 +106,62 @@ def test_streamed_memory_bounded():
         f"(bound {MEM_GROWTH}x) — the window is no longer what "
         f"dominates"
     )
+
+
+def _run_fabric(slots: int, window_slots=None) -> None:
+    from repro.sim.composite import run_fabric
+
+    run_fabric(
+        "leaf-spine",
+        uniform_matrix(bench_n(), LOAD),
+        slots,
+        seed=0,
+        load_label=LOAD,
+        keep_samples=False,
+        window_slots=window_slots,
+    )
+
+
+def test_fabric_streamed_memory_bounded():
+    """The chained fabric replay is O(window + in-flight) too.
+
+    Every stage advances window by window and the link couplers only
+    retain the identities of packets still inside the fabric, so the
+    same two bounds hold for a two-stage chain: streamed peak well below
+    the monolithic chain's, and near-flat growth with run length.
+    """
+    mono_large = _peak_bytes(lambda: _run_fabric(LARGE_SLOTS))
+    streamed_small = _peak_bytes(
+        lambda: _run_fabric(SMALL_SLOTS, window_slots=WINDOW_SLOTS)
+    )
+    streamed_large = _peak_bytes(
+        lambda: _run_fabric(LARGE_SLOTS, window_slots=WINDOW_SLOTS)
+    )
+    growth = streamed_large / max(streamed_small, 1)
+    fraction = streamed_large / max(mono_large, 1)
+    emit(
+        f"Peak fabric memory (leaf-spine, N={bench_n()}, load {LOAD}, "
+        f"window {WINDOW_SLOTS})",
+        "\n".join(
+            [
+                f"monolithic @ {LARGE_SLOTS} slots: "
+                f"{mono_large / 1e6:8.1f} MB",
+                f"streamed   @ {SMALL_SLOTS} slots: "
+                f"{streamed_small / 1e6:8.1f} MB",
+                f"streamed   @ {LARGE_SLOTS} slots: "
+                f"{streamed_large / 1e6:8.1f} MB  "
+                f"(x{growth:.2f} for a 4x run, "
+                f"{fraction:.0%} of monolithic)",
+            ]
+        ),
+    )
+    assert streamed_large <= mono_large * MEM_FRACTION, (
+        f"streamed fabric peak {streamed_large / 1e6:.1f} MB is not "
+        f"below {MEM_FRACTION:.0%} of the monolithic "
+        f"{mono_large / 1e6:.1f} MB"
+    )
+    assert growth <= MEM_GROWTH, (
+        f"streamed fabric peak grew {growth:.2f}x for a 4x longer run "
+        f"(bound {MEM_GROWTH}x) — the window is no longer what "
+        f"dominates"
+    )

@@ -12,6 +12,9 @@ Usage (also installed as the ``sprinklers`` console script)::
     python -m repro scenarios list
     python -m repro scenarios run --scenario hotspot-4x --switch sprinklers
     python -m repro switches list --engine vectorized
+    python -m repro fabrics list
+    python -m repro fabrics run --fabric leaf-spine --scenario ring-allreduce
+    python -m repro fabrics delay --fabric leaf-spine --engine vectorized
     python -m repro store stats
     python -m repro store gc --max-age-days 30 --max-size-mb 512
 
@@ -134,6 +137,17 @@ def build_parser() -> argparse.ArgumentParser:
                 "materialize at once)"
             ),
         )
+        p.add_argument(
+            "--fabric",
+            dest="fabrics",
+            action="append",
+            default=[],
+            metavar="NAME",
+            help=(
+                "also sweep a registered composite fabric alongside the "
+                "paper's switches (repeatable; see `fabrics list`)"
+            ),
+        )
         _add_store_flags(p)
 
     demo = sub.add_parser("demo", help="run every switch once, show a summary")
@@ -247,6 +261,69 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sw_show.add_argument("name", help="registry name or alias")
 
+    fabrics = sub.add_parser(
+        "fabrics",
+        help="the composite-fabric registry (multi-stage switch chains)",
+    )
+    fabrics_sub = fabrics.add_subparsers(dest="fabrics_command", required=True)
+    fabrics_sub.add_parser("list", help="list registered composite fabrics")
+    fab_show = fabrics_sub.add_parser(
+        "show", help="one fabric's stages, links, and engines"
+    )
+    fab_show.add_argument("name", help="registry name")
+    fab_run = fabrics_sub.add_parser(
+        "run", help="simulate one fabric end to end"
+    )
+    fab_run.add_argument(
+        "--fabric",
+        default="leaf-spine",
+        help="registered fabric name (see `fabrics list`)",
+    )
+    fab_run.add_argument(
+        "--scenario",
+        default="paper-uniform",
+        help="registry name, .toml/.json spec file, or trace:<path>",
+    )
+    fab_run.add_argument("--n", type=int, default=16, help="fabric size")
+    fab_run.add_argument("--load", type=float, default=0.8, help="target load")
+    fab_run.add_argument("--slots", type=int, default=20_000)
+    fab_run.add_argument("--seed", type=int, default=0)
+    fab_run.add_argument("--engine", choices=ENGINES, default="vectorized")
+    fab_run.add_argument(
+        "--window-slots",
+        type=int,
+        default=None,
+        metavar="W",
+        help=(
+            "stream every stage in W-slot windows (bounded memory, "
+            "identical results)"
+        ),
+    )
+    _add_store_flags(fab_run)
+    fab_delay = fabrics_sub.add_parser(
+        "delay",
+        help="per-stage delay decomposition vs load (figures/fabric_delay)",
+    )
+    fab_delay.add_argument("--fabric", default="leaf-spine")
+    fab_delay.add_argument(
+        "--pattern",
+        default="uniform",
+        help="a §6 pattern name (uniform/diagonal) or registered scenario",
+    )
+    fab_delay.add_argument("--n", type=int, default=16)
+    fab_delay.add_argument("--slots", type=int, default=20_000)
+    fab_delay.add_argument("--seed", type=int, default=0)
+    fab_delay.add_argument(
+        "--loads", type=float, nargs="+", default=None,
+        help="load levels to sweep",
+    )
+    fab_delay.add_argument("--csv", action="store_true", help="emit CSV rows")
+    fab_delay.add_argument("--engine", choices=ENGINES, default="vectorized")
+    fab_delay.add_argument(
+        "--window-slots", type=int, default=None, metavar="W",
+    )
+    _add_store_flags(fab_delay)
+
     store = sub.add_parser(
         "store",
         help="inspect and prune the experiment store",
@@ -293,6 +370,7 @@ def _cmd_fig(args: argparse.Namespace, module) -> str:
         seed=args.seed,
         engine=args.engine,
         scenario=args.scenario,
+        fabrics=tuple(args.fabrics),
         store=_resolve_store(args),
         window_slots=args.window_slots,
     )
@@ -386,6 +464,93 @@ def _cmd_switches(args: argparse.Namespace) -> str:
         return "\n".join(lines)
     raise AssertionError(  # pragma: no cover - argparse enforces choices
         f"unhandled switches command {args.switches_command}"
+    )
+
+
+def _cmd_fabrics(args: argparse.Namespace) -> str:
+    from .models.composite import CompositeSwitchModel, available_fabrics, get_fabric
+
+    if args.fabrics_command == "list":
+        lines = [f"{'fabric':20s} {'stages':28s} summary"]
+        for name in available_fabrics():
+            spec = get_fabric(name)
+            chain = " -> ".join(spec.switch_names)
+            summary = spec.description
+            if len(summary) > 60:
+                summary = summary[:59].rstrip() + "…"
+            lines.append(f"{name:20s} {chain:28s} {summary}")
+        lines.append(
+            "\nrun one: python -m repro fabrics run --fabric NAME "
+            "[--scenario ring-allreduce] [--engine vectorized]"
+        )
+        return "\n".join(lines)
+    if args.fabrics_command == "show":
+        spec = get_fabric(args.name)
+        composite = CompositeSwitchModel(spec)
+        lines = [
+            f"name          {spec.name}",
+            f"stages        {' -> '.join(spec.switch_names)}",
+            f"engines       "
+            f"{'object, vectorized' if composite.supports_engine('vectorized') else 'object'}",
+            f"capabilities  "
+            f"{', '.join(sorted(c.value for c in composite.capabilities)) or '-'}",
+            f"description   {spec.description}",
+            "links:",
+        ]
+        for k, link in enumerate(spec.links):
+            detail = ", ".join(
+                f"{key}={value!r}" for key, value in sorted(link.items())
+            )
+            lines.append(f"  stage{k} -> stage{k + 1}: {detail}")
+        for k, stage in enumerate(spec.stages):
+            params = stage.get("params") or {}
+            if params:
+                detail = ", ".join(
+                    f"{key}={value!r}" for key, value in sorted(params.items())
+                )
+                lines.append(f"stage{k} params: {detail}")
+        return "\n".join(lines)
+    if args.fabrics_command == "run":
+        spec = resolve_scenario(args.scenario)
+        result = run_single(
+            args.fabric,
+            scenario=spec,
+            n=args.n,
+            load=args.load,
+            num_slots=args.slots,
+            seed=args.seed,
+            engine=args.engine,
+            store=_resolve_store(args),
+            window_slots=args.window_slots,
+        )
+        lines = [
+            f"Scenario {spec.name!r} on fabric {args.fabric} "
+            f"(N={args.n}, load {args.load}, {args.slots} slots, "
+            f"engine {args.engine})",
+        ]
+        for key, value in result.as_row().items():
+            lines.append(f"  {key:28s} {value}")
+        return "\n".join(lines)
+    if args.fabrics_command == "delay":
+        from .figures import fabric_delay
+
+        loads = tuple(args.loads) if args.loads else DEFAULT_LOADS
+        kwargs = dict(
+            fabric=args.fabric,
+            pattern=args.pattern,
+            n=args.n,
+            loads=loads,
+            num_slots=args.slots,
+            seed=args.seed,
+            engine=args.engine,
+            store=_resolve_store(args),
+            window_slots=args.window_slots,
+        )
+        if args.csv:
+            return rows_to_csv(fabric_delay.generate(**kwargs))
+        return fabric_delay.render(**kwargs)
+    raise AssertionError(  # pragma: no cover - argparse enforces choices
+        f"unhandled fabrics command {args.fabrics_command}"
     )
 
 
@@ -559,6 +724,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         output = _cmd_scenarios(args)
     elif args.command == "switches":
         output = _cmd_switches(args)
+    elif args.command == "fabrics":
+        output = _cmd_fabrics(args)
     elif args.command == "store":
         output = _cmd_store(args)
     elif args.command == "validate":

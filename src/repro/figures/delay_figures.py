@@ -14,10 +14,11 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from ..models import PAPER_SWITCHES, canonical_name
+from ..models import PAPER_SWITCHES, canonical_name, lookup_fabric
 from ..sim.experiment import (
     TRAFFIC_PATTERNS,
     delay_vs_load_sweep,
+    fabric_run_params,
     single_run_params,
 )
 from ..store import cache_key, coerce_store
@@ -26,6 +27,12 @@ from .render import ascii_log_chart, format_table
 __all__ = ["generate", "render", "table_params", "DEFAULT_LOADS"]
 
 DEFAULT_LOADS: Sequence[float] = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95)
+
+
+def _reported_name(name: str) -> str:
+    """Canonical registry name of a switch *or* composite fabric."""
+    fabric = lookup_fabric(name)
+    return fabric.name if fabric is not None else canonical_name(name)
 
 
 def table_params(
@@ -61,9 +68,15 @@ def table_params(
             else effective_matrix(spec, n, load)
         )
         for name in switches:
+            fabric = lookup_fabric(name)
             run_keys.append(
                 cache_key(
-                    single_run_params(
+                    fabric_run_params(
+                        fabric, matrix, num_slots, seed,
+                        float(load), 0.1, False, engine, spec,
+                    )
+                    if fabric is not None
+                    else single_run_params(
                         canonical_name(name), matrix, num_slots, seed,
                         float(load), 0.1, False, engine, spec,
                     )
@@ -79,7 +92,7 @@ def table_params(
         "num_slots": int(num_slots),
         "seed": int(seed),
         "engine": engine,
-        "switches": [canonical_name(name) for name in switches],
+        "switches": [_reported_name(name) for name in switches],
         "runs": run_keys,
     }
 
@@ -136,6 +149,7 @@ def render(
     n: int = 32,
     loads: Sequence[float] = DEFAULT_LOADS,
     num_slots: int = 50_000,
+    switches: Sequence[str] = PAPER_SWITCHES,
     seed: int = 0,
     engine: str = "object",
     store=None,
@@ -153,7 +167,7 @@ def render(
     params: Optional[Dict] = None
     if cache is not None:
         params = table_params(
-            pattern, figure_name, n, loads, num_slots, PAPER_SWITCHES,
+            pattern, figure_name, n, loads, num_slots, switches,
             seed, engine,
         )
         cached = cache.fetch_artifact(params)
@@ -164,6 +178,7 @@ def render(
         n=n,
         loads=loads,
         num_slots=num_slots,
+        switches=switches,
         seed=seed,
         engine=engine,
         store=cache,

@@ -1,0 +1,206 @@
+"""Fabric figure: per-stage delay decomposition versus offered load.
+
+For a composite fabric, every packet's end-to-end delay telescopes into
+per-stage components (a packet departs stage k in the slot it arrives at
+stage k+1), so the per-stage mean delays reported by
+:func:`repro.sim.composite.run_fabric` sum exactly to the end-to-end mean.
+This figure plots that decomposition across a load sweep: which stage of a
+multi-stage fabric dominates delay, and where the knee moves as load rises.
+
+Rows carry ``load``, the end-to-end ``mean_delay``, one
+``stage{k}_mean_delay`` column per stage, and the end-to-end reordering
+count; the rendered chart plots the end-to-end curve alongside every
+stage's curve on the shared log axis.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..models import CompositeSwitchModel, resolve_fabric
+from ..sim.experiment import TRAFFIC_PATTERNS, fabric_run_params, run_single
+from ..store import cache_key, coerce_store
+from .delay_figures import DEFAULT_LOADS
+from .render import ascii_log_chart, format_table
+
+__all__ = ["generate", "render", "figure_params", "DEFAULT_LOADS"]
+
+
+def _resolve_pattern(pattern):
+    """``(spec, is_builtin_pattern)`` for a §6 pattern name or scenario."""
+    if isinstance(pattern, str) and pattern in TRAFFIC_PATTERNS:
+        return None, True
+    from ..scenarios.registry import resolve_scenario
+
+    return resolve_scenario(pattern), False
+
+
+def figure_params(
+    fabric_spec,
+    pattern,
+    n: int,
+    loads: Sequence[float],
+    num_slots: int,
+    seed: int,
+    engine: str,
+) -> Dict:
+    """Store cache-key parameters of one rendered decomposition figure.
+
+    Content-addressed over the figure spec and the per-load
+    ``fabric_run_params`` keys — the same any-cell-misses-the-table
+    discipline as :func:`repro.figures.delay_figures.table_params`.
+    """
+    from ..scenarios.spec import effective_matrix
+
+    spec, is_pattern = _resolve_pattern(pattern)
+    run_keys = []
+    for load in loads:
+        matrix = (
+            TRAFFIC_PATTERNS[pattern](n, load)
+            if is_pattern
+            else effective_matrix(spec, n, load)
+        )
+        run_keys.append(
+            cache_key(
+                fabric_run_params(
+                    fabric_spec, matrix, num_slots, seed,
+                    float(load), 0.1, False, engine, spec,
+                )
+            )
+        )
+    return {
+        "schema": 1,
+        "kind": "fabric_delay_figure",
+        "fabric": fabric_spec.to_dict(),
+        "pattern": spec.to_dict() if spec is not None else pattern,
+        "n": int(n),
+        "loads": [float(load) for load in loads],
+        "num_slots": int(num_slots),
+        "seed": int(seed),
+        "engine": engine,
+        "runs": run_keys,
+    }
+
+
+def generate(
+    fabric="leaf-spine",
+    pattern: str = "uniform",
+    n: int = 16,
+    loads: Sequence[float] = DEFAULT_LOADS,
+    num_slots: int = 20_000,
+    seed: int = 0,
+    engine: str = "vectorized",
+    store=None,
+    window_slots: Optional[int] = None,
+) -> List[Dict[str, float]]:
+    """One row per load: end-to-end mean delay plus each stage's share.
+
+    ``fabric`` is a registered fabric name, spec dict, or
+    :class:`~repro.models.FabricSpec`; ``pattern`` a §6 pattern name or
+    any registered scenario.  Each row's ``stage{k}_mean_delay`` columns
+    sum to its ``mean_delay`` exactly (delays telescope across the link
+    couplers).
+    """
+    fabric_spec = resolve_fabric(fabric)
+    num_stages = fabric_spec.num_stages
+    rows: List[Dict[str, float]] = []
+    spec, is_pattern = _resolve_pattern(pattern)
+    for load in loads:
+        if is_pattern:
+            result = run_single(
+                fabric_spec,
+                TRAFFIC_PATTERNS[pattern](n, load),
+                num_slots,
+                seed=seed,
+                load_label=float(load),
+                keep_samples=False,
+                engine=engine,
+                store=store,
+                window_slots=window_slots,
+            )
+        else:
+            result = run_single(
+                fabric_spec,
+                scenario=spec,
+                n=n,
+                load=float(load),
+                num_slots=num_slots,
+                seed=seed,
+                load_label=float(load),
+                keep_samples=False,
+                engine=engine,
+                store=store,
+                window_slots=window_slots,
+            )
+        row: Dict[str, float] = {
+            "load": float(load),
+            "mean_delay": result.mean_delay,
+        }
+        for k in range(num_stages):
+            row[f"stage{k}_mean_delay"] = result.extras.get(
+                f"stage{k}_mean_delay", float("nan")
+            )
+        row["late_packets"] = result.late_packets
+        row["measured"] = result.measured_packets
+        rows.append(row)
+    return rows
+
+
+def render(
+    fabric="leaf-spine",
+    pattern: str = "uniform",
+    n: int = 16,
+    loads: Sequence[float] = DEFAULT_LOADS,
+    num_slots: int = 20_000,
+    seed: int = 0,
+    engine: str = "vectorized",
+    store=None,
+    window_slots: Optional[int] = None,
+) -> str:
+    """Decomposition table and log-scale chart for one fabric + pattern.
+
+    With a ``store``, the rendered figure is memoized through the
+    experiment store on top of the per-run caching (see
+    :func:`figure_params`).
+    """
+    fabric_spec = resolve_fabric(fabric)
+    cache = coerce_store(store)
+    params: Optional[Dict] = None
+    if cache is not None:
+        params = figure_params(
+            fabric_spec, pattern, n, loads, num_slots, seed, engine,
+        )
+        cached = cache.fetch_artifact(params)
+        if cached is not None:
+            return cached["text"]
+    rows = generate(
+        fabric_spec,
+        pattern,
+        n=n,
+        loads=loads,
+        num_slots=num_slots,
+        seed=seed,
+        engine=engine,
+        store=cache,
+        window_slots=window_slots,
+    )
+    series: Dict[str, List[tuple]] = {"end-to-end": []}
+    stages = CompositeSwitchModel(fabric_spec).models
+    for row in rows:
+        series["end-to-end"].append((row["load"], row["mean_delay"]))
+        for k, model in enumerate(stages):
+            series.setdefault(f"stage{k} ({model.name})", []).append(
+                (row["load"], row[f"stage{k}_mean_delay"])
+            )
+    chart = ascii_log_chart(series, x_label="load", y_label="mean delay")
+    text = (
+        f"Fabric delay decomposition: {fabric_spec.name} "
+        f"({' -> '.join(fabric_spec.switch_names)}), {pattern} traffic, "
+        f"N={n}, {num_slots} slots\n"
+        + format_table(rows)
+        + "\n\n"
+        + chart
+    )
+    if cache is not None:
+        cache.save_artifact(params, {"text": text})
+    return text

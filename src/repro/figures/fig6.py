@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from ..models import PAPER_SWITCHES
 from .delay_figures import DEFAULT_LOADS, generate as _generate, render as _render
 
 __all__ = ["generate", "render"]
@@ -16,6 +17,7 @@ def generate(
     seed: int = 0,
     engine: str = "object",
     scenario: Optional[str] = None,
+    fabrics: Sequence[str] = (),
     store=None,
     window_slots: Optional[int] = None,
 ) -> List[Dict[str, float]]:
@@ -25,6 +27,7 @@ def generate(
         n=n,
         loads=loads,
         num_slots=num_slots,
+        switches=tuple(PAPER_SWITCHES) + tuple(fabrics),
         seed=seed,
         engine=engine,
         store=store,
@@ -39,6 +42,7 @@ def render(
     seed: int = 0,
     engine: str = "object",
     scenario: Optional[str] = None,
+    fabrics: Sequence[str] = (),
     store=None,
     window_slots: Optional[int] = None,
 ) -> str:
@@ -49,6 +53,7 @@ def render(
         n=n,
         loads=loads,
         num_slots=num_slots,
+        switches=tuple(PAPER_SWITCHES) + tuple(fabrics),
         seed=seed,
         engine=engine,
         store=store,

@@ -68,16 +68,35 @@ PAPER_SWITCHES = (
 # Importing the built-ins registers them.
 from . import builtin as _builtin  # noqa: E402,F401
 
+# Composite fabrics resolve stage names against the registry at
+# construction, so they load after the built-ins.
+from .composite import (  # noqa: E402
+    CompositeSwitchModel,
+    FabricSpec,
+    available_fabrics,
+    get_fabric,
+    lookup_fabric,
+    register_fabric,
+    resolve_fabric,
+)
+
 __all__ = [
     "Capability",
+    "CompositeSwitchModel",
     "ENTRY_POINT_GROUP",
+    "FabricSpec",
     "PAPER_SWITCHES",
     "ParamSpec",
     "SwitchModel",
     "available",
+    "available_fabrics",
     "build",
     "canonical_name",
     "discover_entry_points",
     "get",
+    "get_fabric",
+    "lookup_fabric",
     "register",
+    "register_fabric",
+    "resolve_fabric",
 ]

@@ -46,6 +46,12 @@ class Capability(str, enum.Enum):
     #: one pass over disjoint per-seed id blocks (multi-seed batched
     #: replication).  Requires ``stream_kernel``.
     SEED_BATCHED = "seed-batched"
+    #: The switch can serve as one stage of a multi-stage fabric
+    #: (:mod:`repro.models.composite`): its finalized slot-windows of
+    #: departures are a valid arrival stream for a downstream stage.
+    #: Derived automatically from ``stream_kernel`` — the resumable
+    #: window interface *is* the composition surface.
+    COMPOSABLE = "composable"
 
 
 class ParamSpec:
@@ -130,13 +136,16 @@ class SwitchModel:
             object.__setattr__(
                 self,
                 "capabilities",
-                self.capabilities | {Capability.STREAMING},
+                self.capabilities
+                | {Capability.STREAMING, Capability.COMPOSABLE},
             )
-        elif Capability.STREAMING in self.capabilities:
-            raise ValueError(
-                f"switch model {self.name!r} declares "
-                f"{Capability.STREAMING.value!r} but has no stream_kernel"
-            )
+        else:
+            for derived in (Capability.STREAMING, Capability.COMPOSABLE):
+                if derived in self.capabilities:
+                    raise ValueError(
+                        f"switch model {self.name!r} declares "
+                        f"{derived.value!r} but has no stream_kernel"
+                    )
         if (
             Capability.SEED_BATCHED in self.capabilities
             and self.stream_kernel is None

@@ -35,6 +35,7 @@ from ..traffic.generator import (
     DestinationSampler,
     DriftingDestinations,
     FlowModel,
+    SteppedPermutations,
     TrafficGenerator,
 )
 from ..traffic.matrices import scale_to_load
@@ -109,7 +110,12 @@ def _make_arrivals(
 def _make_destinations(
     spec: ScenarioSpec, n: int, load: float, num_slots: int
 ) -> Optional[DestinationSampler]:
-    """The drift sampler, or None for stationary matrix destinations."""
+    """The collective/drift sampler, or None for stationary matrix
+    destinations."""
+    if spec.collective is not None:
+        return SteppedPermutations(
+            int(spec.collective.get("phase_slots", 256))
+        )
     if spec.drift is None:
         return None
     start = scale_to_load(matrix_shape(spec.matrix, n), load)
@@ -138,8 +144,17 @@ def _components(
 
 def build_traffic(
     spec: ScenarioSpec, n: int, load: float, seed: int, num_slots: int
-) -> TrafficGenerator:
-    """The scenario as an object-engine packet source."""
+):
+    """The scenario as an object-engine packet source.
+
+    Trace scenarios return a :func:`~repro.traffic.trace_io.
+    replay_generator` source (recorded timing and destinations, no RNG);
+    everything else a :class:`TrafficGenerator`.
+    """
+    if spec.trace is not None:
+        from ..traffic.trace_io import read_trace, replay_generator
+
+        return replay_generator(n, read_trace(spec.trace["path"]))
     matrix, rng, arrivals, destinations = _components(
         spec, n, load, seed, num_slots
     )
@@ -161,12 +176,18 @@ def build_traffic(
 
 def build_batch_traffic(
     spec: ScenarioSpec, n: int, load: float, seed: int, num_slots: int
-) -> BatchTrafficGenerator:
+):
     """The scenario as a batch (vectorized-engine) packet source.
 
     Flow labels are object-engine-only; everything that determines packet
     timing and destinations is built identically to :func:`build_traffic`.
+    Trace scenarios return a :class:`~repro.traffic.trace_io.
+    TraceBatchSource` replaying the recorded stream.
     """
+    if spec.trace is not None:
+        from ..traffic.trace_io import TraceBatchSource, read_trace
+
+        return TraceBatchSource(n, read_trace(spec.trace["path"]))
     matrix, rng, arrivals, destinations = _components(
         spec, n, load, seed, num_slots
     )

@@ -58,8 +58,10 @@ def resolve_scenario(
     """Coerce any scenario designator to a spec.
 
     Accepts a :class:`ScenarioSpec`, a spec dict (:meth:`ScenarioSpec.
-    from_dict` form, e.g. off a process-pool job), a registered name, or a
-    path to a ``.toml``/``.json`` spec file.
+    from_dict` form, e.g. off a process-pool job), a registered name, a
+    path to a ``.toml``/``.json`` spec file, or ``trace:<path>`` — a
+    recorded packet trace (:mod:`repro.traffic.trace_io` CSV, plain or
+    gzip'd) replayed as a first-class scenario.
     """
     if isinstance(scenario, ScenarioSpec):
         return scenario
@@ -68,6 +70,13 @@ def resolve_scenario(
     if isinstance(scenario, Path):
         return load_scenario_file(scenario)
     if isinstance(scenario, str):
+        if scenario.startswith("trace:"):
+            path = scenario[len("trace:"):]
+            return ScenarioSpec(
+                name=scenario,
+                description=f"Recorded packet trace replayed from {path}.",
+                trace={"path": path},
+            )
         if scenario in SCENARIOS:
             return SCENARIOS[scenario]
         if scenario.endswith((".toml", ".json")):
@@ -75,7 +84,7 @@ def resolve_scenario(
         known = ", ".join(sorted(SCENARIOS))
         raise ValueError(
             f"unknown scenario {scenario!r}; known: {known} "
-            f"(or pass a .toml/.json spec file)"
+            f"(or pass a .toml/.json spec file, or trace:<path>)"
         )
     raise TypeError(f"cannot resolve scenario from {type(scenario).__name__}")
 
@@ -226,6 +235,51 @@ register_scenario(ScenarioSpec(
     arrivals={
         "kind": "onoff", "mean_on": 32.0, "duty_floor": 0.5, "phases": 1,
     },
+))
+
+register_scenario(ScenarioSpec(
+    name="ring-allreduce",
+    description=(
+        "Ring-collective destinations: every input sends all traffic to "
+        "one peer, stepping to the next peer every 256 slots (a "
+        "permutation per phase, each a derangement). The time-averaged "
+        "matrix is uniform — provisioning sees the friendliest workload "
+        "— but every instant concentrates each input on a single VOQ at "
+        "full load, the adversarial case for static variable-size "
+        "striping and the canonical AI-training collective that "
+        "multi-stage fabrics must load-balance."
+    ),
+    collective={"kind": "ring", "phase_slots": 256},
+))
+
+register_scenario(ScenarioSpec(
+    name="alltoall-phased",
+    description=(
+        "Synchronized compute/communicate phases: uniform all-to-all "
+        "destinations under ONE shared on/off modulator (mean burst 64 "
+        "slots, 50% duty floor, every input on the same chain). The "
+        "whole fabric alternates between near-silent compute phases and "
+        "all-ports-blasting exchange phases — the alltoall cadence of "
+        "training workloads, doubling the offered load at every input "
+        "simultaneously during an exchange."
+    ),
+    arrivals={
+        "kind": "onoff", "mean_on": 64.0, "duty_floor": 0.5, "phases": 1,
+    },
+))
+
+register_scenario(ScenarioSpec(
+    name="incast-fanin",
+    description=(
+        "Multi-stage incast: every input concentrates on one hot output "
+        "(16x a uniform share) in synchronized on/off bursts (mean 32 "
+        "slots, 50% duty floor). Through a fabric, the hot column "
+        "collapses onto a single downstream input — the deepest fan-in "
+        "a leaf/spine sees — so episode backlogs compound across "
+        "stages instead of draining between them."
+    ),
+    matrix={"family": "hotspot", "weight": 16.0},
+    arrivals={"kind": "onoff", "mean_on": 32.0, "duty_floor": 0.5},
 ))
 
 register_scenario(ScenarioSpec(

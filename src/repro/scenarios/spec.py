@@ -112,7 +112,7 @@ def matrix_shape(spec: Mapping, n: int) -> np.ndarray:
 # ---------------------------------------------------------------------------
 
 _SPEC_FIELDS = ("name", "description", "matrix", "schedule", "arrivals",
-                "flows", "drift")
+                "flows", "drift", "collective", "trace")
 
 
 @dataclass(frozen=True)
@@ -141,6 +141,21 @@ class ScenarioSpec:
         Optional matrix-family mapping the traffic matrix morphs toward
         over the run (:class:`repro.traffic.generator.
         DriftingDestinations`).
+    ``collective``
+        Optional collective-communication destination pattern, e.g.
+        ``{"kind": "ring", "phase_slots": 256}``: destinations follow a
+        permutation stepping each phase
+        (:class:`repro.traffic.generator.SteppedPermutations`).  Owns
+        the destination pattern — incompatible with ``drift`` and with a
+        non-default ``matrix`` family (the time-averaged matrix is
+        uniform off-diagonal by construction).
+    ``trace``
+        Optional recorded-trace replay, ``{"path": "<file.csv[.gz]>"}``
+        (:mod:`repro.traffic.trace_io` format).  The trace owns packet
+        timing *and* destinations, so it is incompatible with every
+        other workload section (non-default matrix/schedule/arrivals,
+        drift, collective); the target load only rescales the empirical
+        matrix used for switch provisioning.
     """
 
     name: str
@@ -150,6 +165,8 @@ class ScenarioSpec:
     arrivals: Mapping = field(default_factory=lambda: {"kind": "bernoulli"})
     flows: Optional[Mapping] = None
     drift: Optional[Mapping] = None
+    collective: Optional[Mapping] = None
+    trace: Optional[Mapping] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -185,6 +202,53 @@ class ScenarioSpec:
                 f"combined with a load schedule (the burst process owns "
                 f"the rate dynamics); drop one of the two"
             )
+        if self.collective is not None:
+            kind = self.collective.get("kind")
+            if kind != "ring":
+                raise ValueError(
+                    f"scenario {self.name!r}: unknown collective kind "
+                    f"{kind!r}; known: ring"
+                )
+            if int(self.collective.get("phase_slots", 256)) <= 0:
+                raise ValueError(
+                    f"scenario {self.name!r}: collective phase_slots "
+                    f"must be positive"
+                )
+            # The collective owns the destination pattern; a drift or a
+            # non-default matrix family would be silently ignored by the
+            # builder, so refuse the misdescription outright.
+            if self.drift is not None:
+                raise ValueError(
+                    f"scenario {self.name!r}: collective destinations "
+                    f"cannot be combined with drift"
+                )
+            if self.matrix.get("family") != "uniform":
+                raise ValueError(
+                    f"scenario {self.name!r}: collective destinations own "
+                    f"the matrix (uniform off-diagonal time average); "
+                    f"leave the matrix family at its default"
+                )
+        if self.trace is not None:
+            if not self.trace.get("path"):
+                raise ValueError(
+                    f"scenario {self.name!r}: trace requires a 'path'"
+                )
+            # The recorded trace owns both timing and destinations;
+            # every other workload section must stay at its default.
+            defaulted = (
+                self.matrix.get("family") == "uniform"
+                and self.schedule.get("kind", "constant") == "constant"
+                and self.schedule.get("value", 1.0) == 1.0
+                and arrival_kind == "bernoulli"
+                and self.drift is None
+                and self.collective is None
+            )
+            if not defaulted:
+                raise ValueError(
+                    f"scenario {self.name!r}: a trace replays recorded "
+                    f"timing and destinations; matrix/schedule/arrivals/"
+                    f"drift/collective must be left at their defaults"
+                )
 
     def to_dict(self) -> Dict:
         """A deep plain-dict form (stable for JSON/TOML/cache keys)."""
@@ -199,6 +263,10 @@ class ScenarioSpec:
             out["flows"] = copy.deepcopy(dict(self.flows))
         if self.drift is not None:
             out["drift"] = copy.deepcopy(dict(self.drift))
+        if self.collective is not None:
+            out["collective"] = copy.deepcopy(dict(self.collective))
+        if self.trace is not None:
+            out["trace"] = copy.deepcopy(dict(self.trace))
         return out
 
     @classmethod
@@ -224,6 +292,16 @@ def effective_matrix(spec: ScenarioSpec, n: int, load: float) -> np.ndarray:
     """
     if load < 0:
         raise ValueError("load must be nonnegative")
+    if spec.collective is not None:
+        # A stepped-permutation collective visits every peer once per
+        # n-1 phases: the time average is uniform off-diagonal.
+        shape = np.ones((n, n)) - np.eye(n) if n > 1 else np.ones((1, 1))
+        return scale_to_load(shape, load)
+    if spec.trace is not None:
+        from ..traffic.trace_io import read_trace, trace_matrix
+
+        shape = trace_matrix(n, read_trace(spec.trace["path"]))
+        return scale_to_load(shape, load)
     shape = matrix_shape(spec.matrix, n)
     if spec.drift is not None:
         shape = (shape + matrix_shape(spec.drift, n)) / 2.0

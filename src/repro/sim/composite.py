@@ -1,0 +1,461 @@
+"""Multi-stage fabric execution: chained Stage replay with per-stage metrics.
+
+This is the runtime behind :mod:`repro.models.composite`: it runs a
+:class:`~repro.models.FabricSpec` end to end by chaining
+:class:`~repro.sim.stage.Stage` adapters — stage-k finalized departures
+become stage-(k+1) arrival windows through the link's port map — while
+attributing metrics both per stage and end to end.
+
+Coupling model
+--------------
+Routing is destination-preserving: a packet for final output ``d`` exits
+every stage at port ``d`` and enters the next stage at input ``map[d]``.
+A finalized departure at slot ``t`` is re-injected at arrival slot ``t``
+downstream.  Within the coupled window, downstream arrivals are ordered
+by ``(slot, input, wire)``: the slot/input order is the arrival order
+the traffic generators pin (per-slot lists sorted by input port) and the
+``wire`` tie-break is the upstream stage's own within-slot observation
+order — a *window-invariant* key, so the streamed replay couples packets
+in exactly the order the monolithic replay does and the chain stays
+bit-identical under any ``window_slots``.
+
+Downstream sequence numbers are assigned per VOQ at coupling time (the
+downstream stage's reordering detector watches the *link* order, exactly
+as a real wire would deliver).  A pending-identity table keyed by the
+downstream ``(voq, seq)`` carries each packet's original identity — VOQ,
+sequence number, arrival slot — across the stage, so per-stage delays
+can be gated on the *original* arrival's warm-up and the end-to-end
+record can be reassembled at the final outputs.  Because stage-(k+1)
+arrival slot equals stage-k departure slot, per-packet delays telescope:
+the end-to-end delay is exactly the sum of the per-stage delays, and the
+per-stage mean decomposition (``stage{k}_mean_delay`` extras) sums to
+the end-to-end mean whenever every stage delivers every measured packet.
+
+Memory stays O(window + in-flight): each window is drawn, replayed
+through every stage, folded into accumulators and dropped; only the
+pending identities of packets still inside the fabric are carried.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..models.composite import (
+    CompositeSwitchModel,
+    FabricSpec,
+    resolve_fabric,
+)
+from ..traffic.batch import (
+    ArrivalBatch,
+    BatchTrafficGenerator,
+    stable_voq_argsort,
+)
+from ..traffic.matrices import validate_matrix
+from .fast_engine import _MetricsAccumulator, _fold_reordering
+from .kernels.base import Departures, composite_argsort
+from .metrics import SimulationResult
+from .rng import derive_seed
+from .stage import KernelStage, ObjectStage, Stage
+
+__all__ = ["run_fabric", "build_stages"]
+
+#: Sequence-number span packed into the pending-table key
+#: (``voq * _SEQ_SPAN + seq``): 2^40 sequence numbers per VOQ leaves
+#: 2^23 VOQ ids (n up to ~2900) before the int64 key overflows.
+_SEQ_SPAN = 1 << 40
+
+
+def _stage_seed(seed: int, k: int) -> int:
+    """Stage-k seed: stage 0 keeps the run seed (a single-stage identity
+    fabric is bit-identical to the plain run); later stages derive."""
+    return seed if k == 0 else derive_seed(seed, f"fabric-stage-{k}")
+
+
+def build_stages(
+    composite: CompositeSwitchModel,
+    matrix: np.ndarray,
+    num_slots: int,
+    seed: int,
+    engine: str,
+) -> List[Stage]:
+    """Instantiate one :class:`Stage` per fabric stage for ``engine``.
+
+    Each stage is provisioned from its own derived traffic matrix
+    (:func:`repro.models.composite.stage_matrices`) and seed.  The
+    vectorized engine wraps each stage's stream kernel in a
+    :class:`KernelStage`; the object engine builds the real switch
+    instance behind an :class:`ObjectStage`.
+    """
+    mats = composite.stage_matrices(matrix)
+    stages: List[Stage] = []
+    for k, (model, params, stage_matrix) in enumerate(
+        zip(composite.models, composite.stage_params, mats)
+    ):
+        seed_k = _stage_seed(seed, k)
+        if engine == "vectorized":
+            stages.append(
+                KernelStage(model, stage_matrix, seed_k, num_slots, params)
+            )
+        else:
+            n = stage_matrix.shape[0]
+            switch = model.build(n, stage_matrix, seed_k, **params)
+            stages.append(ObjectStage(switch, num_slots))
+    return stages
+
+
+class _LinkCoupler:
+    """One inter-stage link: departures in, arrival windows out.
+
+    Owns the link's per-VOQ sequence counters and the pending-identity
+    table of packets currently inside the downstream stage.
+    """
+
+    def __init__(self, n: int, mapped: np.ndarray) -> None:
+        self.n = n
+        if mapped.shape != (n,):
+            raise ValueError(
+                f"port map has {len(mapped)} entries for a {n}-port link "
+                f"(stage sizes must match across the chain)"
+            )
+        self._map = mapped
+        self._seq_next = np.zeros(n * n, dtype=np.int64)
+        # Pending identities, consolidated lazily at join time:
+        # key = voq_down * _SEQ_SPAN + seq_down.
+        self._keys = np.empty(0, dtype=np.int64)
+        self._orig = tuple(np.empty(0, dtype=np.int64) for _ in range(3))
+        self._chunks: List[Tuple[np.ndarray, ...]] = []
+
+    def _assign_seqs(self, voqs: np.ndarray) -> np.ndarray:
+        """Per-VOQ consecutive link sequence numbers, in link order
+        (mirrors :meth:`BatchTrafficGenerator._assign_seqs`)."""
+        seqs = np.empty(len(voqs), dtype=np.int64)
+        if len(voqs) == 0:
+            return seqs
+        order = stable_voq_argsort(voqs, self.n)
+        sorted_voqs = voqs[order]
+        counts = np.bincount(voqs, minlength=self.n * self.n)
+        group_starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        positions = np.arange(len(voqs)) - group_starts[sorted_voqs]
+        seqs[order] = positions + self._seq_next[sorted_voqs]
+        self._seq_next += counts
+        return seqs
+
+    def couple(
+        self,
+        dep: Departures,
+        orig: Tuple[np.ndarray, np.ndarray, np.ndarray],
+        start_slot: int,
+        end_slot: int,
+    ) -> ArrivalBatch:
+        """Turn finalized upstream departures into the downstream
+        arrival window ``[start_slot, end_slot)``."""
+        n = self.n
+        outputs = dep.voq % n  # destination-preserving routing
+        inputs = self._map[outputs]
+        # Link delivery order: (slot, input, wire).  Within one slot a
+        # stage emits at most one packet per output, so inputs are
+        # distinct and the wire tie-break only orders multi-release
+        # stages (FOFF), where wire is the global observation rank —
+        # either way the key is window-invariant.
+        order = np.lexsort((dep.wire, inputs, dep.departure))
+        slots = dep.departure[order]
+        inputs = inputs[order]
+        outputs = outputs[order]
+        voq_down = inputs * n + outputs
+        seqs = self._assign_seqs(voq_down)
+        if len(seqs) and int(self._seq_next.max()) >= _SEQ_SPAN:
+            raise OverflowError("link sequence numbers exceed key span")
+        self._chunks.append(
+            (
+                voq_down * _SEQ_SPAN + seqs,
+                orig[0][order],
+                orig[1][order],
+                orig[2][order],
+            )
+        )
+        return ArrivalBatch(
+            n=n,
+            num_slots=end_slot - start_slot,
+            slots=slots,
+            inputs=inputs,
+            outputs=outputs,
+            seqs=seqs,
+            start_slot=start_slot,
+        )
+
+    def _consolidate(self) -> None:
+        if not self._chunks:
+            return
+        keys = np.concatenate([self._keys] + [c[0] for c in self._chunks])
+        orig = tuple(
+            np.concatenate([self._orig[i]] + [c[i + 1] for c in self._chunks])
+            for i in range(3)
+        )
+        self._chunks = []
+        order = np.argsort(keys)
+        self._keys = keys[order]
+        self._orig = tuple(a[order] for a in orig)
+
+    def join(
+        self, dep: Departures
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Original identities (voq, seq, arrival) of the downstream
+        departures, aligned to ``dep``; drops them from the table."""
+        self._consolidate()
+        keys = dep.voq * _SEQ_SPAN + dep.seq
+        idx = np.searchsorted(self._keys, keys)
+        if len(keys) and (
+            np.any(idx >= len(self._keys))
+            or np.any(self._keys[np.minimum(idx, len(self._keys) - 1)] != keys)
+        ):
+            raise RuntimeError(
+                "downstream departure without a pending identity — "
+                "stage emitted a packet it was never fed"
+            )
+        orig = tuple(a[idx] for a in self._orig)
+        keep = np.ones(len(self._keys), dtype=bool)
+        keep[idx] = False
+        self._keys = self._keys[keep]
+        self._orig = tuple(a[keep] for a in self._orig)
+        return orig
+
+    @property
+    def pending(self) -> int:
+        """Packets currently inside the downstream stage."""
+        return len(self._keys) + sum(len(c[0]) for c in self._chunks)
+
+
+class _StageStats:
+    """Per-stage fold: reordering at the stage's outputs, delay sums
+    gated on the packet's *original* (fabric-ingress) warm-up."""
+
+    def __init__(self, n: int) -> None:
+        self._prev_max = np.full(n * n, -1, dtype=np.int64)
+        self.observed = 0
+        self.late = 0
+        self.displacement = 0
+        self.delay_total = 0
+        self.measured = 0
+
+    def add(self, dep: Departures, measured: np.ndarray) -> None:
+        if len(dep.voq) == 0:
+            return
+        self.observed += len(dep.voq)
+        within = dep.wire if dep.wire_is_rank else dep.departure
+        order = composite_argsort(dep.voq, within)
+        voq = dep.voq[order]
+        seq = dep.seq[order]
+        late, prev = _fold_reordering(voq, seq, self._prev_max)
+        if late.any():
+            self.late += int(late.sum())
+            self.displacement = max(
+                self.displacement, int(np.max(prev[late] - seq[late]))
+            )
+        delays = (dep.departure - dep.arrival)[measured]
+        self.delay_total += int(delays.sum())
+        self.measured += int(len(delays))
+
+    def extras(self, k: int) -> Dict[str, float]:
+        mean = (
+            self.delay_total / self.measured if self.measured else float("nan")
+        )
+        return {
+            f"stage{k}_mean_delay": mean,
+            f"stage{k}_measured": float(self.measured),
+            f"stage{k}_observed": float(self.observed),
+            f"stage{k}_late_packets": float(self.late),
+            f"stage{k}_max_displacement": float(self.displacement),
+        }
+
+
+class _FabricRun:
+    """One fabric execution: windows in, a :class:`SimulationResult` out.
+
+    Drives the stage chain window by window (:meth:`feed`) and flushes
+    it (:meth:`finish`), folding three views as it goes: per-stage
+    reordering/delay stats, each stage's extras, and the end-to-end
+    record — synthetic :class:`Departures` carrying the *original*
+    identity with the *final* departure slot and a global observation
+    rank at the fabric's outputs — into the same
+    :class:`_MetricsAccumulator` single-switch runs use.
+    """
+
+    def __init__(
+        self,
+        composite: CompositeSwitchModel,
+        matrix: np.ndarray,
+        num_slots: int,
+        seed: int,
+        warmup: int,
+        keep_samples: bool,
+        engine: str,
+    ) -> None:
+        n = matrix.shape[0]
+        self.warmup = warmup
+        self.stages = build_stages(composite, matrix, num_slots, seed, engine)
+        maps = composite.port_maps(n)
+        self.couplers = [_LinkCoupler(n, m) for m in maps]
+        self.stats = [_StageStats(n) for _ in self.stages]
+        self.stage_extras: List[Optional[Dict]] = [None] * len(self.stages)
+        self.e2e = _MetricsAccumulator(n, warmup, keep_samples)
+        self._rank = 0
+        self._boundary = 0
+
+    def feed(self, window: ArrivalBatch) -> None:
+        start, end = self._boundary, window.end_slot
+        self._boundary = end
+        dep = self.stages[0].feed(window)
+        self._cascade(dep, start, end, final=False)
+
+    def finish(self, window: Optional[ArrivalBatch] = None) -> None:
+        start = self._boundary
+        end = window.end_slot if window is not None else start
+        dep, extras = self.stages[0].finish(window)
+        self.stage_extras[0] = extras
+        self._cascade(dep, start, end, final=True)
+
+    def _cascade(
+        self, dep: Departures, start: int, end: int, final: bool
+    ) -> None:
+        orig = (dep.voq, dep.seq, dep.arrival)
+        for k in range(len(self.stages)):
+            self.stats[k].add(dep, orig[2] >= self.warmup)
+            if k == len(self.stages) - 1:
+                self._add_e2e(dep, orig)
+                return
+            coupler = self.couplers[k]
+            if final:
+                # The drain tail can depart past the last window cut;
+                # stretch the final coupled window to cover it.
+                tail_end = max(end, start)
+                if len(dep.voq):
+                    tail_end = max(tail_end, int(dep.departure.max()) + 1)
+                win = coupler.couple(dep, orig, start, tail_end)
+                dep, extras = self.stages[k + 1].finish(win)
+                self.stage_extras[k + 1] = extras
+            else:
+                win = coupler.couple(dep, orig, start, end)
+                dep = self.stages[k + 1].feed(win)
+            orig = coupler.join(dep)
+
+    def _add_e2e(
+        self, dep: Departures, orig: Tuple[np.ndarray, ...]
+    ) -> None:
+        count = len(dep.voq)
+        if count == 0:
+            return
+        # Observation rank at the fabric outputs: windows arrive in
+        # nondecreasing departure order, so a per-window (departure,
+        # wire) sort plus a running offset is the global order.
+        obs = composite_argsort(dep.departure, dep.wire)
+        rank = np.empty(count, dtype=np.int64)
+        rank[obs] = np.arange(self._rank, self._rank + count, dtype=np.int64)
+        self._rank += count
+        self.e2e.add(
+            Departures(
+                voq=orig[0],
+                seq=orig[1],
+                arrival=orig[2],
+                departure=dep.departure,
+                wire=rank,
+                wire_is_rank=True,
+            )
+        )
+
+    def result(
+        self,
+        reported_name: str,
+        injected: int,
+        num_slots: int,
+        load_label: float,
+    ) -> SimulationResult:
+        stuck = sum(c.pending for c in self.couplers)
+        extras: Dict[str, float] = {"stages": float(len(self.stages))}
+        if stuck:
+            extras["in_fabric"] = float(stuck)
+        for k, stats in enumerate(self.stats):
+            extras.update(stats.extras(k))
+            for key, value in (self.stage_extras[k] or {}).items():
+                extras[f"stage{k}_{key}"] = float(value)
+        return self.e2e.result(
+            reported_name, injected, num_slots, load_label, extras
+        )
+
+
+def run_fabric(
+    fabric: Union[str, Dict, FabricSpec],
+    matrix,
+    num_slots: int,
+    seed: int = 0,
+    load_label: float = float("nan"),
+    warmup_fraction: float = 0.1,
+    keep_samples: bool = True,
+    engine: str = "vectorized",
+    batch_traffic: Optional[BatchTrafficGenerator] = None,
+    window_slots: Optional[int] = None,
+) -> SimulationResult:
+    """Run a multi-stage fabric; the composite analogue of
+    :func:`repro.sim.experiment.run_single` /
+    :func:`repro.sim.fast_engine.run_single_fast`.
+
+    ``fabric`` is a registered fabric name, a spec dict, or a
+    :class:`~repro.models.FabricSpec`.  Seed discipline matches the
+    single-switch runs (traffic stream derived from ``seed``; stage 0
+    keeps the run seed, later stages derive per-stage child seeds), so a
+    single-stage identity fabric reproduces ``run_single_fast``
+    bit-for-bit.  ``window_slots`` streams the whole chain — every stage
+    advances window by window, so peak arrival memory is O(window), and
+    results are bit-identical to the monolithic replay.  ``engine`` is
+    ``"vectorized"`` (every stage must be
+    :data:`~repro.models.Capability.COMPOSABLE`) or ``"object"`` (any
+    registered switch; same coupling, object switches behind
+    :class:`~repro.sim.stage.ObjectStage`).
+
+    The result is labeled with the fabric name and carries per-stage
+    extras: ``stage{k}_mean_delay`` (gated on fabric-ingress warm-up, so
+    the stage means sum to the end-to-end mean), ``stage{k}_observed`` /
+    ``stage{k}_late_packets`` / ``stage{k}_max_displacement`` (the
+    stage-local reordering view), plus each stage's own kernel extras
+    under the same prefix.
+    """
+    spec = resolve_fabric(fabric)
+    composite = CompositeSwitchModel(spec)
+    if engine not in ("object", "vectorized"):
+        raise ValueError(
+            f"unknown engine {engine!r}; known: object, vectorized"
+        )
+    if engine == "vectorized":
+        composite.require_engine("vectorized")
+    if num_slots <= 0:
+        raise ValueError("num_slots must be positive")
+    if not 0.0 <= warmup_fraction < 1.0:
+        raise ValueError("warmup_fraction must be in [0, 1)")
+    matrix = validate_matrix(matrix)
+    n = matrix.shape[0]
+    if batch_traffic is None:
+        traffic_rng = np.random.default_rng(derive_seed(seed, "traffic"))
+        batch_traffic = BatchTrafficGenerator(matrix, traffic_rng)
+    if batch_traffic.n != n:
+        raise ValueError("batch traffic size does not match matrix")
+
+    warmup = int(num_slots * warmup_fraction)
+    run = _FabricRun(
+        composite, matrix, num_slots, seed, warmup, keep_samples, engine
+    )
+    if window_slots is not None and window_slots <= 0:
+        raise ValueError("window_slots must be positive")
+    if window_slots is None or window_slots >= num_slots:
+        batch = batch_traffic.draw(num_slots)
+        injected = len(batch)
+        run.finish(batch)
+    else:
+        injected = 0
+        for window in batch_traffic.draw_chunks(num_slots, window_slots):
+            injected += len(window)
+            run.feed(window)
+        run.finish()
+    return run.result(
+        composite.reported_name, injected, num_slots, load_label
+    )

@@ -39,6 +39,7 @@ __all__ = [
     "PAPER_SWITCHES",
     "TRAFFIC_PATTERNS",
     "build_switch",
+    "fabric_run_params",
     "run_single",
     "delay_vs_load_sweep",
     "single_run_params",
@@ -142,6 +143,115 @@ def single_run_params(
     return params
 
 
+def fabric_run_params(
+    fabric_spec,
+    matrix: np.ndarray,
+    num_slots: int,
+    seed: int,
+    load_label: float,
+    warmup_fraction: float,
+    keep_samples: bool,
+    engine: str,
+    spec: Optional[ScenarioSpec],
+) -> Dict:
+    """Store cache-key parameters for a multi-stage fabric run.
+
+    Same scheme as :func:`single_run_params` with ``kind="run_fabric"``
+    and the full fabric spec embedded: two fabrics sharing a name but
+    differing in stages, parameters, or port maps never collide.
+    """
+    params = single_run_params(
+        fabric_spec.name, matrix, num_slots, seed, load_label,
+        warmup_fraction, keep_samples, engine, spec,
+    )
+    params["kind"] = "run_fabric"
+    params["fabric"] = fabric_spec.to_dict()
+    return params
+
+
+def _run_single_fabric(
+    fabric_spec,
+    matrix: Optional[np.ndarray],
+    num_slots: int,
+    seed: int,
+    load_label: float,
+    warmup_fraction: float,
+    keep_samples: bool,
+    engine: str,
+    scenario,
+    n: Optional[int],
+    load: Optional[float],
+    store,
+    switch_params: Optional[Dict],
+    window_slots: Optional[int],
+) -> SimulationResult:
+    """The fabric branch of :func:`run_single`: same workload resolution
+    and store protocol, execution through
+    :func:`repro.sim.composite.run_fabric`."""
+    if switch_params:
+        raise ValueError(
+            f"fabric {fabric_spec.name!r}: per-stage parameters belong in "
+            f"the FabricSpec stages, not switch_params"
+        )
+    spec: Optional[ScenarioSpec] = None
+    if scenario is not None:
+        if matrix is not None:
+            raise ValueError("pass either matrix or scenario, not both")
+        spec = resolve_scenario(scenario)
+        if n is None or load is None:
+            raise ValueError("scenario runs require n and load")
+        matrix = effective_matrix(spec, n, load)
+        if math.isnan(load_label):
+            load_label = float(load)
+    elif matrix is None:
+        raise ValueError("need a matrix or a scenario")
+    if num_slots <= 0:
+        raise ValueError("num_slots must be positive")
+    spec_load = float(load) if load is not None else None
+
+    # Imported here, not at module scope: the fabric built-ins resolve
+    # their stage names against the switch registry, which is still
+    # filling in while this module first loads (models -> builtin ->
+    # kernels -> sim package -> here).
+    from ..sim.composite import run_fabric
+
+    def execute() -> SimulationResult:
+        batch_traffic = (
+            build_batch_traffic(
+                spec, matrix.shape[0], spec_load, seed, num_slots
+            )
+            if spec is not None
+            else None
+        )
+        return run_fabric(
+            fabric_spec,
+            matrix,
+            num_slots,
+            seed=seed,
+            load_label=load_label,
+            warmup_fraction=warmup_fraction,
+            keep_samples=keep_samples,
+            engine=engine,
+            batch_traffic=batch_traffic,
+            window_slots=window_slots,
+        )
+
+    cache = coerce_store(store)
+    if cache is None:
+        return execute()
+    params = fabric_run_params(
+        fabric_spec, matrix, num_slots, seed,
+        spec_load if spec is not None else load_label,
+        warmup_fraction, keep_samples, engine, spec,
+    )
+    cached = cache.fetch(params)
+    if cached is not None:
+        return cached
+    result = execute()
+    cache.save(params, result)
+    return result
+
+
 def _execute_single(
     switch_name: str,
     matrix: np.ndarray,
@@ -220,7 +330,11 @@ def run_single(
 
     ``switch_name`` is any name or alias in the switch-model registry
     (:func:`repro.models.available` lists them); aliases are canonicalized
-    before anything else, so store cache keys are alias-independent.
+    before anything else, so store cache keys are alias-independent.  A
+    registered *fabric* name (:func:`repro.models.available_fabrics`) or
+    a :class:`~repro.models.FabricSpec` is also accepted and dispatches
+    to the multi-stage runner (:func:`repro.sim.composite.run_fabric`),
+    with per-stage metrics in the result's extras.
     ``switch_params`` passes schema-checked constructor parameters (e.g.
     ``{"threshold": 8}`` for PF) through the model; a vectorized run
     falls back to the object engine when a requested parameter is not in
@@ -255,6 +369,15 @@ def run_single(
     switches that cannot stream simply ignore it.
     """
     _check_engine(engine)
+    fabric_spec = models.lookup_fabric(switch_name)
+    if fabric_spec is not None:
+        # A registered fabric name (or FabricSpec) dispatches to the
+        # multi-stage runner; fabric and switch names share a namespace.
+        return _run_single_fabric(
+            fabric_spec, matrix, num_slots, seed, load_label,
+            warmup_fraction, keep_samples, engine, scenario, n, load,
+            store, switch_params, window_slots,
+        )
     switch_name = models.canonical_name(switch_name)
     models.get(switch_name).validate_params(switch_params or {})
     spec: Optional[ScenarioSpec] = None

@@ -524,23 +524,28 @@ def run_single_fast(
             f"switch {switch_name!r} has no streaming kernel "
             f"(streaming switches: {known}); drop window_slots"
         )
-    streamer = model.stream_kernel(matrix, [seed], num_slots, **switch_params)
+    # The windowed replay runs through the Stage adapter — the same
+    # window-in / finalized-departures-out interface the multi-stage
+    # fabrics compose (repro.sim.stage / repro.sim.composite).
+    from .stage import KernelStage
+
+    stage = KernelStage(model, matrix, seed, num_slots, switch_params)
     warmup = int(num_slots * warmup_fraction)
     acc = _MetricsAccumulator(n, warmup, keep_samples)
     if window_slots >= num_slots:
         # One window is the whole run: a single flush pass does it all.
         batch = batch_traffic.draw(num_slots)
         injected = len(batch)
-        final, extras = streamer.finish([batch])
+        final, extras = stage.finish(batch)
     else:
         injected = 0
         for window in batch_traffic.draw_chunks(num_slots, window_slots):
             injected += len(window)
-            acc.add(streamer.feed([window])[0])
-        final, extras = streamer.finish()
-    acc.add(final[0])
+            acc.add(stage.feed(window))
+        final, extras = stage.finish()
+    acc.add(final)
     return acc.result(
-        model.reported_name, injected, num_slots, load_label, extras[0]
+        model.reported_name, injected, num_slots, load_label, extras
     )
 
 

@@ -179,10 +179,20 @@ def replicate(
             "has no seed axis)"
         )
     seeds = [base_seed + r for r in range(replications)]
-    canonical = models.canonical_name(switch_name)
-    model = models.get(canonical)
+    # A fabric name replicates seed-by-seed through run_single's fabric
+    # dispatch (no stacked seed axis across a coupled chain yet); the
+    # scenario / store / pool machinery works unchanged because the job
+    # carries the name.
+    fabric_spec = models.lookup_fabric(switch_name)
+    if fabric_spec is not None:
+        model = None
+        canonical = fabric_spec.name
+    else:
+        canonical = models.canonical_name(switch_name)
+        model = models.get(canonical)
     if (
-        batch_seeds
+        model is not None
+        and batch_seeds
         and model.seed_batched
         and model.supports_engine("vectorized", switch_params)
     ):
@@ -193,7 +203,7 @@ def replicate(
     else:
         jobs = [
             SweepJob(
-                switch_name, matrix, num_slots, seed, load_label,
+                canonical, matrix, num_slots, seed, load_label,
                 engine, scenario=scenario_dict, n=n, store=store_dir(store),
                 switch_params=switch_params,
             )

@@ -23,7 +23,7 @@ Largest-Stripe-First consistency (§3.4.3).
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from ..core.permutation import is_permutation
 
@@ -79,25 +79,72 @@ class PeriodicFabric:
     connected to ingress ``a``.  The two standard fabrics are special cases;
     this generic form supports experimenting with other patterns (e.g.
     bit-reversal sequences).
+
+    Subclasses that define the pattern by formula override :meth:`egress`
+    and construct with ``(n=..., period=...)`` instead of an explicit
+    sequence; the permutation table is then never materialized unless
+    :attr:`sequence` is read, keeping construction O(1) rather than O(N²).
     """
 
-    def __init__(self, sequence: Sequence[Sequence[int]]) -> None:
-        if not sequence:
-            raise ValueError("fabric sequence must be nonempty")
-        n = len(sequence[0])
-        perms: List[List[int]] = []
-        for k, perm in enumerate(sequence):
-            perm = list(perm)
-            if len(perm) != n or not is_permutation(perm):
-                raise ValueError(f"sequence[{k}] is not a permutation of 0..{n-1}")
-            perms.append(perm)
-        self.n = n
-        self.period = len(perms)
-        self._sequence = perms
+    def __init__(
+        self,
+        sequence: Optional[Sequence[Sequence[int]]] = None,
+        *,
+        n: Optional[int] = None,
+        period: Optional[int] = None,
+    ) -> None:
+        if sequence is not None:
+            if n is not None or period is not None:
+                raise ValueError(
+                    "pass either an explicit sequence or (n=, period=), "
+                    "not both"
+                )
+            if not sequence:
+                raise ValueError("fabric sequence must be nonempty")
+            n = len(sequence[0])
+            perms: List[List[int]] = []
+            for k, perm in enumerate(sequence):
+                perm = list(perm)
+                if len(perm) != n or not is_permutation(perm):
+                    raise ValueError(
+                        f"sequence[{k}] is not a permutation of 0..{n-1}"
+                    )
+                perms.append(perm)
+            self.n = n
+            self.period = len(perms)
+            self._perms: Optional[List[List[int]]] = perms
+        else:
+            if n is None or period is None:
+                raise ValueError(
+                    "without an explicit sequence, both n= and period= "
+                    "are required"
+                )
+            if n <= 0 or period <= 0:
+                raise ValueError("n and period must be positive")
+            self.n = int(n)
+            self.period = int(period)
+            self._perms = None
+
+    @property
+    def sequence(self) -> List[List[int]]:
+        """The full permutation table, built lazily from :meth:`egress`."""
+        if self._perms is None:
+            perms = [
+                [self.egress(i, t) for i in range(self.n)]
+                for t in range(self.period)
+            ]
+            for k, perm in enumerate(perms):
+                if not is_permutation(perm):
+                    raise ValueError(
+                        f"egress() at slot {k} is not a permutation of "
+                        f"0..{self.n - 1}"
+                    )
+            self._perms = perms
+        return self._perms
 
     def egress(self, ingress: int, slot: int) -> int:
         """The egress port connected to ``ingress`` at ``slot``."""
-        return self._sequence[slot % self.period][ingress]
+        return self.sequence[slot % self.period][ingress]
 
     def connects_each_pair_once_per_period(self) -> bool:
         """Whether every (ingress, egress) pair appears exactly once per period.
@@ -119,9 +166,7 @@ class IncreasingFabric(PeriodicFabric):
     """The first-stage fabric: ``ingress i -> (i + t) mod N``."""
 
     def __init__(self, n: int) -> None:
-        super().__init__(
-            [[(i + t) % n for i in range(n)] for t in range(n)]
-        )
+        super().__init__(n=n, period=n)
 
     def egress(self, ingress: int, slot: int) -> int:
         return (ingress + slot) % self.n
@@ -131,9 +176,7 @@ class DecreasingFabric(PeriodicFabric):
     """The second-stage fabric: ``ingress m -> (m - t) mod N``."""
 
     def __init__(self, n: int) -> None:
-        super().__init__(
-            [[(m - t) % n for m in range(n)] for t in range(n)]
-        )
+        super().__init__(n=n, period=n)
 
     def egress(self, ingress: int, slot: int) -> int:
         return (ingress - slot) % self.n

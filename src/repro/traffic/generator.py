@@ -26,6 +26,7 @@ __all__ = [
     "DestinationSampler",
     "MatrixDestinations",
     "DriftingDestinations",
+    "SteppedPermutations",
     "bernoulli_traffic",
     "destination_distributions",
     "draw_destinations",
@@ -236,6 +237,44 @@ class DriftingDestinations(DestinationSampler):
             # excluding the final edge (== 1) keeps the result in [0, n).
             dests[mask] = np.sum(u[:, None] > edges[:, : n - 1], axis=1)
         return dests
+
+
+class SteppedPermutations(DestinationSampler):
+    """Collective-communication destinations: a permutation per phase.
+
+    Ring-style collectives (allreduce, allgather) send every node's
+    traffic to exactly one peer at a time, stepping the peer each
+    synchronization phase: during phase ``p`` (slot ``// phase_slots``),
+    input ``i`` sends to ``(i + 1 + (p mod (n - 1))) mod n`` — each
+    phase is a full derangement (never self), and ``n - 1`` consecutive
+    phases visit every peer once, so the time-averaged matrix is uniform
+    off-diagonal while the *instantaneous* matrix is maximally
+    concentrated (one VOQ per input carries everything).  That contrast
+    — provisioning sees the average, every moment looks adversarial — is
+    the load-balancing stress the fat-tree and AI-workload papers
+    evaluate.
+
+    Consumes no RNG (destinations are a deterministic function of slot
+    and input), so object/vectorized engine parity is structural.
+    """
+
+    def __init__(self, phase_slots: int) -> None:
+        if phase_slots <= 0:
+            raise ValueError("phase_slots must be positive")
+        self.phase_slots = int(phase_slots)
+
+    def draw(
+        self,
+        rng: np.random.Generator,
+        slots: np.ndarray,
+        inputs: np.ndarray,
+        n: int,
+    ) -> np.ndarray:
+        if n <= 1:
+            return np.zeros(len(inputs), dtype=np.int64)
+        phase = slots // self.phase_slots
+        shift = 1 + (phase % (n - 1))
+        return (inputs + shift) % n
 
 
 class FlowModel:

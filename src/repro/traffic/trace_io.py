@@ -18,17 +18,23 @@ import csv
 import gzip
 import warnings
 from pathlib import Path
-from typing import Iterable, List, Optional, Tuple, Union
+from typing import Iterable, Iterator, List, Optional, Tuple, Union
+
+import numpy as np
 
 from ..switching.packet import Packet
 from .arrivals import TraceArrivals
+from .batch import ArrivalBatch, stable_voq_argsort
 from .generator import TrafficGenerator
 
 __all__ = [
+    "TraceBatchSource",
     "record_trace",
     "write_trace",
     "read_trace",
     "replay_generator",
+    "trace_batch_source",
+    "trace_matrix",
     "trace_to_arrival_process",
 ]
 
@@ -105,9 +111,17 @@ class _ReplaySource:
         cursor = 0
         seqs = {}
         for slot in range(num_slots):
-            packets: List[Packet] = []
+            events: List[TraceEvent] = []
             while cursor < len(self._events) and self._events[cursor][0] == slot:
-                _, inp, out, flow = self._events[cursor]
+                events.append(self._events[cursor])
+                cursor += 1
+            # Within a slot, deliver in input-port order (stable for
+            # ties) — the order TrafficGenerator pins, and the same
+            # normalization TraceBatchSource applies, so object and
+            # vectorized trace replays see one identical stream.
+            events.sort(key=lambda event: event[1])
+            packets: List[Packet] = []
+            for _, inp, out, flow in events:
                 seq = seqs.get((inp, out), 0)
                 seqs[(inp, out)] = seq + 1
                 packets.append(
@@ -120,7 +134,6 @@ class _ReplaySource:
                     )
                 )
                 self.generated += 1
-                cursor += 1
             yield slot, packets
 
 
@@ -140,6 +153,136 @@ def replay_generator(n: int, events: List[TraceEvent]) -> _ReplaySource:
         if not 0 <= inp < n or not 0 <= out < n:
             raise ValueError(f"event port out of range for n={n}")
     return _ReplaySource(n, list(events))
+
+
+def trace_matrix(n: int, events: List[TraceEvent]) -> np.ndarray:
+    """Empirical VOQ count matrix of a trace — the provisioning shape a
+    trace scenario rescales to its target load."""
+    if not events:
+        raise ValueError("trace has no events; cannot derive a matrix")
+    counts = np.zeros((n, n))
+    inputs = np.asarray([event[1] for event in events], dtype=np.int64)
+    outputs = np.asarray([event[2] for event in events], dtype=np.int64)
+    if inputs.min() < 0 or inputs.max() >= n or outputs.min() < 0 or (
+        outputs.max() >= n
+    ):
+        raise ValueError(f"event port out of range for n={n}")
+    np.add.at(counts, (inputs, outputs), 1.0)
+    return counts
+
+
+class TraceBatchSource:
+    """Trace replay as a batch packet source for the vectorized engine.
+
+    Duck-types the :class:`~repro.traffic.batch.BatchTrafficGenerator`
+    surface the engines consume — ``n``, ``generated``, ``draw`` and
+    ``draw_chunks`` — replaying the recorded events instead of drawing
+    randomness.  Events are normalized to ``(slot, input)`` order
+    (stable for equal inputs) with per-VOQ sequence numbers assigned in
+    that delivery order: exactly what :func:`replay_generator` feeds the
+    object engine, so seeded trace-replay parity between engines is
+    structural, not statistical.
+
+    One instance replays one run: ``draw`` and ``draw_chunks`` both
+    start at slot 0 (sequence counters reset per call).
+    """
+
+    def __init__(self, n: int, events: List[TraceEvent]) -> None:
+        last_slot = -1
+        for slot, inp, out, _ in events:
+            if slot < last_slot:
+                raise ValueError("trace events must be sorted by slot")
+            last_slot = slot
+            if not 0 <= inp < n or not 0 <= out < n:
+                raise ValueError(f"event port out of range for n={n}")
+        self.n = int(n)
+        self.generated = 0
+        slots = np.asarray([e[0] for e in events], dtype=np.int64)
+        inputs = np.asarray([e[1] for e in events], dtype=np.int64)
+        outputs = np.asarray([e[2] for e in events], dtype=np.int64)
+        order = np.lexsort((inputs, slots))
+        self._slots = slots[order]
+        self._inputs = inputs[order]
+        self._outputs = outputs[order]
+        self._total = len(events)
+
+    def _warn_truncation(self, num_slots: int) -> None:
+        beyond = int(np.sum(self._slots >= num_slots))
+        if beyond:
+            warnings.warn(
+                f"replaying {num_slots} slots truncates the trace: "
+                f"{beyond} of {self._total} events arrive at slot "
+                f">= {num_slots} and will not be injected (throughput "
+                f"metrics would silently undercount `generated`)",
+                UserWarning,
+                stacklevel=3,
+            )
+
+    def _assign_seqs(
+        self, voqs: np.ndarray, seq_next: np.ndarray
+    ) -> np.ndarray:
+        """Per-VOQ consecutive sequence numbers in delivery order
+        (mirrors :meth:`BatchTrafficGenerator._assign_seqs`)."""
+        seqs = np.empty(len(voqs), dtype=np.int64)
+        if len(voqs) == 0:
+            return seqs
+        order = stable_voq_argsort(voqs, self.n)
+        sorted_voqs = voqs[order]
+        counts = np.bincount(voqs, minlength=self.n * self.n)
+        group_starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        positions = np.arange(len(voqs)) - group_starts[sorted_voqs]
+        seqs[order] = positions + seq_next[sorted_voqs]
+        seq_next += counts
+        return seqs
+
+    def _window(
+        self,
+        start_slot: int,
+        end_slot: int,
+        seq_next: np.ndarray,
+    ) -> ArrivalBatch:
+        lo, hi = np.searchsorted(self._slots, [start_slot, end_slot])
+        slots = self._slots[lo:hi]
+        inputs = self._inputs[lo:hi]
+        outputs = self._outputs[lo:hi]
+        seqs = self._assign_seqs(inputs * self.n + outputs, seq_next)
+        self.generated += len(slots)
+        return ArrivalBatch(
+            n=self.n,
+            num_slots=end_slot - start_slot,
+            slots=slots,
+            inputs=inputs,
+            outputs=outputs,
+            seqs=seqs,
+            start_slot=start_slot,
+        )
+
+    def draw(self, num_slots: int) -> ArrivalBatch:
+        """The whole replay (events below ``num_slots``) as one batch."""
+        if num_slots <= 0:
+            raise ValueError("num_slots must be positive")
+        self._warn_truncation(num_slots)
+        seq_next = np.zeros(self.n * self.n, dtype=np.int64)
+        return self._window(0, num_slots, seq_next)
+
+    def draw_chunks(
+        self, num_slots: int, window_slots: int
+    ) -> Iterator[ArrivalBatch]:
+        """The replay as consecutive ``window_slots``-slot windows."""
+        if num_slots <= 0:
+            raise ValueError("num_slots must be positive")
+        if window_slots <= 0:
+            raise ValueError("window_slots must be positive")
+        self._warn_truncation(num_slots)
+        seq_next = np.zeros(self.n * self.n, dtype=np.int64)
+        for start in range(0, num_slots, window_slots):
+            end = min(start + window_slots, num_slots)
+            yield self._window(start, end, seq_next)
+
+
+def trace_batch_source(n: int, events: List[TraceEvent]) -> TraceBatchSource:
+    """Batch-engine counterpart of :func:`replay_generator`."""
+    return TraceBatchSource(n, events)
 
 
 def trace_to_arrival_process(n: int, events: List[TraceEvent]) -> TraceArrivals:

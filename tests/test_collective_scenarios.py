@@ -1,0 +1,227 @@
+"""Collective-communication workloads and trace-file scenarios:
+samplers, spec validation, engine parity, and the run-path plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.scenarios import get_scenario, resolve_scenario
+from repro.scenarios.spec import ScenarioSpec, effective_matrix
+from repro.sim.experiment import run_single
+from repro.traffic import bernoulli_traffic
+from repro.traffic.matrices import uniform_matrix
+from repro.traffic.generator import SteppedPermutations
+from repro.traffic.trace_io import (
+    TraceBatchSource,
+    record_trace,
+    replay_generator,
+    trace_matrix,
+    write_trace,
+)
+
+COLLECTIVES = ("ring-allreduce", "alltoall-phased", "incast-fanin")
+
+
+class TestSteppedPermutations:
+    def test_each_phase_is_a_derangement(self):
+        sampler = SteppedPermutations(phase_slots=16)
+        n = 8
+        inputs = np.arange(n, dtype=np.int64)
+        for phase in range(2 * n):
+            slots = np.full(n, phase * 16, dtype=np.int64)
+            dests = sampler.draw(None, slots, inputs, n)
+            assert sorted(dests) == list(range(n))  # a permutation
+            assert (dests != inputs).all()  # nobody sends to itself
+
+    def test_steps_through_all_peers(self):
+        sampler = SteppedPermutations(phase_slots=4)
+        n = 6
+        seen = set()
+        for phase in range(n - 1):
+            slots = np.full(1, phase * 4, dtype=np.int64)
+            seen.add(int(sampler.draw(None, slots, np.zeros(1, np.int64), n)[0]))
+        # Input 0 visits every other port across one full rotation.
+        assert seen == set(range(1, n))
+
+    def test_consumes_no_rng(self):
+        # rng=None works: structural determinism is what makes the
+        # collective scenarios engine-parity-exact by construction.
+        sampler = SteppedPermutations(phase_slots=8)
+        slots = np.arange(32, dtype=np.int64)
+        inputs = slots % 4
+        a = sampler.draw(None, slots, inputs, 4)
+        b = sampler.draw(None, slots, inputs, 4)
+        np.testing.assert_array_equal(a, b)
+
+    def test_degenerate_sizes(self):
+        sampler = SteppedPermutations(phase_slots=8)
+        assert len(sampler.draw(None, np.arange(3), np.zeros(3, np.int64), 1)) == 3
+        with pytest.raises(ValueError):
+            SteppedPermutations(phase_slots=0)
+
+
+class TestCollectiveSpecs:
+    def test_registered(self):
+        for name in COLLECTIVES:
+            spec = get_scenario(name)
+            assert spec.description
+
+    def test_collective_matrix_is_uniform_off_diagonal(self):
+        spec = get_scenario("ring-allreduce")
+        matrix = effective_matrix(spec, 8, 0.8)
+        assert np.allclose(np.diag(matrix), 0.0)
+        off = matrix[~np.eye(8, dtype=bool)]
+        assert np.allclose(off, off[0])
+        assert matrix.sum(axis=1).max() == pytest.approx(0.8)
+
+    def test_collective_validation(self):
+        with pytest.raises(ValueError, match="kind"):
+            ScenarioSpec(name="x", collective={"kind": "tree"})
+        with pytest.raises(ValueError, match="phase_slots"):
+            ScenarioSpec(
+                name="x", collective={"kind": "ring", "phase_slots": 0}
+            )
+        with pytest.raises(ValueError):
+            ScenarioSpec(
+                name="x",
+                collective={"kind": "ring"},
+                drift={"family": "diagonal"},
+            )
+        with pytest.raises(ValueError):
+            ScenarioSpec(
+                name="x",
+                collective={"kind": "ring"},
+                matrix={"family": "hotspot"},
+            )
+
+    def test_round_trips_through_dict(self):
+        for name in COLLECTIVES:
+            spec = get_scenario(name)
+            assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    @pytest.mark.parametrize("name", COLLECTIVES)
+    @pytest.mark.parametrize("switch", ["sprinklers", "foff"])
+    def test_engine_parity(self, name, switch):
+        kwargs = dict(
+            scenario=name, n=8, load=0.7, num_slots=1200, seed=3,
+        )
+        obj = run_single(switch, engine="object", **kwargs)
+        vec = run_single(switch, engine="vectorized", **kwargs)
+        assert obj.to_dict() == vec.to_dict()
+
+    def test_ring_phases_change_destinations(self):
+        # Two consecutive phases of the ring target different peers.
+        spec = get_scenario("ring-allreduce")
+        phase_slots = spec.collective["phase_slots"]
+        sampler = SteppedPermutations(phase_slots)
+        inputs = np.zeros(2, dtype=np.int64)
+        slots = np.asarray([0, phase_slots], dtype=np.int64)
+        dests = sampler.draw(None, slots, inputs, 8)
+        assert dests[0] != dests[1]
+
+
+class TestTraceScenarios:
+    @pytest.fixture
+    def trace_path(self, tmp_path):
+        generator = bernoulli_traffic(uniform_matrix(8, 0.6), seed=11)
+        events = record_trace(generator, 600)
+        path = tmp_path / "trace.csv.gz"
+        write_trace(path, events)
+        return str(path)
+
+    def test_designator_resolves(self, trace_path):
+        spec = resolve_scenario(f"trace:{trace_path}")
+        assert spec.trace == {"path": trace_path}
+        assert spec.name == f"trace:{trace_path}"
+
+    def test_effective_matrix_from_trace(self, trace_path):
+        spec = resolve_scenario(f"trace:{trace_path}")
+        matrix = effective_matrix(spec, 8, 0.6)
+        assert matrix.sum(axis=1).max() == pytest.approx(0.6)
+
+    @pytest.mark.parametrize("switch", ["sprinklers", "foff"])
+    def test_engine_parity(self, trace_path, switch):
+        kwargs = dict(
+            scenario=f"trace:{trace_path}", n=8, load=0.6,
+            num_slots=600, seed=0,
+        )
+        obj = run_single(switch, engine="object", **kwargs)
+        vec = run_single(switch, engine="vectorized", **kwargs)
+        windowed = run_single(
+            switch, engine="vectorized", window_slots=100, **kwargs
+        )
+        assert obj.to_dict() == vec.to_dict() == windowed.to_dict()
+
+    def test_fabric_replay_parity(self, trace_path):
+        kwargs = dict(
+            scenario=f"trace:{trace_path}", n=8, load=0.6,
+            num_slots=600, seed=0,
+        )
+        obj = run_single("leaf-spine", engine="object", **kwargs)
+        vec = run_single(
+            "leaf-spine", engine="vectorized", window_slots=128, **kwargs
+        )
+        assert obj.to_dict() == vec.to_dict()
+
+    def test_trace_spec_owns_the_workload(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec(
+                name="x", trace={"path": "t.csv"},
+                arrivals={"kind": "onoff"},
+            )
+        with pytest.raises(ValueError):
+            ScenarioSpec(name="x", trace={})
+
+    def test_batch_source_matches_replay_generator(self):
+        generator = bernoulli_traffic(uniform_matrix(4, 0.7), seed=5)
+        events = record_trace(generator, 300)
+        replay = replay_generator(4, events)
+        rows = []
+        for slot, packets in replay.slots(300):
+            for p in packets:
+                rows.append(
+                    (slot, p.input_port, p.output_port, p.seq)
+                )
+        batch = TraceBatchSource(4, events).draw(300)
+        got = list(
+            zip(
+                batch.slots.tolist(), batch.inputs.tolist(),
+                batch.outputs.tolist(), batch.seqs.tolist(),
+            )
+        )
+        assert got == rows
+
+    def test_batch_source_chunks_match_draw(self):
+        generator = bernoulli_traffic(uniform_matrix(4, 0.7), seed=6)
+        events = record_trace(generator, 300)
+        whole = TraceBatchSource(4, events).draw(300)
+        source = TraceBatchSource(4, events)
+        chunks = list(source.draw_chunks(300, 64))
+        np.testing.assert_array_equal(
+            whole.slots, np.concatenate([c.slots for c in chunks])
+        )
+        np.testing.assert_array_equal(
+            whole.seqs, np.concatenate([c.seqs for c in chunks])
+        )
+        assert source.generated == len(whole)
+
+    def test_batch_source_warns_on_truncation(self):
+        events = [(0, 0, 1, None), (500, 1, 0, None)]
+        source = TraceBatchSource(2, events)
+        with pytest.warns(UserWarning, match="truncates the trace"):
+            batch = source.draw(100)
+        assert len(batch) == 1
+
+    def test_batch_source_validates(self):
+        with pytest.raises(ValueError, match="sorted by slot"):
+            TraceBatchSource(2, [(5, 0, 1, None), (1, 0, 1, None)])
+        with pytest.raises(ValueError, match="out of range"):
+            TraceBatchSource(2, [(0, 0, 5, None)])
+
+    def test_trace_matrix(self):
+        events = [(0, 0, 1, None), (1, 0, 1, None), (2, 1, 0, None)]
+        matrix = trace_matrix(2, events)
+        np.testing.assert_array_equal(matrix, [[0.0, 2.0], [1.0, 0.0]])
+        with pytest.raises(ValueError, match="no events"):
+            trace_matrix(2, [])
+        with pytest.raises(ValueError, match="out of range"):
+            trace_matrix(2, [(0, 0, 7, None)])
