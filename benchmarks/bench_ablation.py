@@ -14,7 +14,7 @@ from repro.sim.experiment import run_single
 from repro.analysis.stability import worst_case_rates
 from repro.traffic.matrices import diagonal_matrix, lognormal_matrix
 
-from benchmarks.conftest import bench_n, bench_slots, emit
+from benchmarks.conftest import bench_n, bench_slots, emit, write_bench_artifact
 
 
 def max_load(matrix, mode, seed=0, fixed=None):
@@ -57,6 +57,18 @@ def test_ablation_permutation_randomization(benchmark):
     )
     assert identity_load >= 1.0 / n - 1e-12
     assert all(v < 1.0 / n for v in random_loads)
+    write_bench_artifact(
+        "ablation",
+        {
+            "a1_placement": {
+                "identity_load": identity_load,
+                "random_overloaded": sum(
+                    1 for v in random_loads if v >= 1 / n
+                ),
+                "trials": len(random_loads),
+            }
+        },
+    )
 
 
 def test_ablation_stripe_sizing(benchmark):
@@ -95,6 +107,18 @@ def test_ablation_stripe_sizing(benchmark):
     assert variable < 1.0 / n
     assert fixed_small > variable  # hot VOQs overload narrow stripes
     assert spr.mean_delay < ufs.mean_delay  # cold VOQs hate full frames
+    write_bench_artifact(
+        "ablation",
+        {
+            "a2_stripe_sizing": {
+                "variable_load": variable,
+                "fixed_small_load": fixed_small,
+                "fixed_full_load": fixed_full,
+                "sprinklers_light_delay": spr.mean_delay,
+                "ufs_light_delay": ufs.mean_delay,
+            }
+        },
+    )
 
 
 def test_ablation_ols_coordination(benchmark):
@@ -132,3 +156,14 @@ def test_ablation_ols_coordination(benchmark):
         f"worst case over seeds: OLS={ols_max:.5f} independent={ind_max:.5f}",
     )
     assert ind_mean > ols_mean  # coordination strictly helps on average
+    write_bench_artifact(
+        "ablation",
+        {
+            "a4_ols_coordination": {
+                "ols_mean": ols_mean,
+                "ols_max": ols_max,
+                "independent_mean": ind_mean,
+                "independent_max": ind_max,
+            }
+        },
+    )

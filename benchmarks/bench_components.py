@@ -19,6 +19,8 @@ from repro.switching.packet import Packet
 from repro.traffic.generator import TrafficGenerator
 from repro.traffic.matrices import uniform_matrix
 
+from benchmarks.conftest import bench_mean_s, write_bench_artifact
+
 N = 64
 
 
@@ -41,6 +43,9 @@ def test_lsf_insert_serve_cycle(benchmark):
 
     benchmark(cycle)
     assert lsf.occupancy == 0
+    write_bench_artifact(
+        "components", {"lsf_cycle_mean_s": bench_mean_s(benchmark)}
+    )
 
 
 def test_ols_generation(benchmark):
@@ -48,6 +53,9 @@ def test_ols_generation(benchmark):
     rng = np.random.default_rng(0)
     square = benchmark(weakly_uniform_ols, 256, rng)
     assert len(square) == 256
+    write_bench_artifact(
+        "components", {"ols_generation_mean_s": bench_mean_s(benchmark)}
+    )
 
 
 def test_sprinklers_slot_rate(benchmark):
@@ -65,6 +73,10 @@ def test_sprinklers_slot_rate(benchmark):
         cursor["i"] = i + 100
 
     benchmark.pedantic(hundred_slots, rounds=30, iterations=1)
+    write_bench_artifact(
+        "components",
+        {"sprinklers_100slots_mean_s": bench_mean_s(benchmark)},
+    )
 
 
 @pytest.mark.parametrize("name", ["load-balanced", "ufs", "foff", "pf", "cms"])
@@ -83,6 +95,10 @@ def test_baseline_slot_rate(benchmark, name):
         cursor["i"] = i + 100
 
     benchmark.pedantic(hundred_slots, rounds=30, iterations=1)
+    write_bench_artifact(
+        "components",
+        {f"{name}_100slots_mean_s": bench_mean_s(benchmark)},
+    )
 
 
 def test_traffic_generation_rate(benchmark):
@@ -98,3 +114,7 @@ def test_traffic_generation_rate(benchmark):
 
     count = benchmark.pedantic(make_5000_slots, rounds=5, iterations=1)
     assert count > 0.8 * 0.9 * 32 * 5000
+    write_bench_artifact(
+        "components",
+        {"traffic_5000slots_mean_s": bench_mean_s(benchmark)},
+    )

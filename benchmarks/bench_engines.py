@@ -39,7 +39,7 @@ from repro import models
 from repro.sim.experiment import run_single
 from repro.traffic.matrices import uniform_matrix
 
-from benchmarks.conftest import bench_n, bench_slots, emit
+from benchmarks.conftest import bench_n, bench_slots, emit, write_bench_artifact
 
 #: Every switch with a registered vectorized kernel is benchmarked; a new
 #: kernel enrolls automatically (and the registry-coverage CI step fails
@@ -193,6 +193,20 @@ def test_engine_speedup(engine_rows):
         f"Engine shoot-out (N={bench_n()}, load {LOAD}, {slots} slots)",
         "\n".join(lines),
     )
+    write_bench_artifact(
+        "engines",
+        {
+            "shootout": [
+                {
+                    "switch": row["switch"],
+                    "object_s": row["object_s"],
+                    "vectorized_s": row["vectorized_s"],
+                    "speedup": row["speedup"],
+                }
+                for row in engine_rows
+            ]
+        },
+    )
     if _perf_assertions_disabled():
         pytest.skip(
             "wall-clock assertions disabled in CI sandbox "
@@ -277,6 +291,7 @@ def test_frame_formation_attribution(engine_rows):
         f"Frame-formation attribution (N={n}, load {LOAD}, {slots} slots)",
         "\n".join(lines),
     )
+    write_bench_artifact("engines", {"formation_speedups": ratios})
     if _perf_assertions_disabled():
         pytest.skip(
             "wall-clock assertion disabled in CI sandbox (the formation "
@@ -312,6 +327,17 @@ def test_fabric_engines():
         f"{slots} slots)",
         f"object {t_obj:8.2f}s  vectorized {t_fast:8.3f}s  "
         f"{speedup:6.1f}x",
+    )
+    write_bench_artifact(
+        "engines",
+        {
+            "fabric": {
+                "name": FABRIC_NAME,
+                "object_s": t_obj,
+                "vectorized_s": t_fast,
+                "speedup": speedup,
+            }
+        },
     )
     assert fast.to_dict() == obj.to_dict()
     stages = int(fast.extras["stages"])
@@ -373,6 +399,18 @@ def test_batched_replication():
         "Seed-batched replication (sprinklers)",
         f"{BATCH_REPLICATIONS} seeds x {slots} slots: seed-by-seed "
         f"{best_seq:.3f}s, batched {best_bat:.3f}s, {speedup:.2f}x",
+    )
+    write_bench_artifact(
+        "engines",
+        {
+            "batched_replication": {
+                "replications": BATCH_REPLICATIONS,
+                "slots": slots,
+                "sequential_s": best_seq,
+                "batched_s": best_bat,
+                "speedup": speedup,
+            }
+        },
     )
     if _perf_assertions_disabled():
         pytest.skip(

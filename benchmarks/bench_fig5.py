@@ -12,12 +12,15 @@ from repro.analysis.delay_model import (
 )
 from repro.figures import fig5
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import bench_mean_s, emit, write_bench_artifact
 
 
 def test_fig5_series(benchmark):
     rows = benchmark(fig5.generate)
     emit("Figure 5 (recomputed)", fig5.render())
+    write_bench_artifact(
+        "fig5", {"series_mean_s": bench_mean_s(benchmark), "rows": len(rows)}
+    )
     delays = {row["N"]: row["delay_periods"] for row in rows}
     # Paper's anchor: ~4e3 periods at N=1000 (closed form 4495.5).
     assert delays[1000] == pytest.approx(4495.5)
@@ -29,3 +32,6 @@ def test_fig5_exact_stationary_solve(benchmark):
     """The sparse linear-algebra path at a mid-size N."""
     numeric = benchmark(expected_queue_length_numeric, 64, 0.9)
     assert numeric == pytest.approx(expected_queue_length(64, 0.9), rel=0.02)
+    write_bench_artifact(
+        "fig5", {"stationary_solve_mean_s": bench_mean_s(benchmark)}
+    )

@@ -16,7 +16,14 @@ import pytest
 from repro.figures.delay_figures import generate
 from repro.figures.render import format_table
 
-from benchmarks.conftest import bench_loads, bench_n, bench_slots, emit
+from benchmarks.conftest import (
+    bench_loads,
+    bench_mean_s,
+    bench_n,
+    bench_slots,
+    emit,
+    write_bench_artifact,
+)
 
 
 @pytest.fixture(scope="module")
@@ -48,6 +55,10 @@ def test_fig6_sweep(benchmark, fig6_rows):
     )
     rows = fig6_rows
     emit("Figure 6 series (uniform traffic)", format_table(rows))
+    write_bench_artifact(
+        "fig6",
+        {"cell_mean_s": bench_mean_s(benchmark), "rows": len(rows)},
+    )
 
     loads = sorted({row["load"] for row in rows})
     table = {(row["switch"], row["load"]): row for row in rows}

@@ -10,7 +10,14 @@ import pytest
 from repro.figures.delay_figures import generate
 from repro.figures.render import format_table
 
-from benchmarks.conftest import bench_loads, bench_n, bench_slots, emit
+from benchmarks.conftest import (
+    bench_loads,
+    bench_mean_s,
+    bench_n,
+    bench_slots,
+    emit,
+    write_bench_artifact,
+)
 
 
 @pytest.fixture(scope="module")
@@ -40,6 +47,10 @@ def test_fig7_sweep(benchmark, fig7_rows):
     )
     rows = fig7_rows
     emit("Figure 7 series (diagonal traffic)", format_table(rows))
+    write_bench_artifact(
+        "fig7",
+        {"cell_mean_s": bench_mean_s(benchmark), "rows": len(rows)},
+    )
 
     loads = sorted({row["load"] for row in rows})
     table = {(row["switch"], row["load"]): row for row in rows}

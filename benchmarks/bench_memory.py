@@ -33,7 +33,7 @@ import tracemalloc
 from repro.sim.fast_engine import run_single_fast
 from repro.traffic.matrices import uniform_matrix
 
-from benchmarks.conftest import bench_n, emit
+from benchmarks.conftest import bench_n, emit, write_bench_artifact
 
 LOAD = 0.9
 WINDOW_SLOTS = 4096
@@ -96,6 +96,18 @@ def test_streamed_memory_bounded():
             ]
         ),
     )
+    write_bench_artifact(
+        "memory",
+        {
+            "single": {
+                "monolithic_large_bytes": mono_large,
+                "streamed_small_bytes": streamed_small,
+                "streamed_large_bytes": streamed_large,
+                "growth": growth,
+                "fraction_of_monolithic": fraction,
+            }
+        },
+    )
     assert streamed_large <= mono_large * MEM_FRACTION, (
         f"streamed peak {streamed_large / 1e6:.1f} MB is not below "
         f"{MEM_FRACTION:.0%} of the monolithic "
@@ -154,6 +166,18 @@ def test_fabric_streamed_memory_bounded():
                 f"{fraction:.0%} of monolithic)",
             ]
         ),
+    )
+    write_bench_artifact(
+        "memory",
+        {
+            "fabric": {
+                "monolithic_large_bytes": mono_large,
+                "streamed_small_bytes": streamed_small,
+                "streamed_large_bytes": streamed_large,
+                "growth": growth,
+                "fraction_of_monolithic": fraction,
+            }
+        },
     )
     assert streamed_large <= mono_large * MEM_FRACTION, (
         f"streamed fabric peak {streamed_large / 1e6:.1f} MB is not "

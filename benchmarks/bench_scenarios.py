@@ -21,7 +21,7 @@ from repro.scenarios import get_scenario, list_scenarios
 from repro.sim.experiment import run_single
 from repro.store import ExperimentStore
 
-from benchmarks.conftest import bench_n, bench_slots, emit
+from benchmarks.conftest import bench_n, bench_slots, emit, write_bench_artifact
 
 LOAD = 0.9
 SWITCH = "sprinklers"
@@ -92,6 +92,20 @@ def test_scenario_profiles(scenario_rows):
         f"Scenario sweep ({SWITCH}, N={bench_n()}, load {LOAD}, "
         f"{bench_slots()} slots, vectorized engine + store)",
         "\n".join(lines),
+    )
+    write_bench_artifact(
+        "scenarios",
+        {
+            "sweep": [
+                {
+                    "scenario": row["scenario"],
+                    "cold_s": row["cold_s"],
+                    "warm_s": row["warm_s"],
+                    "cache_speedup": row["cold_s"] / max(row["warm_s"], 1e-9),
+                }
+                for row in scenario_rows[:-1]
+            ]
+        },
     )
 
 

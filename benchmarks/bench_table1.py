@@ -10,13 +10,16 @@ import pytest
 from repro.analysis.chernoff import PAPER_TABLE1, overload_probability_bound
 from repro.figures import table1
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import bench_mean_s, emit, write_bench_artifact
 
 
 def test_table1_regeneration(benchmark):
     rows = benchmark(table1.generate)
     assert len(rows) == 8
     emit("Table 1 (recomputed)", table1.render(include_paper=True))
+    write_bench_artifact(
+        "table1", {"generate_mean_s": bench_mean_s(benchmark), "rows": len(rows)}
+    )
     # Fidelity: match the paper everywhere its values are clearly above
     # its numeric floor.
     for (rho, n), paper_value in PAPER_TABLE1.items():
@@ -30,3 +33,6 @@ def test_single_bound_latency(benchmark):
     """One (rho, N) cell: the unit of work a control plane would run."""
     value = benchmark(overload_probability_bound, 0.93, 2048)
     assert value == pytest.approx(3.09e-18, rel=0.1)
+    write_bench_artifact(
+        "table1", {"single_bound_mean_s": bench_mean_s(benchmark)}
+    )

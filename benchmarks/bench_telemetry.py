@@ -1,0 +1,142 @@
+"""Benchmark: the telemetry layer's overhead contract.
+
+The instrumentation in ``repro.telemetry`` is wired through the replay
+hot loops (``fast_engine``, ``composite``, the kernels), so this module
+pins the two properties that make that acceptable:
+
+* **Disabled is free.** With telemetry off (the default) every probe is
+  one flag check; an instrumented streamed run must stay within noise of
+  itself run-to-run, and the per-probe disabled cost is asserted to be
+  nanoseconds, not microseconds.
+* **Enabled is cheap.** Turning the full span/metric capture on may not
+  slow the streamed replay by more than
+  ``REPRO_BENCH_MAX_TELEMETRY_OVERHEAD`` (default 1.15x) — the spans
+  bracket windows, not packets, so the cost amortizes over thousands of
+  slots.
+
+Result parity (enabled and disabled runs report bit-identical numbers)
+is asserted everywhere, CI sandboxes included; the wall-clock bars skip
+inside CI like ``bench_engines.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro import telemetry
+from repro.sim.experiment import run_single
+from repro.traffic.matrices import uniform_matrix
+
+from benchmarks.conftest import bench_n, bench_slots, emit, write_bench_artifact
+
+LOAD = 0.9
+WINDOW_SLOTS = 4096
+MAX_OVERHEAD = float(
+    os.environ.get("REPRO_BENCH_MAX_TELEMETRY_OVERHEAD", "1.15")
+)
+#: Per-call ceiling for a disabled probe (seconds).  A disabled
+#: ``trace()`` is one attribute check + returning a shared handle;
+#: 2 microseconds is ~50x the measured cost on the reference container,
+#: so this only trips if someone adds real work to the disabled path.
+MAX_DISABLED_PROBE_S = float(
+    os.environ.get("REPRO_BENCH_MAX_DISABLED_PROBE_S", "2e-6")
+)
+
+
+def _perf_assertions_disabled() -> bool:
+    return bool(
+        os.environ.get("CI") or os.environ.get("REPRO_BENCH_SKIP_PERF")
+    )
+
+
+def _timed_run(repeats: int = 3):
+    """Min-of-N wall clock of one streamed vectorized run."""
+    matrix = uniform_matrix(bench_n(), LOAD)
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = run_single(
+            "sprinklers",
+            matrix,
+            bench_slots(),
+            seed=0,
+            load_label=LOAD,
+            keep_samples=False,
+            engine="vectorized",
+            window_slots=WINDOW_SLOTS,
+        )
+        best = min(best, time.perf_counter() - start)
+    return result, best
+
+
+def test_enabled_overhead_and_parity():
+    """Enabled capture stays under the overhead bar; numbers identical."""
+    assert not telemetry.enabled()  # the suite must start disabled
+    disabled_result, t_disabled = _timed_run()
+    with telemetry.scope():
+        enabled_result, t_enabled = _timed_run()
+    overhead = t_enabled / t_disabled
+    emit(
+        f"Telemetry overhead (sprinklers, N={bench_n()}, load {LOAD}, "
+        f"{bench_slots()} slots, window {WINDOW_SLOTS})",
+        f"disabled {t_disabled:.3f}s  enabled {t_enabled:.3f}s  "
+        f"overhead {overhead:.3f}x (bar {MAX_OVERHEAD}x)",
+    )
+    write_bench_artifact(
+        "telemetry",
+        {
+            "streamed_run": {
+                "disabled_s": t_disabled,
+                "enabled_s": t_enabled,
+                "overhead": overhead,
+                "max_overhead": MAX_OVERHEAD,
+            }
+        },
+    )
+    # Parity always: telemetry may only *observe*.  The enabled run
+    # additionally carries the capture payload in extras — pop it.
+    enabled_dict = enabled_result.to_dict()
+    assert enabled_dict["extras"].pop("telemetry", None) is not None
+    assert enabled_dict == disabled_result.to_dict()
+    if _perf_assertions_disabled():
+        pytest.skip(
+            "wall-clock assertion disabled in CI sandbox (the parity "
+            "assertion above still ran)"
+        )
+    assert overhead <= MAX_OVERHEAD, (
+        f"enabled telemetry costs {overhead:.3f}x "
+        f"(bar {MAX_OVERHEAD}x at {bench_slots()} slots)"
+    )
+
+
+def test_disabled_probe_cost():
+    """A disabled probe is a flag check — nanoseconds, asserted."""
+    assert not telemetry.enabled()
+    rounds = 200_000
+    best = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        for _ in range(rounds):
+            telemetry.trace("bench.probe")
+            telemetry.count("bench.counter")
+        best = min(best, time.perf_counter() - start)
+    per_call = best / (2 * rounds)
+    emit(
+        "Disabled probe cost",
+        f"{per_call * 1e9:.0f} ns/probe over {2 * rounds} calls "
+        f"(bar {MAX_DISABLED_PROBE_S * 1e9:.0f} ns)",
+    )
+    write_bench_artifact(
+        "telemetry", {"disabled_probe_s": per_call}
+    )
+    if _perf_assertions_disabled():
+        pytest.skip("wall-clock assertion disabled in CI sandbox")
+    assert per_call <= MAX_DISABLED_PROBE_S, (
+        f"disabled probe costs {per_call * 1e9:.0f} ns "
+        f"(bar {MAX_DISABLED_PROBE_S * 1e9:.0f} ns) — something is doing "
+        f"work on the disabled path"
+    )

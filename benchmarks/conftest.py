@@ -9,14 +9,29 @@ settings used in EXPERIMENTS.md):
 * ``REPRO_BENCH_N``      — switch size for Figs. 6-7 (paper: 32)
 * ``REPRO_BENCH_SLOTS``  — slots per simulated point (paper-scale: 200000)
 * ``REPRO_BENCH_LOADS``  — comma-separated load levels
+
+Every bench module also writes a machine-readable artifact
+(``BENCH_<name>.json``, via :func:`write_bench_artifact`) with its
+speedups / wall times and the process peak RSS, so CI runs leave a
+comparable record instead of only console text.  The artifacts land in
+``$REPRO_BENCH_ARTIFACT_DIR`` (default: the working directory).
 """
 
 from __future__ import annotations
 
+import json
 import os
-from typing import Sequence
+import time
+from typing import Optional, Sequence
 
-__all__ = ["bench_n", "bench_slots", "bench_loads", "emit"]
+__all__ = [
+    "bench_n",
+    "bench_slots",
+    "bench_loads",
+    "emit",
+    "write_bench_artifact",
+    "bench_mean_s",
+]
 
 
 def bench_n(default: int = 16) -> int:
@@ -40,3 +55,50 @@ def bench_loads(default: Sequence[float] = (0.1, 0.5, 0.9)) -> Sequence[float]:
 def emit(title: str, text: str) -> None:
     """Print a regenerated artifact (shown with ``pytest -s``)."""
     print(f"\n=== {title} ===\n{text}")
+
+
+def bench_mean_s(benchmark) -> Optional[float]:
+    """Mean seconds of a completed ``benchmark`` fixture run, if any.
+
+    ``--benchmark-disable`` (and some sandboxed runs) leave no stats;
+    artifacts then record ``None`` rather than failing the bench.
+    """
+    try:
+        return float(benchmark.stats.stats.mean)
+    except Exception:
+        return None
+
+
+def write_bench_artifact(name: str, payload: dict) -> str:
+    """Merge ``payload`` into ``BENCH_<name>.json``; returns the path.
+
+    Multiple tests in one module call this with the same ``name`` and
+    different keys — sections accumulate in one file.  Every write
+    refreshes the shared fields (timestamp, peak RSS, scale knobs) so
+    the file always reflects the full run that produced it.
+    """
+    from repro import telemetry
+
+    directory = os.environ.get("REPRO_BENCH_ARTIFACT_DIR", ".")
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"BENCH_{name}.json")
+    data: dict = {}
+    if os.path.exists(path):
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, ValueError):
+            data = {}
+    data["bench"] = name
+    data["generated_at"] = time.time()
+    data["peak_rss_bytes"] = telemetry.peak_rss_bytes()
+    data["scale"] = {
+        "n": bench_n(),
+        "slots": bench_slots(),
+        "loads": list(bench_loads()),
+    }
+    data.update(payload)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True, default=str)
+        fh.write("\n")
+    return path

@@ -17,11 +17,18 @@ Usage (also installed as the ``sprinklers`` console script)::
     python -m repro fabrics delay --fabric leaf-spine --engine vectorized
     python -m repro store stats
     python -m repro store gc --max-age-days 30 --max-size-mb 512
+    python -m repro fabrics run --fabric leaf-spine --trace trace.jsonl
+    python -m repro telemetry summarize trace.jsonl
+    python -m repro telemetry diff before.jsonl after.jsonl
+    python -m repro telemetry check trace.jsonl --coverage 0.95
 
 Figure commands accept ``--csv`` to emit machine-readable rows instead of
 the rendered table/chart.  Simulation commands accept ``--store [DIR]``
 (cache results in the experiment store; default directory
 ``.repro-store`` or ``$REPRO_STORE_DIR``) and ``--no-store``.
+Simulation commands also accept ``--trace PATH`` (enable telemetry for
+the command, write the JSONL span trace to PATH — see ``telemetry
+summarize``) and the global ``-v``/``--quiet`` logging switches.
 """
 
 from __future__ import annotations
@@ -31,7 +38,7 @@ import os
 import sys
 from typing import List, Optional
 
-from . import models
+from . import models, telemetry
 from .analysis.chernoff import overload_probability_bound, switch_wide_bound
 from .figures import fig5, fig6, fig7, table1
 from .figures.delay_figures import DEFAULT_LOADS
@@ -66,6 +73,18 @@ def _add_store_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_trace_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help=(
+            "enable telemetry for this command and write the span trace "
+            "(JSONL, inspectable with `telemetry summarize`) to PATH"
+        ),
+    )
+
+
 def _resolve_store(args: argparse.Namespace) -> Optional[str]:
     """The store directory for a command, honoring flag/env precedence."""
     if getattr(args, "no_store", False):
@@ -84,6 +103,18 @@ def build_parser() -> argparse.ArgumentParser:
             "Striping Approach to Reordering-Free Load-Balanced Switching' "
             "(CoNeXT 2014)."
         ),
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="log progress to stderr (-v info, -vv debug)",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress repro log output below ERROR",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -149,6 +180,7 @@ def build_parser() -> argparse.ArgumentParser:
             ),
         )
         _add_store_flags(p)
+        _add_trace_flag(p)
 
     demo = sub.add_parser("demo", help="run every switch once, show a summary")
     demo.add_argument("--n", type=int, default=16)
@@ -156,6 +188,7 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--slots", type=int, default=20_000)
     demo.add_argument("--seed", type=int, default=0)
     demo.add_argument("--engine", choices=ENGINES, default="object")
+    _add_trace_flag(demo)
 
     bounds = sub.add_parser("bounds", help="overload bound for one (rho, N)")
     bounds.add_argument("--rho", type=float, required=True)
@@ -242,6 +275,7 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     _add_store_flags(run)
+    _add_trace_flag(run)
 
     switches = sub.add_parser(
         "switches",
@@ -300,6 +334,7 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     _add_store_flags(fab_run)
+    _add_trace_flag(fab_run)
     fab_delay = fabrics_sub.add_parser(
         "delay",
         help="per-stage delay decomposition vs load (figures/fabric_delay)",
@@ -323,6 +358,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--window-slots", type=int, default=None, metavar="W",
     )
     _add_store_flags(fab_delay)
+    _add_trace_flag(fab_delay)
 
     store = sub.add_parser(
         "store",
@@ -357,6 +393,32 @@ def build_parser() -> argparse.ArgumentParser:
                 f"{DEFAULT_STORE_DIR!r})"
             ),
         )
+
+    tele = sub.add_parser(
+        "telemetry",
+        help="inspect JSONL span traces written by --trace / REPRO_TELEMETRY",
+    )
+    tele_sub = tele.add_subparsers(dest="telemetry_command", required=True)
+    t_sum = tele_sub.add_parser(
+        "summarize", help="per-span-name totals and the metrics snapshot"
+    )
+    t_sum.add_argument("trace", help="trace file (JSONL)")
+    t_diff = tele_sub.add_parser(
+        "diff", help="per-span-name duration deltas between two traces"
+    )
+    t_diff.add_argument("trace_a", help="baseline trace (JSONL)")
+    t_diff.add_argument("trace_b", help="comparison trace (JSONL)")
+    t_check = tele_sub.add_parser(
+        "check",
+        help="validate nesting and child-span coverage (the CI smoke gate)",
+    )
+    t_check.add_argument("trace", help="trace file (JSONL)")
+    t_check.add_argument(
+        "--coverage",
+        type=float,
+        default=0.95,
+        help="required child coverage of the replay spans (default 0.95)",
+    )
 
     return parser
 
@@ -697,45 +759,129 @@ def _cmd_bounds(args: argparse.Namespace) -> str:
     )
 
 
+def _cmd_telemetry(args: argparse.Namespace) -> tuple:
+    """``telemetry summarize/diff/check``; returns ``(text, exit_code)``."""
+    if args.telemetry_command == "summarize":
+        summary = telemetry.summarize_trace(telemetry.read_trace(args.trace))
+        lines = [
+            f"trace {args.trace}: {summary['total_spans']} spans",
+            f"{'span':28s} {'count':>7s} {'total_s':>10s} "
+            f"{'mean_s':>10s} {'max_s':>10s}",
+        ]
+        for name, entry in summary["by_name"].items():
+            lines.append(
+                f"{name:28s} {entry['count']:7d} {entry['total_s']:10.4f} "
+                f"{entry['mean_s']:10.6f} {entry['max_s']:10.6f}"
+            )
+        for root in summary["roots"]:
+            lines.append(
+                f"root: {root['name']} ({root.get('dur_s') or 0.0:.4f}s)"
+            )
+        metrics = summary.get("metrics") or {}
+        if metrics:
+            lines.append(f"metrics ({len(metrics)}):")
+            for name, data in sorted(metrics.items()):
+                detail = ", ".join(
+                    f"{key}={value:.6g}" if isinstance(value, float)
+                    else f"{key}={value}"
+                    for key, value in sorted(data.items())
+                    if key != "type"
+                )
+                lines.append(f"  {name:36s} {data.get('type', '?')}: {detail}")
+        return "\n".join(lines), 0
+    if args.telemetry_command == "diff":
+        rows = telemetry.diff_traces(
+            telemetry.read_trace(args.trace_a),
+            telemetry.read_trace(args.trace_b),
+        )
+        lines = [
+            f"{args.trace_a} (a) vs {args.trace_b} (b)",
+            f"{'span':28s} {'a_total_s':>10s} {'b_total_s':>10s} "
+            f"{'delta_s':>10s} {'ratio':>7s}",
+        ]
+        for row in rows:
+            ratio = f"{row['ratio']:.2f}" if row["ratio"] is not None else "-"
+            lines.append(
+                f"{row['name']:28s} {row['a_total_s']:10.4f} "
+                f"{row['b_total_s']:10.4f} {row['delta_s']:+10.4f} {ratio:>7s}"
+            )
+        return "\n".join(lines), 0
+    if args.telemetry_command == "check":
+        problems = telemetry.check_trace(
+            telemetry.read_trace(args.trace), coverage=args.coverage
+        )
+        if problems:
+            lines = [f"trace {args.trace}: {len(problems)} problem(s)"]
+            lines.extend(f"  {problem}" for problem in problems)
+            return "\n".join(lines), 1
+        return f"trace {args.trace}: OK", 0
+    raise AssertionError(  # pragma: no cover - argparse enforces choices
+        f"unhandled telemetry command {args.telemetry_command}"
+    )
+
+
+def _dispatch(args: argparse.Namespace) -> tuple:
+    """Run one parsed command; returns ``(output_text, exit_code)``."""
+    if args.command == "table1":
+        return table1.render(), 0
+    if args.command == "fig5":
+        return fig5.render(rho=args.rho), 0
+    if args.command == "fig6":
+        return _cmd_fig(args, fig6), 0
+    if args.command == "fig7":
+        return _cmd_fig(args, fig7), 0
+    if args.command == "demo":
+        return _cmd_demo(args), 0
+    if args.command == "bounds":
+        return _cmd_bounds(args), 0
+    if args.command == "balance":
+        return _cmd_balance(args), 0
+    if args.command == "bursts":
+        from .figures.burst_sensitivity import render as burst_render
+
+        return (
+            burst_render(
+                n=args.n, load=args.load, num_slots=args.slots, seed=args.seed
+            ),
+            0,
+        )
+    if args.command == "scenarios":
+        return _cmd_scenarios(args), 0
+    if args.command == "switches":
+        return _cmd_switches(args), 0
+    if args.command == "fabrics":
+        return _cmd_fabrics(args), 0
+    if args.command == "store":
+        return _cmd_store(args), 0
+    if args.command == "telemetry":
+        return _cmd_telemetry(args)
+    if args.command == "validate":
+        output, ok = _cmd_validate(args)
+        return output, 0 if ok else 1
+    raise AssertionError(  # pragma: no cover - argparse enforces the choices
+        f"unhandled command {args.command}"
+    )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    if args.command == "table1":
-        output = table1.render()
-    elif args.command == "fig5":
-        output = fig5.render(rho=args.rho)
-    elif args.command == "fig6":
-        output = _cmd_fig(args, fig6)
-    elif args.command == "fig7":
-        output = _cmd_fig(args, fig7)
-    elif args.command == "demo":
-        output = _cmd_demo(args)
-    elif args.command == "bounds":
-        output = _cmd_bounds(args)
-    elif args.command == "balance":
-        output = _cmd_balance(args)
-    elif args.command == "bursts":
-        from .figures.burst_sensitivity import render as burst_render
-
-        output = burst_render(
-            n=args.n, load=args.load, num_slots=args.slots, seed=args.seed
-        )
-    elif args.command == "scenarios":
-        output = _cmd_scenarios(args)
-    elif args.command == "switches":
-        output = _cmd_switches(args)
-    elif args.command == "fabrics":
-        output = _cmd_fabrics(args)
-    elif args.command == "store":
-        output = _cmd_store(args)
-    elif args.command == "validate":
-        output, ok = _cmd_validate(args)
+    if args.verbose or args.quiet:
+        telemetry.setup_logging(verbose=args.verbose, quiet=args.quiet)
+    trace_path = getattr(args, "trace", None) if args.command != "telemetry" else None
+    if trace_path:
+        # --trace turns telemetry on for this command only (a fresh
+        # tracer/registry even if REPRO_TELEMETRY already enabled it)
+        # and exports the span trace on the way out.
+        with telemetry.scope(memory=telemetry.memory_from_env()):
+            output, code = _dispatch(args)
+            spans = telemetry.export_jsonl(trace_path)
         print(output)
-        return 0 if ok else 1
-    else:  # pragma: no cover - argparse enforces the choices
-        raise AssertionError(f"unhandled command {args.command}")
+        print(f"[trace: {spans} spans -> {trace_path}]", file=sys.stderr)
+        return code
+    output, code = _dispatch(args)
     print(output)
-    return 0
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from .. import telemetry
 from ..models import PAPER_SWITCHES, canonical_name, lookup_fabric
 from ..sim.experiment import (
     TRAFFIC_PATTERNS,
@@ -173,6 +174,20 @@ def render(
         cached = cache.fetch_artifact(params)
         if cached is not None:
             return cached["text"]
+    with telemetry.trace(
+        "figure.table", figure=figure_name, pattern=str(pattern), n=n
+    ):
+        return _render_uncached(
+            pattern, figure_name, n, loads, num_slots, switches, seed,
+            engine, cache, params, window_slots,
+        )
+
+
+def _render_uncached(
+    pattern, figure_name, n, loads, num_slots, switches, seed, engine,
+    cache, params, window_slots,
+) -> str:
+    """The table build behind :func:`render`'s artifact cache."""
     rows = generate(
         pattern,
         n=n,

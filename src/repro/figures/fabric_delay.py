@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from .. import telemetry
 from ..models import CompositeSwitchModel, resolve_fabric
 from ..sim.experiment import TRAFFIC_PATTERNS, fabric_run_params, run_single
 from ..store import cache_key, coerce_store
@@ -173,17 +174,23 @@ def render(
         cached = cache.fetch_artifact(params)
         if cached is not None:
             return cached["text"]
-    rows = generate(
-        fabric_spec,
-        pattern,
+    with telemetry.trace(
+        "figure.table",
+        figure=f"fabric-delay:{fabric_spec.name}",
+        pattern=str(pattern),
         n=n,
-        loads=loads,
-        num_slots=num_slots,
-        seed=seed,
-        engine=engine,
-        store=cache,
-        window_slots=window_slots,
-    )
+    ):
+        rows = generate(
+            fabric_spec,
+            pattern,
+            n=n,
+            loads=loads,
+            num_slots=num_slots,
+            seed=seed,
+            engine=engine,
+            store=cache,
+            window_slots=window_slots,
+        )
     series: Dict[str, List[tuple]] = {"end-to-end": []}
     stages = CompositeSwitchModel(fabric_spec).models
     for row in rows:

@@ -42,6 +42,7 @@ from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from .. import telemetry
 from ..models.composite import (
     CompositeSwitchModel,
     FabricSpec,
@@ -53,7 +54,11 @@ from ..traffic.batch import (
     stable_voq_argsort,
 )
 from ..traffic.matrices import validate_matrix
-from .fast_engine import _MetricsAccumulator, _fold_reordering
+from .fast_engine import (
+    _MetricsAccumulator,
+    _fold_reordering,
+    _observe_throughput,
+)
 from .kernels.base import Departures, composite_argsort
 from .metrics import SimulationResult
 from .rng import derive_seed
@@ -94,14 +99,18 @@ def build_stages(
         zip(composite.models, composite.stage_params, mats)
     ):
         seed_k = _stage_seed(seed, k)
+        label = f"stage{k}.{model.name}"
         if engine == "vectorized":
             stages.append(
-                KernelStage(model, stage_matrix, seed_k, num_slots, params)
+                KernelStage(
+                    model, stage_matrix, seed_k, num_slots, params,
+                    label=label,
+                )
             )
         else:
             n = stage_matrix.shape[0]
             switch = model.build(n, stage_matrix, seed_k, **params)
-            stages.append(ObjectStage(switch, num_slots))
+            stages.append(ObjectStage(switch, num_slots, label=label))
     return stages
 
 
@@ -332,13 +341,22 @@ class _FabricRun:
                 tail_end = max(end, start)
                 if len(dep.voq):
                     tail_end = max(tail_end, int(dep.departure.max()) + 1)
-                win = coupler.couple(dep, orig, start, tail_end)
+                with telemetry.trace("fabric.couple", link=k):
+                    win = coupler.couple(dep, orig, start, tail_end)
                 dep, extras = self.stages[k + 1].finish(win)
                 self.stage_extras[k + 1] = extras
             else:
-                win = coupler.couple(dep, orig, start, end)
+                with telemetry.trace("fabric.couple", link=k):
+                    win = coupler.couple(dep, orig, start, end)
                 dep = self.stages[k + 1].feed(win)
-            orig = coupler.join(dep)
+            with telemetry.trace("fabric.join", link=k):
+                orig = coupler.join(dep)
+            if telemetry.enabled():
+                # Occupancy of the downstream stage after this window's
+                # join: the packets still inside the fabric on this link.
+                telemetry.set_gauge(
+                    f"fabric.in_flight.stage{k + 1}", coupler.pending
+                )
 
     def _add_e2e(
         self, dep: Departures, orig: Tuple[np.ndarray, ...]
@@ -446,16 +464,37 @@ def run_fabric(
     )
     if window_slots is not None and window_slots <= 0:
         raise ValueError("window_slots must be positive")
-    if window_slots is None or window_slots >= num_slots:
-        batch = batch_traffic.draw(num_slots)
-        injected = len(batch)
-        run.finish(batch)
-    else:
-        injected = 0
-        for window in batch_traffic.draw_chunks(num_slots, window_slots):
-            injected += len(window)
-            run.feed(window)
-        run.finish()
+    with telemetry.trace(
+        "replay.fabric",
+        fabric=composite.reported_name,
+        stages=len(spec.stages),
+        slots=num_slots,
+        window_slots=window_slots,
+    ):
+        if window_slots is None or window_slots >= num_slots:
+            with telemetry.trace("traffic.draw"):
+                batch = batch_traffic.draw(num_slots)
+            injected = len(batch)
+            with telemetry.trace("fabric.finish"):
+                run.finish(batch)
+        else:
+            injected = 0
+            windows = telemetry.traced_iter(
+                "traffic.draw",
+                batch_traffic.draw_chunks(num_slots, window_slots),
+            )
+            for window in windows:
+                injected += len(window)
+                with telemetry.trace(
+                    "fabric.window",
+                    slots=window.num_slots,
+                    packets=len(window),
+                ) as span:
+                    run.feed(window)
+                _observe_throughput(span.span, window.num_slots, len(window))
+                telemetry.count("replay.windows")
+            with telemetry.trace("fabric.finish"):
+                run.finish()
     return run.result(
         composite.reported_name, injected, num_slots, load_label
     )

@@ -20,7 +20,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
-from .. import models
+from .. import models, telemetry
 from ..models import PAPER_SWITCHES
 from ..scenarios.build import build_batch_traffic, build_traffic
 from ..scenarios.registry import SCENARIOS, resolve_scenario
@@ -169,6 +169,24 @@ def fabric_run_params(
     return params
 
 
+def _captured(span_name: str, execute: Callable[[], SimulationResult]) -> SimulationResult:
+    """Execute one run under a telemetry capture; when telemetry is on,
+    attach the capture payload (wall seconds, peak RSS, metrics snapshot
+    — process-cumulative at run exit) as ``extras["telemetry"]``.
+
+    The attach happens *before* any store save, so traces of cached
+    sweeps can tell computed runs from hits: a hit's result carries the
+    telemetry of the run that computed it, not of the fetch.  Disabled
+    telemetry leaves the result byte-identical to an uninstrumented run.
+    """
+    cap = telemetry.capture(span_name)
+    with cap:
+        result = execute()
+    if cap.result is not None:
+        result.extras["telemetry"] = cap.result
+    return result
+
+
 def _run_single_fabric(
     fabric_spec,
     matrix: Optional[np.ndarray],
@@ -238,7 +256,7 @@ def _run_single_fabric(
 
     cache = coerce_store(store)
     if cache is None:
-        return execute()
+        return _captured("run.fabric", execute)
     params = fabric_run_params(
         fabric_spec, matrix, num_slots, seed,
         spec_load if spec is not None else load_label,
@@ -247,7 +265,7 @@ def _run_single_fabric(
     cached = cache.fetch(params)
     if cached is not None:
         return cached
-    result = execute()
+    result = _captured("run.fabric", execute)
     cache.save(params, result)
     return result
 
@@ -396,13 +414,17 @@ def run_single(
         raise ValueError("num_slots must be positive")
 
     spec_load = float(load) if load is not None else None
-    cache = coerce_store(store)
-    if cache is None:
+
+    def execute() -> SimulationResult:
         return _execute_single(
             switch_name, matrix, num_slots, seed, load_label,
             warmup_fraction, keep_samples, engine, spec, spec_load,
             switch_params, window_slots,
         )
+
+    cache = coerce_store(store)
+    if cache is None:
+        return _captured("run.single", execute)
     params = single_run_params(
         switch_name, matrix, num_slots, seed,
         spec_load if spec is not None else load_label,
@@ -411,11 +433,7 @@ def run_single(
     cached = cache.fetch(params)
     if cached is not None:
         return cached
-    result = _execute_single(
-        switch_name, matrix, num_slots, seed, load_label,
-        warmup_fraction, keep_samples, engine, spec, spec_load,
-        switch_params, window_slots,
-    )
+    result = _captured("run.single", execute)
     cache.save(params, result)
     return result
 
@@ -462,6 +480,28 @@ def delay_vs_load_sweep(
     if switches is None:
         switches = PAPER_SWITCHES
     cache = coerce_store(store)
+    results: List[SimulationResult] = []
+    sweep_span = telemetry.trace(
+        "sweep.delay_vs_load",
+        pattern=spec.name if spec is not None else str(pattern),
+        n=n,
+        engine=engine,
+        loads=len(loads),
+        switches=len(switches),
+    )
+    with sweep_span:
+        results.extend(_sweep_cells(
+            spec, pattern, n, loads, switches, num_slots, seed,
+            keep_samples, engine, cache, window_slots,
+        ))
+    return results
+
+
+def _sweep_cells(
+    spec, pattern, n, loads, switches, num_slots, seed,
+    keep_samples, engine, cache, window_slots,
+) -> List[SimulationResult]:
+    """The sweep grid body of :func:`delay_vs_load_sweep`."""
     results: List[SimulationResult] = []
     for load in loads:
         matrix = (

@@ -48,7 +48,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from .. import models
+from .. import models, telemetry
 from ..sim.metrics import SimulationMetrics, SimulationResult
 from ..sim.rng import derive_seed
 from ..traffic.batch import BatchTrafficGenerator
@@ -429,6 +429,15 @@ def _result_from_departures(
 # ---------------------------------------------------------------------------
 
 
+def _observe_throughput(span, slots: int, packets: int) -> None:
+    """Window-rate observations off a finished span (``span`` is None on
+    the disabled path's null handle, making this a no-op)."""
+    if span is None or not span.dur_s:
+        return
+    telemetry.observe("replay.window.slots_per_s", slots / span.dur_s)
+    telemetry.observe("replay.window.packets_per_s", packets / span.dur_s)
+
+
 def _checked_model(switch_name: str, switch_params: Dict) -> "models.SwitchModel":
     """Resolve a switch model and validate vectorized-engine support."""
     model = models.get(switch_name)
@@ -500,8 +509,17 @@ def run_single_fast(
         raise ValueError("batch traffic size does not match matrix")
 
     if window_slots is None:
-        batch = batch_traffic.draw(num_slots)
-        dep, extras = model.kernel(batch, matrix, seed, **switch_params)
+        with telemetry.trace(
+            "replay.monolithic", switch=model.reported_name, slots=num_slots
+        ) as run_span:
+            with telemetry.trace("traffic.draw"):
+                batch = batch_traffic.draw(num_slots)
+            with telemetry.trace("kernel.replay"):
+                dep, extras = model.kernel(
+                    batch, matrix, seed, **switch_params
+                )
+            run_span.set(packets=len(batch))
+        _observe_throughput(run_span.span, num_slots, len(batch))
         return _result_from_departures(
             model.reported_name,
             n,
@@ -532,18 +550,38 @@ def run_single_fast(
     stage = KernelStage(model, matrix, seed, num_slots, switch_params)
     warmup = int(num_slots * warmup_fraction)
     acc = _MetricsAccumulator(n, warmup, keep_samples)
-    if window_slots >= num_slots:
-        # One window is the whole run: a single flush pass does it all.
-        batch = batch_traffic.draw(num_slots)
-        injected = len(batch)
-        final, extras = stage.finish(batch)
-    else:
-        injected = 0
-        for window in batch_traffic.draw_chunks(num_slots, window_slots):
-            injected += len(window)
-            acc.add(stage.feed(window))
-        final, extras = stage.finish()
-    acc.add(final)
+    with telemetry.trace(
+        "replay.stream",
+        switch=model.reported_name,
+        slots=num_slots,
+        window_slots=window_slots,
+    ):
+        if window_slots >= num_slots:
+            # One window is the whole run: a single flush pass does it all.
+            with telemetry.trace("traffic.draw"):
+                batch = batch_traffic.draw(num_slots)
+            injected = len(batch)
+            final, extras = stage.finish(batch)
+        else:
+            injected = 0
+            windows = telemetry.traced_iter(
+                "traffic.draw",
+                batch_traffic.draw_chunks(num_slots, window_slots),
+            )
+            for window in windows:
+                injected += len(window)
+                with telemetry.trace(
+                    "replay.window",
+                    slots=window.num_slots,
+                    packets=len(window),
+                ) as span:
+                    acc.add(stage.feed(window))
+                _observe_throughput(span.span, window.num_slots, len(window))
+                telemetry.count("replay.windows")
+        with telemetry.trace("replay.finish"):
+            if window_slots < num_slots:
+                final, extras = stage.finish()
+            acc.add(final)
     return acc.result(
         model.reported_name, injected, num_slots, load_label, extras
     )
@@ -629,16 +667,19 @@ def run_replications_fast(
         results: List[SimulationResult] = []
         for lo in range(0, len(seeds), group):
             chunk = seeds[lo : lo + group]
-            streamer = model.stream_kernel(
-                matrix, chunk, num_slots, **switch_params
-            )
-            batches = [
-                t.draw(num_slots)
-                for t in batch_traffics[lo : lo + group]
-            ]
-            dep, extras = streamer.finish_stacked(batches)
-            acc = _StackedMetricsAccumulator(n, len(chunk), warmup)
-            acc.add(dep)
+            with telemetry.trace(
+                "replay.seed_batch", seeds=len(chunk), slots=num_slots
+            ):
+                streamer = model.stream_kernel(
+                    matrix, chunk, num_slots, **switch_params
+                )
+                batches = [
+                    t.draw(num_slots)
+                    for t in batch_traffics[lo : lo + group]
+                ]
+                dep, extras = streamer.finish_stacked(batches)
+                acc = _StackedMetricsAccumulator(n, len(chunk), warmup)
+                acc.add(dep)
             results.extend(
                 acc.results(
                     model.reported_name,

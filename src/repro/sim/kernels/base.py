@@ -28,6 +28,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from ... import telemetry
 from ...traffic.batch import ArrivalBatch, stable_voq_argsort
 
 __all__ = [
@@ -451,6 +452,13 @@ class PolledQueueBank:
             order[keep],
         )
         self._payload = tuple(a[keep] for a in payload)
+        if telemetry.enabled():
+            # Events carried past this window's boundary: the streamed
+            # replay's working-set signal (a growing carry means windows
+            # are cut faster than the queues drain).
+            telemetry.observe(
+                "kernel.polled_queue.carry", len(self._pending[0])
+            )
         return service[done], order[done], tuple(a[done] for a in payload)
 
 

@@ -46,6 +46,7 @@ from typing import Callable, List, NamedTuple, Optional, Tuple
 
 import numpy as np
 
+from ... import telemetry
 from ...traffic.batch import ArrivalBatch, stable_voq_argsort
 from .base import stable_id_argsort
 
@@ -348,6 +349,11 @@ class _LaneFormation:
         parts: Tuple[List[np.ndarray], ...] = ([], [], [], [], [])
         voq_parts, start_parts, size_parts, fakes_parts, slot_parts = parts
         g = self._g
+        # Formation-loop telemetry, accumulated as plain ints per cycle
+        # (negligible next to the ~20 array ops each iteration runs) and
+        # flushed to the counters once, after the loop, when enabled.
+        lane_advances = 0
+        cursor_jumps = 0
         while True:
             pending = np.where(cycle < lim, cycle, _INT64_MAX)
             c = int(pending.min())
@@ -400,6 +406,7 @@ class _LaneFormation:
                 kf = k[fsel]
                 took_full = has_full[fsel]
             if len(lf):
+                lane_advances += len(lf)
                 voq_parts.append(self.voq_base[lf] + jf)
                 start_parts.append(self.taken[lf, jf])
                 size_parts.append(kf)
@@ -425,6 +432,7 @@ class _LaneFormation:
                 # the idle-span skip; the pick is a pure function of
                 # state an empty cycle leaves untouched.
                 ld = act[~formed]
+                cursor_jumps += len(ld)
                 if len(self._lkey):
                     idx = np.searchsorted(
                         self._lkey,
@@ -448,6 +456,9 @@ class _LaneFormation:
                         have, np.minimum(nxt, lim[ld]), lim[ld]
                     )
         self._g = g
+        if telemetry.enabled():
+            telemetry.count("kernel.frames.lane_advances", lane_advances)
+            telemetry.count("kernel.frames.cursor_jumps", cursor_jumps)
         empty = np.empty(0, dtype=np.int64)
         return FrameSchedule(
             voq=np.concatenate(voq_parts) if voq_parts else empty,

@@ -271,7 +271,11 @@ class SimulationResult:
             "late_packets": self.late_packets,
             "throughput": self.throughput,
         }
-        row.update(self.extras)
+        # Rows are flat scalar tables; nested extras (the "telemetry"
+        # capture payload) stay on the result object only.
+        row.update(
+            {k: v for k, v in self.extras.items() if not isinstance(v, dict)}
+        )
         return row
 
     def __repr__(self) -> str:

@@ -13,11 +13,14 @@ nothing.
 
 from __future__ import annotations
 
+import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import List, NamedTuple, Optional, Sequence, Union
 
 import numpy as np
 
+from .. import telemetry
 from ..models import PAPER_SWITCHES
 from ..scenarios.registry import resolve_scenario
 from ..store import ExperimentStore, store_dir
@@ -75,6 +78,15 @@ def _run_job(job: SweepJob) -> SimulationResult:
     )
 
 
+def _run_job_timed(job: SweepJob):
+    """Pool worker entry when the parent collects telemetry: the job's
+    result plus its busy wall seconds (measured in the worker — the only
+    place the compute time is visible)."""
+    t0 = time.perf_counter()
+    result = _run_job(job)
+    return result, time.perf_counter() - t0
+
+
 def run_jobs(
     jobs: Sequence[SweepJob], max_workers: Optional[int] = None
 ) -> List[SimulationResult]:
@@ -82,11 +94,41 @@ def run_jobs(
 
     ``max_workers=1`` (or a single job) runs inline, which keeps tests
     fast and debugging sane.
+
+    With telemetry enabled in the parent, the pool path also records
+    per-job busy time (``parallel.job_s``) and the pool's utilization —
+    summed worker busy time over ``elapsed x workers``
+    (``parallel.utilization``); an idle-heavy gauge means the sweep is
+    dominated by stragglers or pool startup, not simulation.
     """
     if max_workers == 1 or len(jobs) <= 1:
-        return [_run_job(job) for job in jobs]
-    with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        return list(pool.map(_run_job, jobs))
+        if not telemetry.enabled():
+            return [_run_job(job) for job in jobs]
+        results: List[SimulationResult] = []
+        for job in jobs:
+            with telemetry.trace(
+                "sweep.job", switch=job.switch_name, load=job.load_label
+            ):
+                results.append(_run_job(job))
+        return results
+    if not telemetry.enabled():
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            return list(pool.map(_run_job, jobs))
+    workers = max_workers if max_workers is not None else (os.cpu_count() or 1)
+    with telemetry.trace("sweep.pool", jobs=len(jobs), workers=workers):
+        t0 = time.perf_counter()
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            timed = list(pool.map(_run_job_timed, jobs))
+        elapsed = time.perf_counter() - t0
+    busy = 0.0
+    for _, wall_s in timed:
+        busy += wall_s
+        telemetry.observe("parallel.job_s", wall_s)
+    if elapsed > 0:
+        telemetry.set_gauge(
+            "parallel.utilization", min(1.0, busy / (elapsed * workers))
+        )
+    return [result for result, _ in timed]
 
 
 def parallel_delay_sweep(

@@ -17,6 +17,7 @@ from typing import Callable, List, NamedTuple, Optional, Sequence
 import numpy as np
 from scipy import stats as scipy_stats
 
+from .. import telemetry
 from .metrics import SimulationResult
 from .parallel import SweepJob, run_jobs
 
@@ -190,26 +191,34 @@ def replicate(
     else:
         canonical = models.canonical_name(switch_name)
         model = models.get(canonical)
-    if (
+    batched = (
         model is not None
         and batch_seeds
         and model.seed_batched
         and model.supports_engine("vectorized", switch_params)
+    )
+    with telemetry.trace(
+        "run.replicate",
+        switch=canonical,
+        replications=replications,
+        engine=engine,
+        batched=batched,
     ):
-        results = _replicate_batched(
-            canonical, matrix, num_slots, seeds, load_label,
-            spec, n, load, store, switch_params,
-        )
-    else:
-        jobs = [
-            SweepJob(
-                canonical, matrix, num_slots, seed, load_label,
-                engine, scenario=scenario_dict, n=n, store=store_dir(store),
-                switch_params=switch_params,
+        if batched:
+            results = _replicate_batched(
+                canonical, matrix, num_slots, seeds, load_label,
+                spec, n, load, store, switch_params,
             )
-            for seed in seeds
-        ]
-        results = run_jobs(jobs, max_workers=max_workers)
+        else:
+            jobs = [
+                SweepJob(
+                    canonical, matrix, num_slots, seed, load_label,
+                    engine, scenario=scenario_dict, n=n,
+                    store=store_dir(store), switch_params=switch_params,
+                )
+                for seed in seeds
+            ]
+            results = run_jobs(jobs, max_workers=max_workers)
     values = [float(metric(result)) for result in results]
     mean = float(np.mean(values))
     stderr = float(np.std(values, ddof=1)) / math.sqrt(replications)

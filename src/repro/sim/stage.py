@@ -36,6 +36,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from .. import telemetry
 from ..switching.packet import Packet
 from ..traffic.batch import ArrivalBatch
 from .kernels.base import Departures
@@ -48,6 +49,10 @@ class Stage:
 
     #: Port count of the stage (windows and departures are N x N).
     n: int
+
+    #: Telemetry label; fabric builds set ``stage{k}.{switch}`` so the
+    #: per-stage feed/finish histograms are distinguishable in a chain.
+    label: str = "stage"
 
     def feed(self, window: ArrivalBatch) -> Departures:
         """Consume one arrival window; return the finalized departures."""
@@ -77,6 +82,7 @@ class KernelStage(Stage):
         seed: int,
         total_slots: int,
         params: Optional[Dict] = None,
+        label: Optional[str] = None,
     ) -> None:
         if model.stream_kernel is None:
             raise ValueError(
@@ -85,19 +91,36 @@ class KernelStage(Stage):
             )
         self.n = int(matrix.shape[0])
         self.model = model
+        self.label = label or model.name
+        self._feed_metric = f"stage.feed_s.{self.label}"
+        self._finish_metric = f"stage.finish_s.{self.label}"
         self._streamer = model.stream_kernel(
             matrix, [seed], total_slots, **(params or {})
         )
 
     def feed(self, window: ArrivalBatch) -> Departures:
-        return self._streamer.feed([window])[0]
+        if not telemetry.enabled():
+            return self._streamer.feed([window])[0]
+        with telemetry.trace("stage.feed", stage=self.label) as span:
+            dep = self._streamer.feed([window])[0]
+            span.set(packets=len(window), finalized=len(dep.voq))
+        telemetry.observe(self._feed_metric, span.span.dur_s)
+        return dep
 
     def finish(
         self, window: Optional[ArrivalBatch] = None
     ) -> Tuple[Departures, Optional[Dict[str, float]]]:
-        final, extras = self._streamer.finish(
-            [window] if window is not None else None
-        )
+        if not telemetry.enabled():
+            final, extras = self._streamer.finish(
+                [window] if window is not None else None
+            )
+            return final[0], extras[0]
+        with telemetry.trace("stage.finish", stage=self.label) as span:
+            final, extras = self._streamer.finish(
+                [window] if window is not None else None
+            )
+            span.set(finalized=len(final[0].voq))
+        telemetry.observe(self._finish_metric, span.span.dur_s)
         return final[0], extras[0]
 
 
@@ -116,12 +139,17 @@ class ObjectStage(Stage):
     single-switch engine's drain cut.
     """
 
-    def __init__(self, switch, num_slots: int) -> None:
+    def __init__(
+        self, switch, num_slots: int, label: Optional[str] = None
+    ) -> None:
         if num_slots <= 0:
             raise ValueError("num_slots must be positive")
         self.n = int(switch.n)
         self.switch = switch
         self.num_slots = int(num_slots)
+        self.label = label or type(switch).__name__
+        self._feed_metric = f"stage.feed_s.{self.label}"
+        self._finish_metric = f"stage.finish_s.{self.label}"
         self._cursor = 0  # next slot to step
         self._rank = 0  # global observation rank
 
@@ -193,17 +221,28 @@ class ObjectStage(Stage):
         return released
 
     def feed(self, window: ArrivalBatch) -> Departures:
-        return self._collect(self._step_window(window))
+        if not telemetry.enabled():
+            return self._collect(self._step_window(window))
+        with telemetry.trace("stage.feed", stage=self.label) as span:
+            dep = self._collect(self._step_window(window))
+            span.set(packets=len(window), finalized=len(dep.voq))
+        telemetry.observe(self._feed_metric, span.span.dur_s)
+        return dep
 
     def finish(
         self, window: Optional[ArrivalBatch] = None
     ) -> Tuple[Departures, Optional[Dict[str, float]]]:
-        packets: List[Packet] = []
-        if window is not None:
-            packets.extend(self._step_window(window))
-        limit = max(50 * self.n, self.num_slots)
-        packets.extend(self.switch.drain(limit))
-        return self._collect(packets), self._extras()
+        with telemetry.trace("stage.finish", stage=self.label) as span:
+            packets: List[Packet] = []
+            if window is not None:
+                packets.extend(self._step_window(window))
+            limit = max(50 * self.n, self.num_slots)
+            packets.extend(self.switch.drain(limit))
+            dep = self._collect(packets)
+            span.set(finalized=len(dep.voq))
+        if span.span is not None:
+            telemetry.observe(self._finish_metric, span.span.dur_s)
+        return dep, self._extras()
 
     def _extras(self) -> Optional[Dict[str, float]]:
         """Harvest switch telemetry exactly as the simulation engine does."""

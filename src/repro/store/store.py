@@ -45,7 +45,10 @@ import time
 from pathlib import Path
 from typing import Dict, List, NamedTuple, Optional, Union
 
+from .. import telemetry
 from ..sim.metrics import SimulationResult
+
+logger = telemetry.get_logger(__name__)
 
 __all__ = [
     "ExperimentStore",
@@ -112,6 +115,7 @@ class ExperimentStore:
         self.objects_dir.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        self._hit_log_failed = False
 
     def _object_path(self, key: str) -> Path:
         return self.objects_dir / key[:2] / f"{key}.json.gz"
@@ -124,7 +128,9 @@ class ExperimentStore:
         path = self._object_path(key)
         if not path.exists():
             self.misses += 1
+            telemetry.count("store.miss")
             return None
+        t0 = time.perf_counter()
         try:
             with gzip.open(path, "rt") as handle:
                 payload = json.load(handle)
@@ -135,17 +141,27 @@ class ExperimentStore:
             # an artifact under a result fetch — raises KeyError); the
             # recomputation will overwrite it atomically.
             self.misses += 1
+            telemetry.count("store.miss")
             return None
         self.hits += 1
+        telemetry.count("store.hit")
+        telemetry.observe("store.fetch_s", time.perf_counter() - t0)
         try:
             self._append_manifest(
                 {"event": "hit", "key": key, "created": time.time()}
             )
-        except OSError:
+        except OSError as exc:
             # Hit logging is best-effort bookkeeping: a read-only store
             # (shared cache, another user's CI artifact) must still serve
             # hits, exactly as corrupt objects silently read as misses.
-            pass
+            # Say so once at DEBUG — a silent swallow hid misconfigured
+            # stores (every hit retrying the append) from any diagnosis.
+            if not self._hit_log_failed:
+                self._hit_log_failed = True
+                logger.debug(
+                    "store %s: hit logging disabled for this process "
+                    "(manifest append failed: %s)", self.root, exc,
+                )
         return value
 
     def fetch(self, params: Dict) -> Optional[SimulationResult]:
@@ -158,7 +174,10 @@ class ExperimentStore:
     def save(self, params: Dict, result: SimulationResult) -> Path:
         """Store a result under its params key; append to the manifest."""
         key = cache_key(params)
+        t0 = time.perf_counter()
         path = self._write_object(key, {"params": params, "result": result.to_dict()})
+        telemetry.count("store.save")
+        telemetry.observe("store.save_s", time.perf_counter() - t0)
         self._append_manifest(
             {
                 "key": key,
@@ -205,7 +224,10 @@ class ExperimentStore:
         """Store a derived artifact (JSON-serializable) under its params
         key; append to the manifest."""
         key = cache_key(params)
+        t0 = time.perf_counter()
         path = self._write_object(key, {"params": params, "artifact": artifact})
+        telemetry.count("store.save")
+        telemetry.observe("store.save_s", time.perf_counter() - t0)
         self._append_manifest(
             {
                 "key": key,

@@ -1,0 +1,66 @@
+"""Logging setup for the ``repro`` namespace.
+
+All repro modules log through ``telemetry.get_logger(__name__)``, which
+maps ``repro.store.store`` → logger ``repro.store.store`` under the
+``repro`` root logger.  By default nothing is configured — the root
+``repro`` logger has a ``NullHandler`` so library use stays silent — and
+:func:`setup_logging` (called by the CLI from ``-v``/``--quiet``)
+attaches a stderr handler at the requested level.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Optional
+
+__all__ = ["get_logger", "setup_logging", "verbosity_level"]
+
+ROOT = "repro"
+
+logging.getLogger(ROOT).addHandler(logging.NullHandler())
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+_DATEFMT = "%H:%M:%S"
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """A logger under the ``repro`` root (pass ``__name__``)."""
+    if not name:
+        return logging.getLogger(ROOT)
+    if name == ROOT or name.startswith(ROOT + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT}.{name}")
+
+
+def verbosity_level(verbose: int = 0, quiet: bool = False) -> int:
+    """Map CLI ``-v`` counts / ``--quiet`` to a logging level."""
+    if quiet:
+        return logging.ERROR
+    if verbose >= 2:
+        return logging.DEBUG
+    if verbose == 1:
+        return logging.INFO
+    return logging.WARNING
+
+
+def setup_logging(verbose: int = 0, quiet: bool = False) -> logging.Logger:
+    """Attach (or retune) one stderr handler on the ``repro`` logger.
+
+    Idempotent: repeated calls adjust the level instead of stacking
+    handlers, so tests and nested CLI invocations stay clean.
+    """
+    root = logging.getLogger(ROOT)
+    level = verbosity_level(verbose, quiet)
+    handler = None
+    for existing in root.handlers:
+        if getattr(existing, "_repro_cli_handler", False):
+            handler = existing
+            break
+    if handler is None:
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter(_FORMAT, datefmt=_DATEFMT))
+        handler._repro_cli_handler = True  # type: ignore[attr-defined]
+        root.addHandler(handler)
+    handler.setLevel(level)
+    root.setLevel(level)
+    return root

@@ -1,0 +1,182 @@
+"""Counters, gauges, and histograms for the run-path probes.
+
+Plain-Python instruments (no numpy — the package must import in any
+context, including spawn-mode pool workers before the heavy modules).
+All three are monotone-cheap: recording is an attribute update plus, for
+histograms, streaming moment accumulation; nothing allocates per
+observation.
+
+The registry is a flat name → instrument dict.  Names are dotted paths
+mirroring the span names (``replay.window.slots_per_s``,
+``store.fetch_s``, ``kernel.frames.lane_advances`` …) so a trace file
+and a metrics snapshot read as one vocabulary.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Union
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing count (events, packets, cache hits)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def add(self, amount: Union[int, float] = 1) -> None:
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A last-value instrument that also remembers its extrema.
+
+    Used for occupancy-style signals (in-flight packets between fabric
+    stages, pool utilization) where both the final value and the peak
+    matter.
+    """
+
+    __slots__ = ("name", "value", "max", "min", "updates")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+        self.max: float = -math.inf
+        self.min: float = math.inf
+        self.updates = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.max:
+            self.max = value
+        if value < self.min:
+            self.min = value
+        self.updates += 1
+
+    def snapshot(self) -> dict:
+        if not self.updates:
+            return {"type": "gauge", "value": None, "updates": 0}
+        return {
+            "type": "gauge",
+            "value": self.value,
+            "max": self.max,
+            "min": self.min,
+            "updates": self.updates,
+        }
+
+
+class Histogram:
+    """Streaming summary of a distribution: count/sum/min/max/mean/std.
+
+    Uses Welford's online algorithm so the memory footprint is O(1)
+    regardless of how many windows or store accesses a run observes —
+    the probes can fire millions of times without growing a list.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "_mean", "_m2")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else 0.0
+
+    @property
+    def std(self) -> float:
+        if self.count < 2:
+            return 0.0
+        return math.sqrt(self._m2 / (self.count - 1))
+
+    def snapshot(self) -> dict:
+        if not self.count:
+            return {"type": "histogram", "count": 0}
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "std": self.std,
+        }
+
+
+class MetricsRegistry:
+    """Name-addressed instrument store; instruments are created lazily.
+
+    ``counter``/``gauge``/``histogram`` return the existing instrument
+    when the name is already registered (probes from different modules
+    can share one counter without coordination).
+    """
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, Union[Counter, Gauge, Histogram]] = {}
+
+    def counter(self, name: str) -> Counter:
+        inst = self._instruments.get(name)
+        if inst is None:
+            inst = self._instruments[name] = Counter(name)
+        elif not isinstance(inst, Counter):
+            raise TypeError(f"{name!r} is a {type(inst).__name__}, not a Counter")
+        return inst
+
+    def gauge(self, name: str) -> Gauge:
+        inst = self._instruments.get(name)
+        if inst is None:
+            inst = self._instruments[name] = Gauge(name)
+        elif not isinstance(inst, Gauge):
+            raise TypeError(f"{name!r} is a {type(inst).__name__}, not a Gauge")
+        return inst
+
+    def histogram(self, name: str) -> Histogram:
+        inst = self._instruments.get(name)
+        if inst is None:
+            inst = self._instruments[name] = Histogram(name)
+        elif not isinstance(inst, Histogram):
+            raise TypeError(
+                f"{name!r} is a {type(inst).__name__}, not a Histogram"
+            )
+        return inst
+
+    def get(self, name: str) -> Optional[Union[Counter, Gauge, Histogram]]:
+        return self._instruments.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._instruments)
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def snapshot(self) -> Dict[str, dict]:
+        """A JSON-serializable view of every instrument, sorted by name."""
+        return {
+            name: self._instruments[name].snapshot()
+            for name in sorted(self._instruments)
+        }

@@ -16,16 +16,18 @@ from __future__ import annotations
 
 import csv
 import gzip
-import warnings
 from pathlib import Path
 from typing import Iterable, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
+from .. import telemetry
 from ..switching.packet import Packet
 from .arrivals import TraceArrivals
 from .batch import ArrivalBatch, stable_voq_argsort
 from .generator import TrafficGenerator
+
+logger = telemetry.get_logger(__name__)
 
 __all__ = [
     "TraceBatchSource",
@@ -39,6 +41,19 @@ __all__ = [
 ]
 
 TraceEvent = Tuple[int, int, int, Optional[int]]  # slot, input, output, flow
+
+
+def _report_truncation(beyond: int, total: int, num_slots: int) -> None:
+    """A truncated replay drops events — surface it through the telemetry
+    logger (WARNING: the run is still valid, just shorter than the trace)
+    and count the dropped events so sweeps can audit it after the fact."""
+    telemetry.count("trace.truncated_events", beyond)
+    logger.warning(
+        "replaying %d slots truncates the trace: %d of %d events arrive "
+        "at slot >= %d and will not be injected (throughput metrics "
+        "would silently undercount `generated`)",
+        num_slots, beyond, total, num_slots,
+    )
 
 
 def record_trace(
@@ -100,14 +115,7 @@ class _ReplaySource:
     def slots(self, num_slots: int):
         beyond = sum(1 for event in self._events if event[0] >= num_slots)
         if beyond:
-            warnings.warn(
-                f"replaying {num_slots} slots truncates the trace: "
-                f"{beyond} of {len(self._events)} events arrive at slot "
-                f">= {num_slots} and will not be injected (throughput "
-                f"metrics would silently undercount `generated`)",
-                UserWarning,
-                stacklevel=2,
-            )
+            _report_truncation(beyond, len(self._events), num_slots)
         cursor = 0
         seqs = {}
         for slot in range(num_slots):
@@ -209,14 +217,7 @@ class TraceBatchSource:
     def _warn_truncation(self, num_slots: int) -> None:
         beyond = int(np.sum(self._slots >= num_slots))
         if beyond:
-            warnings.warn(
-                f"replaying {num_slots} slots truncates the trace: "
-                f"{beyond} of {self._total} events arrive at slot "
-                f">= {num_slots} and will not be injected (throughput "
-                f"metrics would silently undercount `generated`)",
-                UserWarning,
-                stacklevel=3,
-            )
+            _report_truncation(beyond, self._total, num_slots)
 
     def _assign_seqs(
         self, voqs: np.ndarray, seq_next: np.ndarray

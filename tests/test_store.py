@@ -136,6 +136,30 @@ class TestRoundTrip:
         assert len(lines) == 1
         assert '"scenario":"paper-uniform"' in lines[0]
 
+    def test_read_only_manifest_still_serves_hits(self, tmp_path, caplog):
+        # A shared/read-only store must keep serving hits even when the
+        # best-effort hit log cannot be appended — and must say so once
+        # at DEBUG instead of swallowing every failure silently.
+        # (chmod is bypassed by root, so force the append to fail with
+        # IsADirectoryError — also an OSError — by squatting the path.)
+        store = ExperimentStore(tmp_path)
+        expected = run_single("ufs", uniform_matrix(4, 0.5), 300, store=store)
+        store.manifest_path.unlink()
+        store.manifest_path.mkdir()
+        with caplog.at_level("DEBUG", logger="repro"):
+            for _ in range(3):
+                hit = run_single(
+                    "ufs", uniform_matrix(4, 0.5), 300, store=store
+                )
+                assert hit.mean_delay == expected.mean_delay
+        assert store.hits == 3
+        debug_records = [
+            r for r in caplog.records
+            if "hit logging disabled" in r.getMessage()
+        ]
+        assert len(debug_records) == 1  # logged once, not per hit
+        assert debug_records[0].levelname == "DEBUG"
+
     def test_coerce_store(self, tmp_path):
         assert coerce_store(None) is None
         store = coerce_store(tmp_path / "s")

@@ -117,27 +117,36 @@ class TestReplay:
         with pytest.raises(ValueError):
             replay_generator(2, [(0, 5, 0, None)])
 
-    def test_truncated_replay_warns(self):
+    def test_truncated_replay_warns(self, caplog):
         """Regression: events at slot >= num_slots were silently dropped,
-        undercounting `generated` and skewing throughput metrics."""
+        undercounting `generated` and skewing throughput metrics.  The
+        warning now goes through the telemetry logger (deprecation-style
+        successor of the old ``warnings.warn`` path) plus a counter."""
+        from repro import telemetry
+
         events = [(0, 0, 1, None), (5, 1, 2, None), (9, 2, 3, None)]
         source = replay_generator(4, events)
-        with pytest.warns(UserWarning, match="truncates the trace"):
-            consumed = [
-                (slot, len(packets)) for slot, packets in source.slots(6)
-            ]
+        with telemetry.scope() as tel:
+            with caplog.at_level("WARNING", logger="repro"):
+                consumed = [
+                    (slot, len(packets)) for slot, packets in source.slots(6)
+                ]
+        assert any(
+            "truncates the trace" in rec.message for rec in caplog.records
+        )
+        assert tel.registry.counter("trace.truncated_events").value == 1
         assert len(consumed) == 6
         assert source.generated == 2  # the slot-9 event never injects
 
-    def test_full_replay_does_not_warn(self):
+    def test_full_replay_does_not_warn(self, caplog):
         events = make_events(slots=50)
         source = replay_generator(4, events)
-        import warnings as warnings_module
-
-        with warnings_module.catch_warnings():
-            warnings_module.simplefilter("error")
+        with caplog.at_level("WARNING", logger="repro"):
             for _slot, _packets in source.slots(50):
                 pass
+        assert not any(
+            "truncates the trace" in rec.message for rec in caplog.records
+        )
         assert source.generated == len(events)
 
     def test_replay_slots_signature_has_no_chunk_arg(self):
