@@ -21,6 +21,11 @@ Usage (also installed as the ``sprinklers`` console script)::
     python -m repro telemetry summarize trace.jsonl
     python -m repro telemetry diff before.jsonl after.jsonl
     python -m repro telemetry check trace.jsonl --coverage 0.95
+    python -m repro serve --workers 4 --store .repro-store --backend sqlite
+    python -m repro submit --workload uniform --loads 0.3 0.9 --watch
+    python -m repro status job-0001
+    python -m repro watch job-0001
+    python -m repro results job-0001
 
 Figure commands accept ``--csv`` to emit machine-readable rows instead of
 the rendered table/chart.  Simulation commands accept ``--store [DIR]``
@@ -392,6 +397,92 @@ def build_parser() -> argparse.ArgumentParser:
                 "store directory (default $REPRO_STORE_DIR or "
                 f"{DEFAULT_STORE_DIR!r})"
             ),
+        )
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the simulation job service daemon (submit/watch clients)",
+    )
+    serve_p.add_argument(
+        "--host", default="127.0.0.1", help="bind address (local by default)"
+    )
+    serve_p.add_argument(
+        "--port", type=int, default=8753,
+        help="bind port (0 picks an ephemeral port, printed on startup)",
+    )
+    serve_p.add_argument(
+        "--workers", type=int, default=2,
+        help="simulation worker processes",
+    )
+    serve_p.add_argument(
+        "--store", default=None, metavar="DIR",
+        help=(
+            "experiment store directory the service computes into "
+            f"(default $REPRO_STORE_DIR or {DEFAULT_STORE_DIR!r})"
+        ),
+    )
+    serve_p.add_argument(
+        "--backend", choices=("dir", "sqlite"), default=None,
+        help=(
+            "store backend for a NEW store (existing stores auto-detect; "
+            "sqlite is the shared database built for concurrent workers)"
+        ),
+    )
+    _add_trace_flag(serve_p)
+
+    submit_p = sub.add_parser(
+        "submit", help="submit a sweep to a running service daemon"
+    )
+    submit_p.add_argument(
+        "--workload", default="uniform",
+        help=(
+            "a §6 pattern (uniform/diagonal), registered scenario, "
+            ".toml/.json spec file, or trace:<path>"
+        ),
+    )
+    submit_p.add_argument(
+        "--switches", nargs="+", default=list(PAPER_SWITCHES),
+        metavar="SWITCH", help="switch or fabric registry names",
+    )
+    submit_p.add_argument(
+        "--loads", type=float, nargs="+", default=[0.3, 0.6, 0.9],
+    )
+    submit_p.add_argument("--n", type=int, default=16, help="port count")
+    submit_p.add_argument("--slots", type=int, default=2_000)
+    submit_p.add_argument(
+        "--seeds", type=int, nargs="+", default=[0],
+        help="seed block (one full grid per seed)",
+    )
+    submit_p.add_argument("--engine", choices=ENGINES, default="object")
+    submit_p.add_argument(
+        "--watch", action="store_true",
+        help="stream the job's JSONL events until it completes",
+    )
+
+    status_p = sub.add_parser(
+        "status", help="one job's progress, or all jobs'"
+    )
+    status_p.add_argument("job", nargs="?", default=None, help="job id")
+
+    watch_p = sub.add_parser(
+        "watch", help="stream a job's events as JSONL until it completes"
+    )
+    watch_p.add_argument("job", help="job id (from `submit`)")
+    watch_p.add_argument(
+        "--timeout", type=float, default=None,
+        help="give up after this many seconds",
+    )
+
+    results_p = sub.add_parser(
+        "results", help="stream a job's full per-shard results as JSONL"
+    )
+    results_p.add_argument("job", help="job id (from `submit`)")
+
+    for p in (submit_p, status_p, watch_p, results_p):
+        p.add_argument(
+            "--url", default=None,
+            help="service address (default $REPRO_SERVICE_URL or "
+            "http://127.0.0.1:8753)",
         )
 
     tele = sub.add_parser(
@@ -820,6 +911,91 @@ def _cmd_telemetry(args: argparse.Namespace) -> tuple:
     )
 
 
+def _cmd_serve(args: argparse.Namespace) -> tuple:
+    """Run the service daemon in the foreground until /shutdown."""
+    import json
+
+    from .service import serve
+    from .store import ExperimentStore
+
+    directory = (
+        args.store
+        or os.environ.get("REPRO_STORE_DIR")
+        or DEFAULT_STORE_DIR
+    )
+    store = ExperimentStore(directory, backend=args.backend)
+    server = serve(
+        store, host=args.host, port=args.port, workers=args.workers
+    )
+    print(
+        json.dumps({
+            "event": "serving",
+            "url": server.address,
+            "store": directory,
+            "backend": store.backend.name,
+            "workers": args.workers,
+        }),
+        flush=True,
+    )
+    server.serve_forever()
+    return "service stopped", 0
+
+
+def _service_url(args: argparse.Namespace) -> str:
+    from .service import DEFAULT_URL
+
+    return (
+        args.url or os.environ.get("REPRO_SERVICE_URL") or DEFAULT_URL
+    )
+
+
+def _print_jsonl(events) -> Optional[dict]:
+    """Print each event as one flushed JSON line; returns the last one."""
+    import json
+
+    last = None
+    for event in events:
+        print(json.dumps(event), flush=True)
+        last = event
+    return last
+
+
+def _cmd_service_client(args: argparse.Namespace) -> tuple:
+    """``submit``/``status``/``watch``/``results`` against a daemon."""
+    import json
+
+    from .service import ServiceClient
+
+    client = ServiceClient(_service_url(args))
+    if args.command == "submit":
+        job_id = client.submit({
+            "workload": args.workload,
+            "switches": args.switches,
+            "loads": args.loads,
+            "n": args.n,
+            "num_slots": args.slots,
+            "seeds": args.seeds,
+            "engine": args.engine,
+        })
+        if not args.watch:
+            return json.dumps({"job_id": job_id}), 0
+        last = _print_jsonl(client.watch(job_id))
+        done = last is not None and last.get("event") == "done"
+        return "", 0 if done and last.get("status") == "done" else 1
+    if args.command == "status":
+        return json.dumps(client.status(args.job), indent=2), 0
+    if args.command == "watch":
+        last = _print_jsonl(client.watch(args.job, timeout=args.timeout))
+        done = last is not None and last.get("event") == "done"
+        return "", 0 if done and last.get("status") == "done" else 1
+    if args.command == "results":
+        _print_jsonl(client.results(args.job))
+        return "", 0
+    raise AssertionError(  # pragma: no cover - argparse enforces choices
+        f"unhandled service command {args.command}"
+    )
+
+
 def _dispatch(args: argparse.Namespace) -> tuple:
     """Run one parsed command; returns ``(output_text, exit_code)``."""
     if args.command == "table1":
@@ -855,6 +1031,15 @@ def _dispatch(args: argparse.Namespace) -> tuple:
         return _cmd_store(args), 0
     if args.command == "telemetry":
         return _cmd_telemetry(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command in ("submit", "status", "watch", "results"):
+        from .service import ServiceError
+
+        try:
+            return _cmd_service_client(args)
+        except ServiceError as exc:
+            return f"error: {exc}", 1
     if args.command == "validate":
         output, ok = _cmd_validate(args)
         return output, 0 if ok else 1
@@ -865,6 +1050,18 @@ def _dispatch(args: argparse.Namespace) -> tuple:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
+    try:
+        return _main(argv)
+    except BrokenPipeError:
+        # Downstream closed the pipe (| head, a dying pager): not an
+        # error.  Point stdout at devnull so interpreter shutdown does
+        # not trip over the dead descriptor again.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+
+
+def _main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.verbose or args.quiet:
         telemetry.setup_logging(verbose=args.verbose, quiet=args.quiet)
@@ -876,11 +1073,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         with telemetry.scope(memory=telemetry.memory_from_env()):
             output, code = _dispatch(args)
             spans = telemetry.export_jsonl(trace_path)
-        print(output)
+        if output:
+            print(output)
         print(f"[trace: {spans} spans -> {trace_path}]", file=sys.stderr)
         return code
     output, code = _dispatch(args)
-    print(output)
+    # Streaming commands (watch, submit --watch) print as they go and
+    # return empty output; don't append a blank line to their JSONL.
+    if output:
+        print(output)
     return code
 
 

@@ -20,6 +20,7 @@ from .registry import (
     get_scenario,
     list_scenarios,
     register_scenario,
+    register_trace_scenario,
     resolve_scenario,
 )
 from .schedules import (
@@ -59,6 +60,7 @@ __all__ = [
     "make_schedule",
     "matrix_shape",
     "register_scenario",
+    "register_trace_scenario",
     "resolve_scenario",
     "save_scenario_file",
 ]

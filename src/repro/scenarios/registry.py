@@ -21,6 +21,7 @@ __all__ = [
     "get_scenario",
     "list_scenarios",
     "register_scenario",
+    "register_trace_scenario",
     "resolve_scenario",
 ]
 
@@ -34,6 +35,35 @@ def register_scenario(spec: ScenarioSpec, replace: bool = False) -> ScenarioSpec
         raise ValueError(f"scenario {spec.name!r} is already registered")
     SCENARIOS[spec.name] = spec
     return spec
+
+
+def register_trace_scenario(
+    path: Union[str, Path],
+    name: str = None,
+    description: str = None,
+    replace: bool = True,
+) -> ScenarioSpec:
+    """Register a recorded packet trace as a first-class scenario.
+
+    The spec carries only ``trace={"path": ...}`` (see
+    :mod:`repro.traffic.trace_io` for the CSV format); its default name is
+    the ``trace:<path>`` designator itself, so anything that accepted the
+    designator string — sweeps, the service job model, ``repro scenarios
+    show`` — now finds the same spec in the registry.  ``replace=True``
+    because the spec is a pure function of the path: re-registering the
+    same trace is always harmless.
+    """
+    path = str(path)
+    spec = ScenarioSpec(
+        name=name if name is not None else f"trace:{path}",
+        description=(
+            description
+            if description is not None
+            else f"Recorded packet trace replayed from {path}."
+        ),
+        trace={"path": path},
+    )
+    return register_scenario(spec, replace=replace)
 
 
 def get_scenario(name: str) -> ScenarioSpec:
@@ -71,12 +101,12 @@ def resolve_scenario(
         return load_scenario_file(scenario)
     if isinstance(scenario, str):
         if scenario.startswith("trace:"):
-            path = scenario[len("trace:"):]
-            return ScenarioSpec(
-                name=scenario,
-                description=f"Recorded packet trace replayed from {path}.",
-                trace={"path": path},
-            )
+            # Resolving a trace designator registers it, so the trace
+            # becomes a first-class entry: later `scenarios list|show`
+            # and service job submissions can name it like any built-in.
+            if scenario in SCENARIOS:
+                return SCENARIOS[scenario]
+            return register_trace_scenario(scenario[len("trace:"):])
         if scenario in SCENARIOS:
             return SCENARIOS[scenario]
         if scenario.endswith((".toml", ".json")):

@@ -1,0 +1,52 @@
+"""The simulation job service.
+
+A long-running daemon (``repro serve``) that accepts sweep submissions,
+decomposes them into store-keyed shards, executes them on a
+crash-tolerant process worker pool, dedups identical work across
+concurrent requests (in-flight shards are shared, completed shards are
+served from the experiment store), and streams per-cell results to
+watching clients as JSONL events.
+
+Layers, bottom-up:
+
+* :mod:`repro.service.jobs` — requests, shards, and the store-key
+  planning that makes shard identity equal store identity.
+* :mod:`repro.service.pool` — the claim/complete worker pool that
+  survives worker crashes by requeueing claimed shards.
+* :mod:`repro.service.core` — :class:`SimulationService`: submission,
+  dedup, job event logs, streaming.
+* :mod:`repro.service.daemon` / :mod:`repro.service.client` — the local
+  HTTP surface (`submit`/`status`/`watch`/`results`) and its stdlib
+  client, used by the ``repro submit|status|watch|results`` commands.
+"""
+
+from .client import DEFAULT_URL, ServiceClient, ServiceError
+from .core import SimulationService
+from .daemon import ServiceServer, serve
+from .jobs import (
+    JobRequest,
+    ShardSpec,
+    execute_shard,
+    expand_shards,
+    shard_key,
+    shard_params,
+    shard_run_kwargs,
+)
+from .pool import WorkerPool
+
+__all__ = [
+    "DEFAULT_URL",
+    "JobRequest",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceServer",
+    "ShardSpec",
+    "SimulationService",
+    "WorkerPool",
+    "execute_shard",
+    "expand_shards",
+    "serve",
+    "shard_key",
+    "shard_params",
+    "shard_run_kwargs",
+]

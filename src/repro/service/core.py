@@ -1,0 +1,434 @@
+"""The simulation service: job lifecycle, shard dedup, event streams.
+
+:class:`SimulationService` is the daemon's brain (the HTTP layer in
+:mod:`repro.service.daemon` is a thin shell around it):
+
+* **Submission** expands a :class:`~repro.service.jobs.JobRequest` into
+  shards and plans each one by its store cache key: a key already
+  **stored** is served straight from the experiment store (source
+  ``cached``); a key already **in flight** for any other job attaches
+  this job to the existing computation (source ``shared``); only novel
+  keys are queued to the worker pool (source ``new``).  Identical
+  concurrent submissions therefore compute each shard exactly once —
+  the acceptance property the e2e tests pin.
+* **Execution** happens in the crash-tolerant pool
+  (:mod:`repro.service.pool`); workers save through the shared store,
+  and the collector marks every subscribed job as each shard lands.
+* **Streaming**: every job keeps an ordered event list (``job`` ->
+  ``shard``* -> ``done``) guarded by one condition variable;
+  :meth:`SimulationService.events` replays and then follows it, which
+  is what ``repro watch`` turns into JSONL.
+
+Telemetry: ``service.job`` / ``service.shard`` spans are recorded at
+completion time (worker wall seconds ride in the span attrs — the span
+itself closes immediately because the work happened in another
+process), plus ``service.*`` counters for submissions, dedup sources,
+failures, and requeues.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Iterator, List, Optional, Union
+
+from .. import telemetry
+from ..store import ExperimentStore, cache_key, coerce_store, store_dir
+from .jobs import (
+    JobRequest,
+    ShardSpec,
+    _json_row,
+    execute_shard,
+    expand_shards,
+    shard_params,
+)
+from .pool import WorkerPool
+
+__all__ = ["JobState", "ShardState", "SimulationService"]
+
+logger = telemetry.get_logger(__name__)
+
+
+class ShardState:
+    """One keyed shard's lifecycle, shared by every job that needs it."""
+
+    __slots__ = ("spec", "key", "status", "summary", "error", "jobs")
+
+    def __init__(self, spec: ShardSpec, key: str) -> None:
+        self.spec = spec
+        self.key = key
+        self.status = "queued"  # queued | running | done | failed
+        self.summary: Optional[Dict] = None
+        self.error: Optional[str] = None
+        #: Jobs subscribed while the shard is in flight.
+        self.jobs: List[str] = []
+
+
+class JobState:
+    """One submitted request: its shards, progress, and event log."""
+
+    def __init__(self, job_id: str, request: JobRequest) -> None:
+        self.job_id = job_id
+        self.request = request
+        self.created = time.time()
+        #: Ordered shard keys (the request's cell order).
+        self.shard_keys: List[str] = []
+        #: Per-key dedup source for this job: new | shared | cached.
+        self.sources: Dict[str, str] = {}
+        self.pending: set = set()
+        self.failed = 0
+        self.finished = False
+        self.events: List[Dict] = []
+
+    @property
+    def status(self) -> str:
+        if not self.finished:
+            return "running"
+        return "failed" if self.failed else "done"
+
+    def describe(self) -> Dict:
+        return {
+            "job_id": self.job_id,
+            "status": self.status,
+            "workload": self.request.workload,
+            "shards": len(self.shard_keys),
+            "completed": len(self.shard_keys) - len(self.pending),
+            "failed": self.failed,
+            "sources": {
+                source: sum(
+                    1 for s in self.sources.values() if s == source
+                )
+                for source in ("new", "shared", "cached")
+            },
+            "created": self.created,
+        }
+
+
+class SimulationService:
+    """The job service: submit sweeps, dedup shards, stream results.
+
+    ``store`` (required — dedup is store-keyed) accepts anything
+    :func:`repro.store.coerce_store` does.  ``runner`` is the worker-side
+    shard executor, injectable for tests; the default runs
+    :func:`repro.service.jobs.execute_shard`.
+    """
+
+    def __init__(
+        self,
+        store: Union[str, ExperimentStore],
+        workers: int = 2,
+        runner=execute_shard,
+    ) -> None:
+        self.store = coerce_store(store)
+        if self.store is None:
+            raise ValueError("the simulation service requires a store")
+        self._store_path = store_dir(self.store)
+        self._lock = threading.RLock()
+        self._cond = threading.Condition(self._lock)
+        self._jobs: Dict[str, JobState] = {}
+        self._shards: Dict[str, ShardState] = {}
+        self._seq = 0
+        self.pool = WorkerPool(
+            runner,
+            workers=workers,
+            on_done=self._on_shard_done,
+            on_failed=self._on_shard_failed,
+            on_claim=self._on_shard_claim,
+        )
+        self._started = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "SimulationService":
+        self.pool.start()
+        self._started = True
+        return self
+
+    def stop(self) -> None:
+        if self._started:
+            self.pool.stop()
+            self._started = False
+
+    def __enter__(self) -> "SimulationService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, request: Union[JobRequest, Dict]) -> str:
+        """Plan and enqueue a request; returns its job id immediately.
+
+        Raises ``ValueError`` for invalid requests (unknown switch,
+        unknown workload, empty grid) before any state is created.
+        """
+        if isinstance(request, dict):
+            request = JobRequest.from_dict(request)
+        shards = expand_shards(request)
+        # Key every shard (and thereby validate the whole grid) before
+        # touching service state: a half-registered invalid job would
+        # wedge its watchers.
+        planned = []
+        seen = set()
+        for spec in shards:
+            params = shard_params(spec)
+            key = cache_key(params)
+            if key in seen:
+                continue  # a degenerate grid repeating a cell
+            seen.add(key)
+            planned.append((spec, key, params))
+        with self._lock:
+            self._seq += 1
+            job = JobState(f"job-{self._seq:04d}", request)
+            self._jobs[job.job_id] = job
+            telemetry.count("service.jobs")
+            for spec, key, params in planned:
+                job.shard_keys.append(key)
+                self._plan_shard(job, spec, key, params)
+            job.events.insert(0, {
+                "event": "job",
+                "job_id": job.job_id,
+                "workload": request.workload,
+                "shards": len(job.shard_keys),
+                "sources": dict(job.describe()["sources"]),
+            })
+            if not job.pending:
+                self._finish_job(job)
+            self._cond.notify_all()
+            return job.job_id
+
+    def _plan_shard(
+        self, job: JobState, spec: ShardSpec, key: str, params: Dict
+    ) -> None:
+        """Route one shard: attach, serve from store, or enqueue."""
+        state = self._shards.get(key)
+        if state is not None and state.status in ("queued", "running"):
+            state.jobs.append(job.job_id)
+            job.sources[key] = "shared"
+            job.pending.add(key)
+            telemetry.count("service.shards_shared")
+            return
+        if state is not None and state.status == "done":
+            job.sources[key] = "cached"
+            telemetry.count("service.shards_cached")
+            job.events.append(self._shard_event(job.job_id, state, "cached"))
+            return
+        # Unseen key — or one whose last attempt failed, which a fresh
+        # submission retries rather than inheriting the stale failure.
+        cached = self.store.fetch(params)
+        if cached is not None:
+            state = ShardState(spec, key)
+            state.status = "done"
+            state.summary = _json_row(cached.as_row())
+            self._shards[key] = state
+            job.sources[key] = "cached"
+            telemetry.count("service.shards_cached")
+            job.events.append(self._shard_event(job.job_id, state, "cached"))
+            return
+        state = ShardState(spec, key)
+        state.jobs.append(job.job_id)
+        self._shards[key] = state
+        job.sources[key] = "new"
+        job.pending.add(key)
+        telemetry.count("service.shards_queued")
+        self.pool.submit(
+            key, {"shard": spec.to_dict(), "store": self._store_path}
+        )
+
+    # -- pool callbacks (collector thread) ---------------------------------
+
+    def _on_shard_claim(self, key: str) -> None:
+        with self._lock:
+            state = self._shards.get(key)
+            if state is not None and state.status == "queued":
+                state.status = "running"
+
+    def _on_shard_done(self, key: str, payload: Dict) -> None:
+        with self._lock:
+            state = self._shards.get(key)
+            if state is None or state.status in ("done", "failed"):
+                return  # late duplicate from a crash-requeued shard
+            state.status = "done"
+            state.summary = payload.get("row")
+            wall_s = payload.get("wall_s")
+            with telemetry.trace(
+                "service.shard",
+                key=key,
+                switch=state.spec.switch,
+                load=state.spec.load,
+                seed=state.spec.seed,
+                wall_s=wall_s,
+            ):
+                pass
+            telemetry.count("service.shards_computed")
+            if wall_s is not None:
+                telemetry.observe("service.shard_s", wall_s)
+            self._settle_shard(state)
+
+    def _on_shard_failed(self, key: str, error: str, tb: str) -> None:
+        with self._lock:
+            state = self._shards.get(key)
+            if state is None or state.status in ("done", "failed"):
+                return
+            state.status = "failed"
+            state.error = error
+            logger.warning("shard %s failed: %s\n%s", key, error, tb)
+            telemetry.count("service.shard_failures")
+            self._settle_shard(state, failed=True)
+
+    def _settle_shard(self, state: ShardState, failed: bool = False) -> None:
+        """Deliver a finished shard to every subscribed job (lock held)."""
+        subscribers, state.jobs = state.jobs, []
+        for job_id in subscribers:
+            job = self._jobs[job_id]
+            if failed:
+                job.failed += 1
+            job.events.append(
+                self._shard_event(job_id, state, job.sources[state.key])
+            )
+            job.pending.discard(state.key)
+            if not job.pending and not job.finished:
+                self._finish_job(job)
+        self._cond.notify_all()
+
+    def _finish_job(self, job: JobState) -> None:
+        job.finished = True
+        job.events.append({
+            "event": "done",
+            "job_id": job.job_id,
+            "status": job.status,
+            "shards": len(job.shard_keys),
+            "failed": job.failed,
+        })
+        with telemetry.trace(
+            "service.job",
+            job_id=job.job_id,
+            shards=len(job.shard_keys),
+            failed=job.failed,
+            elapsed_s=time.time() - job.created,
+        ):
+            pass
+        telemetry.count("service.jobs_finished")
+
+    @staticmethod
+    def _shard_event(job_id: str, state: ShardState, source: str) -> Dict:
+        event = {
+            "event": "shard",
+            "job_id": job_id,
+            "key": state.key,
+            "switch": state.spec.switch,
+            "load": state.spec.load,
+            "seed": state.spec.seed,
+            "status": state.status,
+            "source": source,
+        }
+        if state.summary is not None:
+            event["summary"] = state.summary
+        if state.error is not None:
+            event["error"] = state.error
+        return event
+
+    # -- client surface ----------------------------------------------------
+
+    def _job(self, job_id: str) -> JobState:
+        with self._lock:
+            try:
+                return self._jobs[job_id]
+            except KeyError:
+                known = ", ".join(sorted(self._jobs)) or "(none)"
+                raise ValueError(
+                    f"unknown job {job_id!r}; known: {known}"
+                ) from None
+
+    def status(self, job_id: Optional[str] = None) -> Dict:
+        """One job's progress dict, or (without an id) all jobs'."""
+        if job_id is not None:
+            with self._lock:
+                return self._job(job_id).describe()
+        with self._lock:
+            return {
+                "jobs": [
+                    job.describe()
+                    for job in sorted(
+                        self._jobs.values(), key=lambda j: j.job_id
+                    )
+                ],
+                "shards": len(self._shards),
+                "outstanding": self.pool.outstanding(),
+            }
+
+    def events(
+        self,
+        job_id: str,
+        follow: bool = False,
+        timeout: Optional[float] = None,
+    ) -> Iterator[Dict]:
+        """Replay a job's event log; with ``follow``, keep yielding new
+        events until the job finishes (or ``timeout`` elapses)."""
+        job = self._job(job_id)
+        deadline = None if timeout is None else time.time() + timeout
+        index = 0
+        while True:
+            with self._cond:
+                while index >= len(job.events):
+                    if job.finished or not follow:
+                        return
+                    wait = WAIT_SLICE
+                    if deadline is not None:
+                        wait = min(wait, deadline - time.time())
+                        if wait <= 0:
+                            return
+                    self._cond.wait(wait)
+                batch = list(job.events[index:])
+                index = len(job.events)
+            for event in batch:
+                yield event
+            if not follow:
+                return
+
+    def wait(self, job_id: str, timeout: Optional[float] = None) -> bool:
+        """Block until the job finishes; True on completion."""
+        job = self._job(job_id)
+        deadline = None if timeout is None else time.time() + timeout
+        with self._cond:
+            while not job.finished:
+                wait = WAIT_SLICE
+                if deadline is not None:
+                    wait = min(wait, deadline - time.time())
+                    if wait <= 0:
+                        return False
+                self._cond.wait(wait)
+        return True
+
+    def results(self, job_id: str) -> Iterator[Dict]:
+        """Full per-shard results (store payloads) in cell order.
+
+        Yields one dict per shard: identity, status, and — for completed
+        shards — the complete lossless result payload from the store.
+        """
+        job = self._job(job_id)
+        with self._lock:
+            snapshot = [
+                (key, self._shards.get(key)) for key in job.shard_keys
+            ]
+        for key, state in snapshot:
+            entry: Dict = {"key": key}
+            if state is not None:
+                entry.update(
+                    switch=state.spec.switch,
+                    load=state.spec.load,
+                    seed=state.spec.seed,
+                    status=state.status,
+                )
+                if state.error is not None:
+                    entry["error"] = state.error
+            result = self.store.fetch_by_key(key)
+            if result is not None:
+                entry["result"] = result.to_dict()
+                entry["status"] = "done"
+            yield entry
+
+
+#: Condition-wait slice: bounds stream latency for follow/wait loops.
+WAIT_SLICE = 0.25

@@ -40,6 +40,7 @@ __all__ = [
     "TRAFFIC_PATTERNS",
     "build_switch",
     "fabric_run_params",
+    "resolve_run_params",
     "run_single",
     "delay_vs_load_sweep",
     "single_run_params",
@@ -436,6 +437,68 @@ def run_single(
     result = _captured("run.single", execute)
     cache.save(params, result)
     return result
+
+
+def resolve_run_params(
+    switch_name: str,
+    matrix: Optional[np.ndarray] = None,
+    num_slots: int = 0,
+    seed: int = 0,
+    load_label: float = float("nan"),
+    warmup_fraction: float = 0.1,
+    keep_samples: bool = True,
+    engine: str = "object",
+    scenario=None,
+    n: Optional[int] = None,
+    load: Optional[float] = None,
+    switch_params: Optional[Dict] = None,
+) -> Dict:
+    """The store cache-key parameters :func:`run_single` would use, without
+    running anything.
+
+    Performs the same resolution as :func:`run_single` — fabric dispatch,
+    alias canonicalization, parameter validation, scenario resolution,
+    workload-load keying — and returns the exact params dict the store
+    would be keyed by, so callers that plan work ahead of execution (the
+    simulation service's shard dedup) and :func:`run_single` itself can
+    never disagree on a key.  Raises the same errors for the same invalid
+    configurations.
+    """
+    _check_engine(engine)
+    fabric_spec = models.lookup_fabric(switch_name)
+    if fabric_spec is not None and switch_params:
+        raise ValueError(
+            f"fabric {fabric_spec.name!r}: per-stage parameters belong in "
+            f"the FabricSpec stages, not switch_params"
+        )
+    if fabric_spec is None:
+        switch_name = models.canonical_name(switch_name)
+        models.get(switch_name).validate_params(switch_params or {})
+    spec: Optional[ScenarioSpec] = None
+    if scenario is not None:
+        if matrix is not None:
+            raise ValueError("pass either matrix or scenario, not both")
+        spec = resolve_scenario(scenario)
+        if n is None or load is None:
+            raise ValueError("scenario runs require n and load")
+        matrix = effective_matrix(spec, n, load)
+        if math.isnan(load_label):
+            load_label = float(load)
+    elif matrix is None:
+        raise ValueError("need a matrix or a scenario")
+    if num_slots <= 0:
+        raise ValueError("num_slots must be positive")
+    spec_load = float(load) if load is not None else None
+    key_load = spec_load if spec is not None else load_label
+    if fabric_spec is not None:
+        return fabric_run_params(
+            fabric_spec, matrix, num_slots, seed, key_load,
+            warmup_fraction, keep_samples, engine, spec,
+        )
+    return single_run_params(
+        switch_name, matrix, num_slots, seed, key_load,
+        warmup_fraction, keep_samples, engine, spec, switch_params,
+    )
 
 
 def delay_vs_load_sweep(

@@ -9,12 +9,22 @@ runner given the same seeds.  When a store directory is set, workers
 share the cache through the filesystem (content addressing makes
 concurrent writes idempotent), so repeated parallel sweeps recompute
 nothing.
+
+Failure semantics: one bad cell never kills the pool.  Every job runs
+under a per-job exception capture; a failure becomes a
+:class:`FailedJob` record (the job's identity plus the worker-side
+traceback) while every other job still completes.  ``on_error="raise"``
+(the default) then raises a :class:`SweepError` carrying the records;
+``on_error="record"`` returns the records in the result list in job
+order, which is how the simulation service surfaces per-shard failures
+without abandoning a sweep.
 """
 
 from __future__ import annotations
 
 import os
 import time
+import traceback
 from concurrent.futures import ProcessPoolExecutor
 from typing import List, NamedTuple, Optional, Sequence, Union
 
@@ -27,7 +37,13 @@ from ..store import ExperimentStore, store_dir
 from .experiment import TRAFFIC_PATTERNS, run_single
 from .metrics import SimulationResult
 
-__all__ = ["SweepJob", "run_jobs", "parallel_delay_sweep"]
+__all__ = [
+    "FailedJob",
+    "SweepError",
+    "SweepJob",
+    "run_jobs",
+    "parallel_delay_sweep",
+]
 
 
 class SweepJob(NamedTuple):
@@ -56,6 +72,43 @@ class SweepJob(NamedTuple):
     switch_params: Optional[dict] = None
 
 
+class FailedJob(NamedTuple):
+    """One sweep cell that raised: its identity plus the worker traceback.
+
+    Appears in :func:`run_jobs` results under ``on_error="record"`` (in
+    the failed job's position, preserving job order) and rides inside
+    :class:`SweepError` under ``on_error="raise"``.
+    """
+
+    job: SweepJob
+    error: str
+    traceback: str
+
+    def describe(self) -> str:
+        """One-line identity for logs and error messages."""
+        return (
+            f"{self.job.switch_name} @ load {self.job.load_label} "
+            f"seed {self.job.seed}: {self.error}"
+        )
+
+
+class SweepError(RuntimeError):
+    """Raised when sweep jobs failed (after every job ran to completion).
+
+    ``failures`` holds the :class:`FailedJob` records; the message names
+    each failed cell and carries the first traceback in full — the one
+    debugging artifact a dead CI sweep needs.
+    """
+
+    def __init__(self, failures: Sequence[FailedJob], total: int) -> None:
+        self.failures = list(failures)
+        lines = [f"{len(self.failures)} of {total} sweep jobs failed:"]
+        lines.extend(f"  {f.describe()}" for f in self.failures)
+        lines.append("first failure traceback:")
+        lines.append(self.failures[0].traceback.rstrip())
+        super().__init__("\n".join(lines))
+
+
 def _run_job(job: SweepJob) -> SimulationResult:
     scenario_args = {}
     if job.scenario is not None:
@@ -78,57 +131,92 @@ def _run_job(job: SweepJob) -> SimulationResult:
     )
 
 
-def _run_job_timed(job: SweepJob):
-    """Pool worker entry when the parent collects telemetry: the job's
-    result plus its busy wall seconds (measured in the worker — the only
-    place the compute time is visible)."""
+def _run_job_safe(job: SweepJob):
+    """Pool worker entry: ``(result, failure, wall_s)`` where exactly one
+    of result/failure is set.  The exception is flattened to strings in
+    the worker — tracebacks do not pickle, and the parent needs the
+    worker-side stack anyway."""
     t0 = time.perf_counter()
-    result = _run_job(job)
-    return result, time.perf_counter() - t0
+    try:
+        result = _run_job(job)
+    except Exception as exc:
+        failure = {
+            "error": f"{type(exc).__name__}: {exc}",
+            "traceback": traceback.format_exc(),
+        }
+        return None, failure, time.perf_counter() - t0
+    return result, None, time.perf_counter() - t0
 
 
 def run_jobs(
-    jobs: Sequence[SweepJob], max_workers: Optional[int] = None
-) -> List[SimulationResult]:
+    jobs: Sequence[SweepJob],
+    max_workers: Optional[int] = None,
+    on_error: str = "raise",
+) -> List[Union[SimulationResult, FailedJob]]:
     """Execute jobs on a process pool; results in job order.
 
     ``max_workers=1`` (or a single job) runs inline, which keeps tests
     fast and debugging sane.
 
+    A job that raises is captured as a :class:`FailedJob` (identity +
+    worker traceback) instead of killing the pool; the remaining jobs
+    always run to completion.  ``on_error="raise"`` (default) raises
+    :class:`SweepError` afterwards; ``on_error="record"`` returns the
+    failure records in place, so callers — the simulation service's
+    shard executor, resilient sweep campaigns — can keep the good cells.
+
     With telemetry enabled in the parent, the pool path also records
     per-job busy time (``parallel.job_s``) and the pool's utilization —
     summed worker busy time over ``elapsed x workers``
     (``parallel.utilization``); an idle-heavy gauge means the sweep is
-    dominated by stragglers or pool startup, not simulation.
+    dominated by stragglers or pool startup, not simulation.  Failures
+    count into ``parallel.job_failures``.
     """
+    if on_error not in ("raise", "record"):
+        raise ValueError(
+            f"on_error must be 'raise' or 'record', got {on_error!r}"
+        )
     if max_workers == 1 or len(jobs) <= 1:
-        if not telemetry.enabled():
-            return [_run_job(job) for job in jobs]
-        results: List[SimulationResult] = []
+        outcomes = []
         for job in jobs:
             with telemetry.trace(
                 "sweep.job", switch=job.switch_name, load=job.load_label
             ):
-                results.append(_run_job(job))
-        return results
-    if not telemetry.enabled():
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            return list(pool.map(_run_job, jobs))
-    workers = max_workers if max_workers is not None else (os.cpu_count() or 1)
-    with telemetry.trace("sweep.pool", jobs=len(jobs), workers=workers):
-        t0 = time.perf_counter()
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            timed = list(pool.map(_run_job_timed, jobs))
-        elapsed = time.perf_counter() - t0
-    busy = 0.0
-    for _, wall_s in timed:
-        busy += wall_s
-        telemetry.observe("parallel.job_s", wall_s)
-    if elapsed > 0:
-        telemetry.set_gauge(
-            "parallel.utilization", min(1.0, busy / (elapsed * workers))
+                outcomes.append(_run_job_safe(job))
+    else:
+        workers = (
+            max_workers if max_workers is not None else (os.cpu_count() or 1)
         )
-    return [result for result, _ in timed]
+        with telemetry.trace("sweep.pool", jobs=len(jobs), workers=workers):
+            t0 = time.perf_counter()
+            with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                outcomes = list(pool.map(_run_job_safe, jobs))
+            elapsed = time.perf_counter() - t0
+        if telemetry.enabled():
+            busy = 0.0
+            for _, _, wall_s in outcomes:
+                busy += wall_s
+                telemetry.observe("parallel.job_s", wall_s)
+            if elapsed > 0:
+                telemetry.set_gauge(
+                    "parallel.utilization",
+                    min(1.0, busy / (elapsed * workers)),
+                )
+    results: List[Union[SimulationResult, FailedJob]] = []
+    failures: List[FailedJob] = []
+    for job, (result, failure, _) in zip(jobs, outcomes):
+        if failure is None:
+            results.append(result)
+            continue
+        failed = FailedJob(
+            job=job, error=failure["error"], traceback=failure["traceback"]
+        )
+        telemetry.count("parallel.job_failures")
+        failures.append(failed)
+        results.append(failed)
+    if failures and on_error == "raise":
+        raise SweepError(failures, total=len(jobs))
+    return results
 
 
 def parallel_delay_sweep(
@@ -141,7 +229,8 @@ def parallel_delay_sweep(
     max_workers: Optional[int] = None,
     engine: str = "object",
     store: Union[None, str, ExperimentStore] = None,
-) -> List[SimulationResult]:
+    on_error: str = "raise",
+) -> List[Union[SimulationResult, FailedJob]]:
     """Parallel version of :func:`repro.sim.experiment.delay_vs_load_sweep`.
 
     Produces the same results as the sequential sweep for the same seeds
@@ -150,6 +239,8 @@ def parallel_delay_sweep(
     sweeps: vectorization removes the per-packet constant, the pool the
     per-configuration serialization.  ``pattern`` also accepts scenario
     designators (registry name or spec file), like the sequential sweep.
+    ``on_error`` follows :func:`run_jobs`: ``"record"`` returns
+    :class:`FailedJob` records for bad cells instead of raising.
     """
     cache_dir = store_dir(store)
     if isinstance(pattern, str) and pattern in TRAFFIC_PATTERNS:
@@ -172,4 +263,4 @@ def parallel_delay_sweep(
             for load in loads
             for name in switches
         ]
-    return run_jobs(jobs, max_workers=max_workers)
+    return run_jobs(jobs, max_workers=max_workers, on_error=on_error)

@@ -10,6 +10,14 @@ on-disk layout (documented in EXPERIMENTS.md).  ``repro store stats`` /
 stats` and :meth:`~repro.store.store.ExperimentStore.gc` from the shell.
 """
 
+from .backends import (
+    BACKENDS,
+    DirBackend,
+    ObjectBackend,
+    ObjectEntry,
+    SqliteBackend,
+    resolve_backend,
+)
 from .store import (
     ExperimentStore,
     GcReport,
@@ -21,11 +29,17 @@ from .store import (
 )
 
 __all__ = [
+    "BACKENDS",
+    "DirBackend",
     "ExperimentStore",
     "GcReport",
+    "ObjectBackend",
+    "ObjectEntry",
+    "SqliteBackend",
     "StoreStats",
     "cache_key",
     "canonical_params",
     "coerce_store",
+    "resolve_backend",
     "store_dir",
 ]

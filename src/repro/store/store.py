@@ -11,10 +11,21 @@ a SHA-256 digest of the raw rate matrix bytes (ad-hoc matrices).
 Canonical JSON sorts keys and uses minimal separators, so semantically
 identical configurations hash identically across processes and runs.
 
-On-disk layout (all paths under the store root)::
+Backends
+--------
+Where the bytes live is pluggable (:mod:`repro.store.backends`):
 
-    objects/<key[:2]>/<key>.json.gz   gzip'd {"params": ..., "result": ...}
-    manifest.jsonl                    one append-only line per store event
+* ``dir`` (default) — ``objects/<key[:2]>/<key>.json.gz`` plus an
+  append-only ``manifest.jsonl``, the seed layout.  Manifest appends
+  are single atomic O_APPEND writes, so concurrent pool/service
+  workers never interleave torn lines.
+* ``sqlite`` — one WAL-mode ``store.sqlite`` database holding objects
+  and manifest, the shared consistent result database for the
+  simulation service's worker fabric.
+
+``ExperimentStore(root)`` auto-detects (a root containing
+``store.sqlite`` reopens as sqlite), so paths flattened for process
+pools land on the right backend without plumbing.
 
 Manifest lines are store *events*: a save (one per stored run; lines
 without an ``event`` field predate hit logging and read as saves) or a
@@ -22,12 +33,12 @@ cache hit (``{"event": "hit", ...}``) — which is what makes
 ``ExperimentStore.stats`` able to report a lifetime hit rate, not just
 the current process's counters.
 
-Writes go through a temp file + ``os.replace`` so a crashed run never
-leaves a truncated object behind; corrupt or unreadable objects are
-treated as misses and silently recomputed.  Process-pool workers each
-open the store by path and write independently — content addressing makes
-concurrent writes of the same key idempotent, and manifest appends are
-line-atomic at these sizes.
+Writes are atomic per entry (temp file + ``os.replace``, or a SQLite
+transaction), so a crashed run never leaves a truncated object behind;
+corrupt or unreadable objects are treated as misses and silently
+recomputed.  Process-pool workers each open the store by path and write
+independently — content addressing makes concurrent writes of the same
+key idempotent.
 
 ``gc`` prunes by age and/or total size (oldest objects first) and
 compacts the manifest to the surviving save lines; ``stats`` summarizes
@@ -37,16 +48,16 @@ CLI subcommands.
 
 from __future__ import annotations
 
-import gzip
 import hashlib
 import json
-import os
+import sqlite3
 import time
 from pathlib import Path
 from typing import Dict, List, NamedTuple, Optional, Union
 
 from .. import telemetry
 from ..sim.metrics import SimulationResult
+from .backends import DirBackend, ObjectBackend, resolve_backend
 
 logger = telemetry.get_logger(__name__)
 
@@ -106,40 +117,49 @@ class GcReport(NamedTuple):
 
 
 class ExperimentStore:
-    """A directory of cached simulation results plus a run manifest."""
+    """Cached simulation results plus a run manifest, on a backend.
 
-    def __init__(self, root: Union[str, Path]) -> None:
+    ``backend`` selects the byte layer by name (``"dir"``/``"sqlite"``),
+    accepts a ready :class:`~repro.store.backends.ObjectBackend`, or —
+    left ``None`` — auto-detects from the root (see the module
+    docstring).  Dir-backed stores keep the historical ``objects_dir``
+    and ``manifest_path`` attributes for direct inspection.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        backend: Union[None, str, ObjectBackend] = None,
+    ) -> None:
         self.root = Path(root)
-        self.objects_dir = self.root / "objects"
-        self.manifest_path = self.root / "manifest.jsonl"
-        self.objects_dir.mkdir(parents=True, exist_ok=True)
+        if isinstance(backend, ObjectBackend):
+            self.backend = backend
+        else:
+            self.backend = resolve_backend(self.root, backend)
+        if isinstance(self.backend, DirBackend):
+            self.objects_dir = self.backend.objects_dir
+            self.manifest_path = self.backend.manifest_path
         self.hits = 0
         self.misses = 0
         self._hit_log_failed = False
-
-    def _object_path(self, key: str) -> Path:
-        return self.objects_dir / key[:2] / f"{key}.json.gz"
 
     def _fetch_payload(self, params: Dict, load):
         """Shared miss/hit/manifest flow of :meth:`fetch` and
         :meth:`fetch_artifact`; ``load(payload)`` extracts (and may
         deserialize) the wanted field, any failure reading as a miss."""
         key = cache_key(params)
-        path = self._object_path(key)
-        if not path.exists():
+        t0 = time.perf_counter()
+        payload = self.backend.get(key)
+        if payload is None:
             self.misses += 1
             telemetry.count("store.miss")
             return None
-        t0 = time.perf_counter()
         try:
-            with gzip.open(path, "rt") as handle:
-                payload = json.load(handle)
             value = load(payload)
-        except (OSError, EOFError, ValueError, KeyError):
-            # A corrupt/truncated object is a miss, not an error (gzip
-            # raises EOFError on truncation; a wrong-shaped payload —
-            # an artifact under a result fetch — raises KeyError); the
-            # recomputation will overwrite it atomically.
+        except (ValueError, KeyError, TypeError):
+            # A wrong-shaped payload — an artifact under a result fetch,
+            # say — is a miss, not an error; the recomputation will
+            # overwrite it atomically.
             self.misses += 1
             telemetry.count("store.miss")
             return None
@@ -150,7 +170,7 @@ class ExperimentStore:
             self._append_manifest(
                 {"event": "hit", "key": key, "created": time.time()}
             )
-        except OSError as exc:
+        except (OSError, sqlite3.Error) as exc:
             # Hit logging is best-effort bookkeeping: a read-only store
             # (shared cache, another user's CI artifact) must still serve
             # hits, exactly as corrupt objects silently read as misses.
@@ -171,11 +191,28 @@ class ExperimentStore:
             lambda payload: SimulationResult.from_dict(payload["result"]),
         )
 
-    def save(self, params: Dict, result: SimulationResult) -> Path:
+    def fetch_by_key(self, key: str) -> Optional[SimulationResult]:
+        """The cached result stored under ``key`` directly, or None.
+
+        For callers that planned work by key ahead of time (the
+        simulation service serves full shard results this way).  No
+        hit/miss accounting or manifest logging — this is an internal
+        read of an object the caller already knows exists, not a cache
+        lookup that should skew hit-rate statistics.
+        """
+        payload = self.backend.get(key)
+        if payload is None:
+            return None
+        try:
+            return SimulationResult.from_dict(payload["result"])
+        except (ValueError, KeyError, TypeError):
+            return None
+
+    def save(self, params: Dict, result: SimulationResult) -> str:
         """Store a result under its params key; append to the manifest."""
         key = cache_key(params)
         t0 = time.perf_counter()
-        path = self._write_object(key, {"params": params, "result": result.to_dict()})
+        self.backend.put(key, {"params": params, "result": result.to_dict()})
         telemetry.count("store.save")
         telemetry.observe("store.save_s", time.perf_counter() - t0)
         self._append_manifest(
@@ -192,20 +229,7 @@ class ExperimentStore:
                 ).get("name"),
             }
         )
-        return path
-
-    def _write_object(self, key: str, payload: Dict) -> Path:
-        path = self._object_path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        try:
-            with gzip.open(tmp, "wt") as handle:
-                json.dump(payload, handle)
-            os.replace(tmp, path)
-        finally:
-            if tmp.exists():  # pragma: no cover - only on write failure
-                tmp.unlink()
-        return path
+        return key
 
     def fetch_artifact(self, params: Dict) -> Optional[Dict]:
         """The cached artifact payload for ``params``, or None.
@@ -220,12 +244,12 @@ class ExperimentStore:
             params, lambda payload: payload["artifact"]
         )
 
-    def save_artifact(self, params: Dict, artifact: Dict) -> Path:
+    def save_artifact(self, params: Dict, artifact: Dict) -> str:
         """Store a derived artifact (JSON-serializable) under its params
         key; append to the manifest."""
         key = cache_key(params)
         t0 = time.perf_counter()
-        path = self._write_object(key, {"params": params, "artifact": artifact})
+        self.backend.put(key, {"params": params, "artifact": artifact})
         telemetry.count("store.save")
         telemetry.observe("store.save_s", time.perf_counter() - t0)
         self._append_manifest(
@@ -235,18 +259,15 @@ class ExperimentStore:
                 "kind": params.get("kind"),
             }
         )
-        return path
+        return key
 
     def _append_manifest(self, record: Dict) -> None:
-        with open(self.manifest_path, "a") as handle:
-            handle.write(canonical_params(record) + "\n")
+        self.backend.append_manifest(canonical_params(record))
 
-    def _manifest_records(self) -> List[Dict]:
+    def manifest_records(self) -> List[Dict]:
         """Parsed manifest lines, skipping any corrupt ones."""
-        if not self.manifest_path.exists():
-            return []
         records: List[Dict] = []
-        for line in self.manifest_path.read_text().splitlines():
+        for line in self.backend.manifest_lines():
             line = line.strip()
             if not line:
                 continue
@@ -256,15 +277,16 @@ class ExperimentStore:
                 continue
         return records
 
+    # Backwards-compatible private alias (pre-backend name).
+    _manifest_records = manifest_records
+
     def stats(self) -> StoreStats:
         """Entry count, size on disk, and lifetime hit rate (manifest)."""
-        sizes = [
-            p.stat().st_size for p in self.objects_dir.glob("*/*.json.gz")
-        ]
+        entries = self.backend.entries()
         saves = hits = 0
         oldest: Optional[float] = None
         newest: Optional[float] = None
-        for record in self._manifest_records():
+        for record in self.manifest_records():
             if record.get("event") == "hit":
                 hits += 1
                 continue
@@ -275,8 +297,8 @@ class ExperimentStore:
                 newest = created if newest is None else max(newest, created)
         total = hits + saves
         return StoreStats(
-            entries=len(sizes),
-            total_bytes=int(sum(sizes)),
+            entries=len(entries),
+            total_bytes=int(sum(entry.size for entry in entries)),
             saves=saves,
             hits=hits,
             hit_rate=hits / total if total else float("nan"),
@@ -291,7 +313,7 @@ class ExperimentStore:
     ) -> GcReport:
         """Prune cached objects by age and/or total size.
 
-        Objects older than ``max_age_seconds`` (by file mtime — robust
+        Objects older than ``max_age_seconds`` (by entry mtime — robust
         even when manifest lines are missing) are removed first; then, if
         the survivors still exceed ``max_total_bytes``, the oldest are
         removed until they fit.  The manifest is compacted to the
@@ -307,51 +329,35 @@ class ExperimentStore:
         the manifest says.
         """
         now = time.time()
-        objects = sorted(
-            (
-                (stat.st_mtime, stat.st_size, p)
-                for p in self.objects_dir.glob("*/*.json.gz")
-                for stat in (p.stat(),)
-            ),
-            key=lambda item: item[0],
-        )
-        doomed: List[Path] = []
+        objects = sorted(self.backend.entries(), key=lambda e: e.mtime)
+        doomed: List[str] = []
         if max_age_seconds is not None:
             cutoff = now - max_age_seconds
-            doomed.extend(p for mtime, _, p in objects if mtime < cutoff)
+            doomed.extend(e.key for e in objects if e.mtime < cutoff)
         if max_total_bytes is not None:
             doomed_set = set(doomed)
-            remaining = [o for o in objects if o[2] not in doomed_set]
-            excess = sum(size for _, size, _ in remaining) - max_total_bytes
-            for _, size, path in remaining:  # oldest first
+            remaining = [e for e in objects if e.key not in doomed_set]
+            excess = sum(e.size for e in remaining) - max_total_bytes
+            for entry in remaining:  # oldest first
                 if excess <= 0:
                     break
-                doomed.append(path)
-                excess -= size
+                doomed.append(entry.key)
+                excess -= entry.size
         bytes_freed = 0
-        for path in doomed:
-            try:
-                bytes_freed += path.stat().st_size
-                path.unlink()
-            except OSError:  # pragma: no cover - concurrent gc
-                continue
-        survivors = {
-            p.name.removesuffix(".json.gz")
-            for p in self.objects_dir.glob("*/*.json.gz")
-        }
+        for key in doomed:
+            bytes_freed += self.backend.delete(key)
+        survivors = {entry.key for entry in self.backend.entries()}
         # Compact the manifest: surviving saves only, newest line per key.
         keep: Dict[str, Dict] = {}
-        for record in self._manifest_records():
+        for record in self.manifest_records():
             if record.get("event") == "hit":
                 continue
             key = record.get("key")
             if key in survivors:
                 keep[key] = record
-        tmp = self.manifest_path.with_suffix(f".tmp.{os.getpid()}")
-        with open(tmp, "w") as handle:
-            for record in keep.values():
-                handle.write(canonical_params(record) + "\n")
-        os.replace(tmp, self.manifest_path)
+        self.backend.rewrite_manifest(
+            [canonical_params(record) for record in keep.values()]
+        )
         return GcReport(
             removed=len(doomed),
             kept=len(survivors),
@@ -359,12 +365,13 @@ class ExperimentStore:
         )
 
     def __len__(self) -> int:
-        """Number of stored objects (walks the object tree)."""
-        return sum(1 for _ in self.objects_dir.glob("*/*.json.gz"))
+        """Number of stored objects."""
+        return len(self.backend.entries())
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"ExperimentStore({str(self.root)!r}, hits={self.hits}, "
+            f"ExperimentStore({str(self.root)!r}, "
+            f"backend={self.backend.name!r}, hits={self.hits}, "
             f"misses={self.misses})"
         )
 
@@ -372,9 +379,15 @@ class ExperimentStore:
 def coerce_store(
     store: Union[None, str, Path, ExperimentStore]
 ) -> Optional[ExperimentStore]:
-    """Accept None, a path, or a store instance at API boundaries."""
+    """Accept None, a path, or a store instance at API boundaries.
+
+    A string path may carry an explicit backend prefix
+    (``"sqlite:/path/to/store"``); plain paths auto-detect.
+    """
     if store is None or isinstance(store, ExperimentStore):
         return store
+    if isinstance(store, str) and store.startswith("sqlite:"):
+        return ExperimentStore(store[len("sqlite:"):], backend="sqlite")
     return ExperimentStore(store)
 
 
@@ -384,7 +397,9 @@ def store_dir(
     """The inverse of :func:`coerce_store`: a picklable directory string.
 
     Process-pool jobs carry the store by path (workers reopen it
-    locally); this is the one place that flattening lives.
+    locally); this is the one place that flattening lives.  Backend
+    identity survives the round trip via auto-detection (a sqlite store
+    root contains its database file).
     """
     if store is None:
         return None

@@ -4,7 +4,13 @@ samplers, spec validation, engine parity, and the run-path plumbing."""
 import numpy as np
 import pytest
 
-from repro.scenarios import get_scenario, resolve_scenario
+from repro.scenarios import (
+    SCENARIOS,
+    get_scenario,
+    list_scenarios,
+    register_trace_scenario,
+    resolve_scenario,
+)
 from repro.scenarios.spec import ScenarioSpec, effective_matrix
 from repro.sim.experiment import run_single
 from repro.traffic import bernoulli_traffic
@@ -120,6 +126,15 @@ class TestCollectiveSpecs:
 
 
 class TestTraceScenarios:
+    @pytest.fixture(autouse=True)
+    def _clean_registry(self):
+        # Trace resolution registers specs; keep the global registry
+        # from accumulating tmp-path entries across tests.
+        before = set(SCENARIOS)
+        yield
+        for name in set(SCENARIOS) - before:
+            SCENARIOS.pop(name, None)
+
     @pytest.fixture
     def trace_path(self, tmp_path):
         generator = bernoulli_traffic(uniform_matrix(8, 0.6), seed=11)
@@ -132,6 +147,36 @@ class TestTraceScenarios:
         spec = resolve_scenario(f"trace:{trace_path}")
         assert spec.trace == {"path": trace_path}
         assert spec.name == f"trace:{trace_path}"
+
+    def test_resolution_registers_a_first_class_entry(self, trace_path):
+        designator = f"trace:{trace_path}"
+        spec = resolve_scenario(designator)
+        assert designator in SCENARIOS
+        assert get_scenario(designator) is spec
+        # Stable identity: re-resolving finds the registered spec.
+        assert resolve_scenario(designator) is spec
+
+    def test_register_trace_scenario_with_custom_name(self, trace_path):
+        spec = register_trace_scenario(trace_path, name="datacenter-am")
+        assert get_scenario("datacenter-am") is spec
+        assert spec.trace == {"path": trace_path}
+        assert "datacenter-am" in list_scenarios()
+        # Path-derived specs re-register harmlessly (replace=True).
+        register_trace_scenario(trace_path, name="datacenter-am")
+
+    def test_registered_name_runs_like_the_designator(self, trace_path):
+        register_trace_scenario(trace_path, name="recorded-uniform")
+        kwargs = dict(n=8, load=0.6, num_slots=600, seed=0)
+        by_name = run_single(
+            "sprinklers", scenario="recorded-uniform", **kwargs
+        )
+        by_designator = run_single(
+            "sprinklers", scenario=f"trace:{trace_path}", **kwargs
+        )
+        rows_a, rows_b = by_name.to_dict(), by_designator.to_dict()
+        # The workload identity (scenario name) differs; the physics
+        # must not.
+        assert rows_a == rows_b
 
     def test_effective_matrix_from_trace(self, trace_path):
         spec = resolve_scenario(f"trace:{trace_path}")

@@ -3,7 +3,13 @@
 import pytest
 
 from repro.sim.experiment import delay_vs_load_sweep
-from repro.sim.parallel import SweepJob, parallel_delay_sweep, run_jobs
+from repro.sim.parallel import (
+    FailedJob,
+    SweepError,
+    SweepJob,
+    parallel_delay_sweep,
+    run_jobs,
+)
 from repro.traffic.matrices import uniform_matrix
 
 
@@ -76,6 +82,62 @@ class TestRunJobs:
             {"threshold": 3},
         )
         assert custom["switch_params"] == {"threshold": 3}
+
+
+class TestFailureCapture:
+    """One bad cell never kills a sweep; its identity is preserved."""
+
+    def _jobs(self):
+        matrix = uniform_matrix(4, 0.5)
+        return [
+            SweepJob("sprinklers", matrix, 400, 0, 0.5),
+            SweepJob("nonesuch", matrix, 400, 0, 0.5),
+            SweepJob("ufs", matrix, 400, 0, 0.5),
+        ]
+
+    def test_record_returns_failures_in_place(self):
+        results = run_jobs(self._jobs(), max_workers=2, on_error="record")
+        assert len(results) == 3
+        assert results[0].switch_name == "sprinklers"
+        assert results[2].switch_name == "ufs"
+        failed = results[1]
+        assert isinstance(failed, FailedJob)
+        assert failed.job.switch_name == "nonesuch"
+        assert "unknown switch" in failed.error
+        assert "ValueError" in failed.traceback
+        assert "nonesuch" in failed.describe()
+
+    def test_raise_carries_records_after_every_job_ran(self):
+        with pytest.raises(SweepError) as excinfo:
+            run_jobs(self._jobs(), max_workers=2)
+        err = excinfo.value
+        assert len(err.failures) == 1
+        assert err.failures[0].job.switch_name == "nonesuch"
+        assert "1 of 3 sweep jobs failed" in str(err)
+        assert "unknown switch" in str(err)
+        assert "Traceback" in str(err)  # first traceback rides along
+
+    def test_inline_path_matches_pool_path(self):
+        inline = run_jobs(self._jobs(), max_workers=1, on_error="record")
+        assert isinstance(inline[1], FailedJob)
+        assert "unknown switch" in inline[1].error
+
+    def test_invalid_on_error_rejected(self):
+        with pytest.raises(ValueError, match="on_error"):
+            run_jobs(self._jobs(), on_error="ignore")
+
+    def test_parallel_sweep_passes_on_error_through(self):
+        results = parallel_delay_sweep(
+            "uniform",
+            n=4,
+            loads=(0.5,),
+            num_slots=300,
+            switches=("sprinklers", "nonesuch"),
+            max_workers=2,
+            on_error="record",
+        )
+        assert results[0].switch_name == "sprinklers"
+        assert isinstance(results[1], FailedJob)
 
 
 class TestParallelSweep:

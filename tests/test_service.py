@@ -1,0 +1,380 @@
+"""The simulation job service: dedup, crash recovery, streaming, HTTP.
+
+The acceptance bar (ISSUE 8): two concurrent identical sweep submissions
+perform each shard's computation **exactly once** (asserted against the
+store manifest — one save per key), partial results stream as cells
+complete (event order ``job`` -> ``shard``* -> ``done``), and a worker
+killed mid-shard has its shard re-queued and completed by a replacement.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+from collections import Counter
+
+import pytest
+
+from repro.service import (
+    JobRequest,
+    ServiceClient,
+    ServiceError,
+    ShardSpec,
+    SimulationService,
+    WorkerPool,
+    expand_shards,
+    serve,
+    shard_key,
+    shard_run_kwargs,
+)
+from repro.sim.experiment import run_single
+from repro.store import ExperimentStore
+
+
+def small_request(**overrides):
+    base = dict(
+        workload="uniform",
+        switches=("sprinklers", "pf"),
+        loads=(0.3, 0.6),
+        n=8,
+        num_slots=300,
+        seeds=(0,),
+    )
+    base.update(overrides)
+    return JobRequest(**base)
+
+
+class TestJobModel:
+    def test_expand_is_the_full_grid(self):
+        request = small_request(seeds=(0, 1))
+        shards = expand_shards(request)
+        assert len(shards) == 8  # 2 seeds x 2 loads x 2 switches
+        cells = {(s.switch, s.load, s.seed) for s in shards}
+        assert len(cells) == 8
+
+    def test_round_trip_dicts(self):
+        request = small_request(engine="vectorized")
+        assert JobRequest.from_dict(request.to_dict()) == request
+        shard = expand_shards(request)[0]
+        assert ShardSpec.from_dict(shard.to_dict()) == shard
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValueError):
+            small_request(switches=())
+        with pytest.raises(ValueError):
+            small_request(loads=())
+        with pytest.raises(ValueError):
+            small_request(seeds=())
+
+    def test_shard_key_is_run_single_store_key(self, tmp_path):
+        """Shard identity IS store identity — the dedup foundation."""
+        for workload in ("uniform", "paper-uniform"):
+            shard = expand_shards(small_request(workload=workload))[0]
+            store = ExperimentStore(tmp_path / workload)
+            run_single(store=store, **shard_run_kwargs(shard))
+            assert store.fetch_by_key(shard_key(shard)) is not None
+
+    def test_invalid_shard_raises_at_planning(self):
+        shard = expand_shards(small_request(switches=("nonesuch",)))[0]
+        with pytest.raises(ValueError, match="unknown switch"):
+            shard_key(shard)
+
+
+class TestServiceDedup:
+    def test_concurrent_identical_submissions_compute_once(self, tmp_path):
+        request = small_request()
+        with SimulationService(tmp_path, workers=2) as service:
+            ids = [None, None]
+
+            def submit(slot):
+                ids[slot] = service.submit(request)
+
+            threads = [
+                threading.Thread(target=submit, args=(slot,))
+                for slot in (0, 1)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert all(service.wait(jid, timeout=120) for jid in ids)
+            first, second = (service.status(jid) for jid in ids)
+            assert first["failed"] == 0 and second["failed"] == 0
+            # Each key computed by exactly one job; the other shared or
+            # (if it lost the race entirely) read the stored result.
+            assert (
+                first["sources"]["new"] + second["sources"]["new"] == 4
+            )
+            saves = Counter(
+                record["key"]
+                for record in service.store.manifest_records()
+                if record.get("event") != "hit"
+            )
+            assert len(saves) == 4
+            assert all(count == 1 for count in saves.values())
+
+    def test_resubmission_is_served_from_store(self, tmp_path):
+        request = small_request()
+        with SimulationService(tmp_path, workers=2) as service:
+            first = service.submit(request)
+            assert service.wait(first, timeout=120)
+            again = service.submit(request)
+            assert service.wait(again, timeout=5)
+            assert service.status(again)["sources"] == {
+                "new": 0, "shared": 0, "cached": 4,
+            }
+
+    def test_fresh_service_reuses_a_populated_store(self, tmp_path):
+        request = small_request()
+        with SimulationService(tmp_path, workers=2) as service:
+            jid = service.submit(request)
+            assert service.wait(jid, timeout=120)
+        with SimulationService(tmp_path, workers=2) as service:
+            jid = service.submit(request)
+            assert service.wait(jid, timeout=5)
+            assert service.status(jid)["sources"]["cached"] == 4
+
+    def test_event_stream_order_and_content(self, tmp_path):
+        request = small_request()
+        with SimulationService(tmp_path, workers=2) as service:
+            jid = service.submit(request)
+            events = list(service.events(jid, follow=True, timeout=120))
+        kinds = [event["event"] for event in events]
+        assert kinds[0] == "job"
+        assert kinds[-1] == "done"
+        assert kinds.count("shard") == 4
+        assert events[0]["shards"] == 4
+        for event in events[1:-1]:
+            assert event["status"] == "done"
+            assert event["summary"]["mean_delay"] > 0
+        assert events[-1]["status"] == "done"
+        assert events[-1]["failed"] == 0
+
+    def test_unknown_switch_rejected_before_any_state(self, tmp_path):
+        with SimulationService(tmp_path, workers=1) as service:
+            with pytest.raises(ValueError, match="unknown switch"):
+                service.submit(small_request(switches=("nonesuch",)))
+            assert service.status()["jobs"] == []
+
+    def test_unknown_job_raises(self, tmp_path):
+        with SimulationService(tmp_path, workers=1) as service:
+            with pytest.raises(ValueError, match="unknown job"):
+                service.status("job-9999")
+
+
+def _failing_runner(payload):
+    raise RuntimeError("shard exploded")
+
+
+class TestShardFailures:
+    def test_failed_shard_surfaces_without_wedging_the_job(self, tmp_path):
+        with SimulationService(
+            tmp_path, workers=1, runner=_failing_runner
+        ) as service:
+            jid = service.submit(small_request(switches=("sprinklers",)))
+            assert service.wait(jid, timeout=30)
+            status = service.status(jid)
+            assert status["status"] == "failed"
+            assert status["failed"] == 2
+            events = list(service.events(jid))
+            shard_events = [e for e in events if e["event"] == "shard"]
+            assert all(e["status"] == "failed" for e in shard_events)
+            assert all(
+                "RuntimeError: shard exploded" in e["error"]
+                for e in shard_events
+            )
+            assert events[-1]["status"] == "failed"
+
+    def test_failed_shards_are_retried_by_a_new_submission(self, tmp_path):
+        request = small_request(switches=("sprinklers",), loads=(0.3,))
+        with SimulationService(
+            tmp_path, workers=1, runner=_failing_runner
+        ) as service:
+            jid = service.submit(request)
+            assert service.wait(jid, timeout=30)
+            again = service.submit(request)
+            assert service.wait(again, timeout=30)
+            # Not inherited as "cached" failure — genuinely re-attempted.
+            assert service.status(again)["sources"]["new"] == 1
+
+
+#: Consumed-once crash flag: the first worker to see the file removes it
+#: and hangs (to be killed); the respawned worker runs normally.
+_CRASH_FLAG_ENV = "REPRO_TEST_CRASH_FLAG"
+
+
+def _hang_once_runner(payload):
+    flag = payload.get("flag") or os.environ.get(_CRASH_FLAG_ENV, "")
+    if flag and os.path.exists(flag):
+        os.unlink(flag)
+        time.sleep(120)
+    return {"row": {"ok": True}, "wall_s": 0.01}
+
+
+def _hang_once_execute(payload):
+    from repro.service.jobs import execute_shard
+
+    flag = os.environ.get(_CRASH_FLAG_ENV, "")
+    if flag and os.path.exists(flag):
+        os.unlink(flag)
+        time.sleep(120)
+    return execute_shard(payload)
+
+
+def _wait_for(predicate, timeout, message):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        if predicate():
+            return
+        time.sleep(0.05)
+    raise AssertionError(message)
+
+
+class TestWorkerCrashRecovery:
+    def test_pool_requeues_shard_of_killed_worker(self, tmp_path):
+        flag = tmp_path / "crash-flag"
+        flag.touch()
+        done = threading.Event()
+        results = {}
+
+        def on_done(task_id, payload):
+            results[task_id] = payload
+            done.set()
+
+        pool = WorkerPool(_hang_once_runner, workers=1, on_done=on_done)
+        pool.start()
+        try:
+            pool.submit("shard-1", {"flag": str(flag)})
+            _wait_for(
+                lambda: not flag.exists(), 15,
+                "worker never picked the task up",
+            )
+            with pool._lock:
+                (victim,) = list(pool._procs)
+            os.kill(victim, signal.SIGKILL)
+            assert done.wait(timeout=30), "requeued shard never completed"
+            assert pool.requeues == 1
+            assert results["shard-1"]["row"]["ok"] is True
+        finally:
+            pool.stop()
+
+    def test_service_completes_sweep_across_worker_kill(
+        self, tmp_path, monkeypatch
+    ):
+        flag = tmp_path / "crash-flag"
+        flag.touch()
+        monkeypatch.setenv(_CRASH_FLAG_ENV, str(flag))
+        request = small_request(switches=("sprinklers",), loads=(0.4,))
+        with SimulationService(
+            tmp_path / "store", workers=1, runner=_hang_once_execute
+        ) as service:
+            jid = service.submit(request)
+            _wait_for(
+                lambda: not flag.exists(), 15,
+                "worker never picked the shard up",
+            )
+            with service.pool._lock:
+                (victim,) = list(service.pool._procs)
+            os.kill(victim, signal.SIGKILL)
+            assert service.wait(jid, timeout=60)
+            status = service.status(jid)
+            assert status["status"] == "done"
+            assert status["failed"] == 0
+            assert service.pool.requeues == 1
+            # The re-run shard's result landed in the store like any other.
+            (key,) = service._jobs[jid].shard_keys
+            assert service.store.fetch_by_key(key) is not None
+
+
+class TestHTTPSurface:
+    @pytest.fixture()
+    def server(self, tmp_path):
+        with serve(tmp_path, port=0, workers=2) as running:
+            yield running
+
+    def test_health_and_submit_watch_results(self, server):
+        client = ServiceClient(server.address)
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["backend"] in ("dir", "sqlite")
+
+        job_id = client.submit(small_request())
+        events = list(client.watch(job_id, timeout=120))
+        kinds = [event["event"] for event in events]
+        assert kinds[0] == "job"
+        assert kinds[-1] == "done"
+        assert kinds.count("shard") == 4
+        assert events[-1]["status"] == "done"
+
+        status = client.status(job_id)
+        assert status["status"] == "done"
+        assert status["completed"] == 4
+
+        rows = list(client.results(job_id))
+        assert len(rows) == 4
+        assert all(row["status"] == "done" for row in rows)
+        assert all(row["result"]["measured_packets"] > 0 for row in rows)
+
+        overall = client.status()
+        assert [job["job_id"] for job in overall["jobs"]] == [job_id]
+
+    def test_watch_streams_incrementally(self, server):
+        """Partial results arrive while later shards are still running."""
+        client = ServiceClient(server.address)
+        job_id = client.submit(small_request(num_slots=2_000))
+        seen_before_done = 0
+        for event in client.watch(job_id, timeout=120):
+            if event["event"] == "shard":
+                status = client.status(job_id)
+                if status["completed"] < status["shards"]:
+                    seen_before_done += 1
+            if event["event"] == "done":
+                break
+        # With 4 shards on 2 workers, at least the first completion must
+        # stream while others are outstanding.
+        assert seen_before_done >= 1
+
+    def test_second_identical_submission_shares_or_hits(self, server):
+        client = ServiceClient(server.address)
+        first = client.submit(small_request())
+        second = client.submit(small_request())
+        done_first = list(client.watch(first, timeout=120))
+        done_second = list(client.watch(second, timeout=120))
+        assert done_first[-1]["status"] == "done"
+        assert done_second[-1]["status"] == "done"
+        s1, s2 = client.status(first), client.status(second)
+        assert s1["sources"]["new"] + s2["sources"]["new"] == 4
+
+    def test_errors_are_json(self, server):
+        client = ServiceClient(server.address)
+        with pytest.raises(ServiceError, match="404"):
+            client.status("job-9999")
+        with pytest.raises(ServiceError, match="unknown switch"):
+            client.submit(small_request(switches=("nonesuch",)))
+
+    def test_unreachable_daemon_message(self):
+        client = ServiceClient("http://127.0.0.1:9", timeout=0.5)
+        with pytest.raises(ServiceError, match="repro serve"):
+            client.health()
+
+
+class TestServiceTelemetry:
+    def test_daemon_spans_and_counters(self, tmp_path):
+        from repro import telemetry
+
+        with telemetry.scope():
+            with SimulationService(tmp_path, workers=2) as service:
+                jid = service.submit(small_request())
+                assert service.wait(jid, timeout=120)
+            trace = tmp_path / "trace.jsonl"
+            spans = telemetry.export_jsonl(trace)
+        assert spans >= 5  # 4 service.shard + 1 service.job
+        names = [
+            span["name"]
+            for span in telemetry.read_trace(trace)["spans"]
+        ]
+        assert names.count("service.shard") == 4
+        assert names.count("service.job") == 1
+        assert telemetry.check_trace(telemetry.read_trace(trace)) == []

@@ -7,7 +7,11 @@ counting calls into the (monkeypatched) execution layer.
 
 from __future__ import annotations
 
+import json
 import math
+import multiprocessing
+import sqlite3
+from collections import Counter
 
 import numpy as np
 import pytest
@@ -21,10 +25,24 @@ from repro.sim.experiment import (
 from repro.sim.metrics import SimulationResult
 from repro.sim.replication import replicate
 from repro.scenarios import get_scenario
-from repro.store import ExperimentStore, cache_key, coerce_store
+from repro.store import (
+    ExperimentStore,
+    cache_key,
+    canonical_params,
+    coerce_store,
+)
 from repro.traffic.matrices import uniform_matrix
 
 from tests.test_scenarios import assert_results_identical
+
+#: Every ObjectBackend implementation must pass the backend-agnostic
+#: tests below identically — the `store` fixture runs them on each.
+STORE_BACKENDS = ("dir", "sqlite")
+
+
+@pytest.fixture(params=STORE_BACKENDS)
+def store(tmp_path, request):
+    return ExperimentStore(tmp_path / "store", backend=request.param)
 
 
 def params_for(**overrides):
@@ -71,8 +89,7 @@ class TestCacheKeys:
 
 
 class TestRoundTrip:
-    def test_result_survives_store(self, tmp_path):
-        store = ExperimentStore(tmp_path)
+    def test_result_survives_store(self, store):
         first = run_single(
             "sprinklers",
             uniform_matrix(8, 0.7),
@@ -184,7 +201,7 @@ class TestZeroRecompute:
 
     @pytest.mark.parametrize("engine", ["object", "vectorized"])
     def test_identical_sweep_recomputes_nothing(
-        self, tmp_path, counting_execute, engine
+        self, store, counting_execute, engine
     ):
         kwargs = dict(
             n=8,
@@ -193,7 +210,7 @@ class TestZeroRecompute:
             switches=["sprinklers", "ufs", "load-balanced"],
             seed=0,
             engine=engine,
-            store=tmp_path,
+            store=store,
         )
         first = delay_vs_load_sweep("paper-uniform", **kwargs)
         assert len(counting_execute) == 6
@@ -258,7 +275,7 @@ class TestZeroRecompute:
 
 
 class TestStoreDoesNotChangeResults:
-    def test_store_transparent_for_sweep(self, tmp_path):
+    def test_store_transparent_for_sweep(self, store):
         plain = delay_vs_load_sweep(
             "quasi-diagonal",
             n=8,
@@ -274,7 +291,7 @@ class TestStoreDoesNotChangeResults:
             num_slots=500,
             switches=["sprinklers"],
             engine="vectorized",
-            store=tmp_path,
+            store=store,
         )
         cached = delay_vs_load_sweep(
             "quasi-diagonal",
@@ -283,7 +300,7 @@ class TestStoreDoesNotChangeResults:
             num_slots=500,
             switches=["sprinklers"],
             engine="vectorized",
-            store=tmp_path,
+            store=store,
         )
         assert_results_identical(plain[0], stored[0])
         assert_results_identical(plain[0], cached[0])
@@ -298,8 +315,7 @@ class TestStatsAndGc:
                 "ufs", uniform_matrix(4, 0.5), 300, seed=seed, store=store
             )
 
-    def test_stats_counts_entries_saves_and_hits(self, tmp_path):
-        store = ExperimentStore(tmp_path)
+    def test_stats_counts_entries_saves_and_hits(self, store):
         self._populate(store, runs=2)
         run_single("ufs", uniform_matrix(4, 0.5), 300, seed=0, store=store)
         stats = store.stats()
@@ -310,13 +326,12 @@ class TestStatsAndGc:
         assert stats.total_bytes > 0
         assert stats.oldest is not None and stats.newest >= stats.oldest
 
-    def test_stats_empty_store(self, tmp_path):
-        stats = ExperimentStore(tmp_path).stats()
+    def test_stats_empty_store(self, store):
+        stats = store.stats()
         assert stats.entries == 0
         assert math.isnan(stats.hit_rate)
 
-    def test_gc_by_age(self, tmp_path):
-        store = ExperimentStore(tmp_path)
+    def test_gc_by_age(self, store):
         self._populate(store, runs=3)
         report = store.gc(max_age_seconds=0.0)
         assert report.removed == 3
@@ -327,6 +342,7 @@ class TestStatsAndGc:
         assert store.stats().saves == 0
 
     def test_gc_by_size_removes_oldest_first(self, tmp_path):
+        # Dir-only: drives object age through file mtimes on disk.
         import os
         import time
 
@@ -345,8 +361,7 @@ class TestStatsAndGc:
         survivors = list(store.objects_dir.glob("*/*.json.gz"))
         assert survivors == [paths[-1]]  # newest kept
 
-    def test_gc_without_bounds_keeps_everything(self, tmp_path):
-        store = ExperimentStore(tmp_path)
+    def test_gc_without_bounds_keeps_everything(self, store):
         self._populate(store, runs=2)
         report = store.gc()
         assert report.removed == 0
@@ -356,8 +371,7 @@ class TestStatsAndGc:
         run_single("ufs", uniform_matrix(4, 0.5), 300, seed=0, store=store)
         assert store.hits == before + 1
 
-    def test_gc_then_recompute_round_trips(self, tmp_path):
-        store = ExperimentStore(tmp_path)
+    def test_gc_then_recompute_round_trips(self, store):
         first = run_single(
             "foff", uniform_matrix(4, 0.6), 400, seed=2, store=store,
             engine="vectorized",
@@ -368,3 +382,94 @@ class TestStatsAndGc:
             engine="vectorized",
         )
         assert_results_identical(first, again)
+
+
+class TestBackendParity:
+    """SqliteBackend stores what DirBackend stores — bit for bit."""
+
+    def test_payload_bit_identical_across_backends(self, tmp_path):
+        blobs = {}
+        for name in STORE_BACKENDS:
+            store = ExperimentStore(tmp_path / name, backend=name)
+            run_single(
+                "ufs", uniform_matrix(4, 0.5), 500, load_label=0.5,
+                store=store,
+            )
+            payload = store.backend.get(cache_key(params_for()))
+            assert payload is not None
+            blobs[name] = canonical_params(payload)
+        assert blobs["dir"] == blobs["sqlite"]
+
+    def test_sqlite_store_reopens_by_bare_path(self, tmp_path):
+        # store_dir() flattens stores to a path for pool workers; the
+        # database file must be enough to pick the backend back up.
+        store = ExperimentStore(tmp_path, backend="sqlite")
+        expected = run_single("ufs", uniform_matrix(4, 0.5), 300, store=store)
+        reopened = ExperimentStore(tmp_path)
+        assert reopened.backend.name == "sqlite"
+        again = run_single("ufs", uniform_matrix(4, 0.5), 300, store=reopened)
+        assert reopened.hits == 1
+        assert_results_identical(expected, again)
+
+    def test_sqlite_prefix_coerce(self, tmp_path):
+        store = coerce_store(f"sqlite:{tmp_path / 's'}")
+        assert isinstance(store, ExperimentStore)
+        assert store.backend.name == "sqlite"
+
+    def test_corrupt_sqlite_payload_is_a_miss(self, tmp_path):
+        store = ExperimentStore(tmp_path, backend="sqlite")
+        run_single("ufs", uniform_matrix(4, 0.5), 300, store=store)
+        with sqlite3.connect(store.backend.db_path) as conn:
+            conn.execute("UPDATE objects SET payload = 'not json'")
+        result = run_single("ufs", uniform_matrix(4, 0.5), 300, store=store)
+        assert store.hits == 0
+        assert result.measured_packets > 0
+
+    def test_unknown_backend_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown store backend"):
+            ExperimentStore(tmp_path, backend="postgres")
+
+
+def _append_burst(root, backend, worker, count):
+    store = ExperimentStore(root, backend=backend)
+    for i in range(count):
+        store._append_manifest({"worker": worker, "i": i})
+
+
+class TestManifestConcurrency:
+    """Concurrent pool/service workers never tear manifest lines."""
+
+    WORKERS = 8
+    APPENDS = 50
+
+    @pytest.mark.parametrize("backend", STORE_BACKENDS)
+    def test_parallel_appends_keep_every_line_intact(
+        self, tmp_path, backend
+    ):
+        root = tmp_path / backend
+        ExperimentStore(root, backend=backend)  # create the layout once
+        ctx = multiprocessing.get_context("fork")
+        procs = [
+            ctx.Process(
+                target=_append_burst,
+                args=(str(root), backend, worker, self.APPENDS),
+            )
+            for worker in range(self.WORKERS)
+        ]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join(timeout=60)
+            assert proc.exitcode == 0
+        store = ExperimentStore(root, backend=backend)
+        lines = [
+            line for line in store.backend.manifest_lines() if line.strip()
+        ]
+        expected = self.WORKERS * self.APPENDS
+        assert len(lines) == expected
+        # Every line parses (no torn/interleaved writes) and every
+        # (worker, i) append survived exactly once.
+        records = [json.loads(line) for line in lines]
+        counts = Counter((r["worker"], r["i"]) for r in records)
+        assert len(counts) == expected
+        assert set(counts.values()) == {1}
