@@ -21,6 +21,8 @@ Usage (also installed as the ``sprinklers`` console script)::
     python -m repro telemetry summarize trace.jsonl
     python -m repro telemetry diff before.jsonl after.jsonl
     python -m repro telemetry check trace.jsonl --coverage 0.95
+    python -m repro lint --format text
+    python -m repro lint src/repro/service --select LOCK
     python -m repro serve --workers 4 --store .repro-store --backend sqlite
     python -m repro submit --workload uniform --loads 0.3 0.9 --watch
     python -m repro status job-0001
@@ -511,6 +513,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="required child coverage of the replay spans (default 0.95)",
     )
 
+    lint_p = sub.add_parser(
+        "lint",
+        help="run the project-invariant static analyzer (repro.lint)",
+    )
+    lint_p.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    lint_p.add_argument(
+        "--select",
+        nargs="+",
+        metavar="RULE",
+        help="only run these rules/families (e.g. RNG LOCK003)",
+    )
+    lint_p.add_argument(
+        "--ignore",
+        nargs="+",
+        metavar="RULE",
+        help="skip these rules/families",
+    )
+    lint_p.add_argument(
+        "--format",
+        dest="lint_format",
+        choices=("text", "json", "github"),
+        default="text",
+        help="finding output format (default text)",
+    )
+    lint_p.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+
     return parser
 
 
@@ -802,6 +839,7 @@ def _cmd_balance(args: argparse.Namespace) -> str:
         args.n,
         rhos=args.loads,
         trials=args.trials,
+        # repro: lint-ignore[RNG003] -- diagnostic command seeded directly from --seed
         rng=np.random.default_rng(args.seed),
     )
     return (
@@ -996,6 +1034,37 @@ def _cmd_service_client(args: argparse.Namespace) -> tuple:
     )
 
 
+def _cmd_lint(args: argparse.Namespace) -> tuple:
+    """``repro lint``: run the analyzer; exit 1 when findings remain."""
+    from pathlib import Path
+
+    from .lint import RULE_DOCS, format_findings, lint_paths
+    from .lint.report import format_result
+
+    if args.list_rules:
+        width = max(len(code) for code in RULE_DOCS)
+        lines = [
+            "%-*s %s" % (width, code, doc)
+            for code, doc in sorted(RULE_DOCS.items())
+        ]
+        return "\n".join(lines), 0
+    try:
+        result = lint_paths(
+            [Path(p) for p in args.paths],
+            root=Path.cwd(),
+            select=args.select,
+            ignore=args.ignore,
+        )
+    except ValueError as exc:
+        return f"error: {exc}", 2
+    if args.lint_format == "text":
+        return format_result(result, "text"), 0 if result.ok else 1
+    return (
+        format_findings(result.findings, args.lint_format),
+        0 if result.ok else 1,
+    )
+
+
 def _dispatch(args: argparse.Namespace) -> tuple:
     """Run one parsed command; returns ``(output_text, exit_code)``."""
     if args.command == "table1":
@@ -1031,6 +1100,8 @@ def _dispatch(args: argparse.Namespace) -> tuple:
         return _cmd_store(args), 0
     if args.command == "telemetry":
         return _cmd_telemetry(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     if args.command == "serve":
         return _cmd_serve(args)
     if args.command in ("submit", "status", "watch", "results"):

@@ -19,7 +19,7 @@ from ..switching.packet import Packet
 from .lsf import LsfInputScheduler
 from .sprinklers_switch import SprinklersSwitch
 
-__all__ = ["render_input_grid", "render_fifo_array"]
+__all__ = ["render_input_grid", "render_fifo_array", "grid_occupancy_by_stripe"]
 
 _LABELS = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz"
 

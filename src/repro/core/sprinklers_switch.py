@@ -179,6 +179,7 @@ class SprinklersSwitch(TwoStageSwitch):
         **kwargs,
     ) -> "SprinklersSwitch":
         """Build a switch from a rate matrix and a seed (oracle sizing)."""
+        # repro: lint-ignore[RNG003] -- public constructor: raw seed is its API
         rng = np.random.default_rng(seed)
         assignment = StripeIntervalAssignment(
             rates, rng=rng, mode=mode, fixed_stripe_size=fixed_stripe_size

@@ -18,7 +18,7 @@ import numpy as np
 from .. import models
 from ..sim.engine import SimulationEngine
 from ..sim.metrics import SimulationResult
-from ..sim.rng import derive_seed
+from ..sim.rng import spawn_generator
 from ..traffic.arrivals import OnOffArrivals
 from ..traffic.generator import TrafficGenerator
 from ..traffic.matrices import uniform_matrix
@@ -44,7 +44,7 @@ def _run_one(
     peak = 0.98
     on_fraction = load / peak
     mean_off = max(1.0, mean_on * (1.0 - on_fraction) / on_fraction)
-    rng = np.random.default_rng(derive_seed(seed, f"burst-{mean_on}"))
+    rng = spawn_generator(seed, f"burst-{mean_on}")
     arrivals = OnOffArrivals(
         n, peak_rate=peak, mean_on=mean_on, mean_off=mean_off, rng=rng
     )

@@ -1,0 +1,238 @@
+"""A best-effort project call graph for reachability rules.
+
+Static call resolution in Python is necessarily approximate; this graph
+is tuned to over-approximate on the project's own code (so the key-path
+rule cannot silently miss a helper) while refusing to guess about
+attribute calls that look like builtin container methods.
+
+Resolution strategy, in order, for a ``Call`` inside function ``f`` of
+module ``m``:
+
+1. ``name(...)``   — a function defined in ``m``, else a ``from x import
+   name`` binding pointing at a project function.
+2. ``alias.attr(...)`` — ``alias`` is an imported project module (plain
+   or ``import x.y as alias``): resolve to ``x.y:attr``.
+3. ``self.attr(...)`` — a method on the lexically enclosing class.
+4. ``obj.attr(...)`` — if exactly **one** class in the whole project
+   defines a method ``attr`` and ``attr`` is not a common builtin-method
+   name, resolve to that method (unique-method fallback).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from .core import ModuleSource, Project
+
+__all__ = ["CallGraph", "FunctionInfo", "build_call_graph"]
+
+# Attribute-call names too generic to attribute to a project class.
+_BUILTIN_METHODS = frozenset(
+    {
+        "append", "extend", "insert", "remove", "pop", "clear", "index",
+        "count", "sort", "reverse", "copy", "get", "items", "keys",
+        "values", "update", "setdefault", "add", "discard", "union",
+        "intersection", "difference", "join", "split", "rsplit", "strip",
+        "lstrip", "rstrip", "startswith", "endswith", "format", "replace",
+        "encode", "decode", "lower", "upper", "read", "write", "close",
+        "open", "flush", "readline", "readlines", "seek", "tell", "mkdir",
+        "exists", "is_dir", "is_file", "glob", "rglob", "resolve",
+        "relative_to", "as_posix", "with_suffix", "read_text",
+        "write_text", "read_bytes", "write_bytes", "unlink", "touch",
+        "acquire", "release", "wait", "notify", "notify_all", "put",
+        "task_done", "submit", "result", "cancel", "start", "is_alive",
+        "terminate", "kill", "send", "recv", "poll", "fileno", "item",
+        "tolist", "astype", "reshape", "sum", "mean", "max", "min",
+        "cumsum", "argsort", "searchsorted", "fill", "ravel", "flatten",
+        "group", "match", "search", "findall", "sub", "finditer",
+    }
+)
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition in the project."""
+
+    key: str  # "modname:qualname", e.g. "repro.store.store:ExperimentStore.cache_key"
+    modname: str
+    qualname: str
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    calls: List[ast.Call] = field(default_factory=list)
+
+
+@dataclass
+class CallGraph:
+    functions: Dict[str, FunctionInfo]
+    edges: Dict[str, Set[str]]
+
+    def reachable(self, roots: List[str]) -> Set[str]:
+        """All function keys reachable from *roots* (roots included)."""
+        seen: Set[str] = set()
+        stack = [r for r in roots if r in self.functions]
+        while stack:
+            key = stack.pop()
+            if key in seen:
+                continue
+            seen.add(key)
+            stack.extend(self.edges.get(key, ()))
+        return seen
+
+    def lookup(self, modname: str, name: str) -> List[str]:
+        """Keys whose qualname is *name* (or ends with ``.name``) in *modname*."""
+        out = []
+        for key, info in self.functions.items():
+            if info.modname != modname:
+                continue
+            if info.qualname == name or info.qualname.endswith("." + name):
+                out.append(key)
+        return out
+
+
+def _iter_functions(
+    tree: ast.Module,
+) -> Iterator[Tuple[str, Optional[str], ast.AST]]:
+    """Yield ``(qualname, classname, node)`` for every def in *tree*."""
+
+    def walk(
+        body: List[ast.stmt], prefix: str, classname: Optional[str]
+    ) -> Iterator[Tuple[str, Optional[str], ast.AST]]:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = prefix + node.name
+                yield qual, classname, node
+                # Nested defs attribute their calls to the outer function
+                # via _collect_calls; no separate graph node needed.
+            elif isinstance(node, ast.ClassDef):
+                yield from walk(
+                    node.body, prefix + node.name + ".", node.name
+                )
+
+    yield from walk(tree.body, "", None)
+
+
+def _collect_calls(node: ast.AST) -> List[ast.Call]:
+    calls = []
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            calls.append(sub)
+    return calls
+
+
+def _import_map(module: ModuleSource) -> Tuple[Dict[str, str], Dict[str, str]]:
+    """Return (module-aliases, from-imports) for *module*.
+
+    module-aliases: local name -> full module path ("np" -> "numpy").
+    from-imports:   local name -> "modpath:name".
+    """
+    mod_alias: Dict[str, str] = {}
+    from_names: Dict[str, str] = {}
+    pkg_parts = module.modname.split(".")
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                mod_alias[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name
+                )
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                # Relative import: resolve against this module's package.
+                base = pkg_parts[: len(pkg_parts) - node.level]
+                target = ".".join(base + ([node.module] if node.module else []))
+            else:
+                target = node.module or ""
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                from_names[alias.asname or alias.name] = (
+                    "%s:%s" % (target, alias.name)
+                )
+    return mod_alias, from_names
+
+
+def build_call_graph(project: Project) -> CallGraph:
+    functions: Dict[str, FunctionInfo] = {}
+    # method name -> list of owning function keys (for the unique fallback)
+    methods_by_name: Dict[str, List[str]] = {}
+
+    for module in project.modules:
+        for qualname, classname, node in _iter_functions(module.tree):
+            key = "%s:%s" % (module.modname, qualname)
+            info = FunctionInfo(
+                key=key,
+                modname=module.modname,
+                qualname=qualname,
+                node=node,
+                calls=_collect_calls(node),
+            )
+            functions[key] = info
+            if classname is not None:
+                methods_by_name.setdefault(
+                    qualname.rsplit(".", 1)[-1], []
+                ).append(key)
+
+    edges: Dict[str, Set[str]] = {key: set() for key in functions}
+    for module in project.modules:
+        mod_alias, from_names = _import_map(module)
+        for qualname, classname, node in _iter_functions(module.tree):
+            key = "%s:%s" % (module.modname, qualname)
+            for call in functions[key].calls:
+                target = _resolve(
+                    call,
+                    module,
+                    classname,
+                    functions,
+                    methods_by_name,
+                    mod_alias,
+                    from_names,
+                )
+                if target is not None:
+                    edges[key].add(target)
+    return CallGraph(functions=functions, edges=edges)
+
+
+def _resolve(
+    call: ast.Call,
+    module: ModuleSource,
+    classname: Optional[str],
+    functions: Dict[str, FunctionInfo],
+    methods_by_name: Dict[str, List[str]],
+    mod_alias: Dict[str, str],
+    from_names: Dict[str, str],
+) -> Optional[str]:
+    func = call.func
+    if isinstance(func, ast.Name):
+        local = "%s:%s" % (module.modname, func.id)
+        if local in functions:
+            return local
+        imported = from_names.get(func.id)
+        if imported is not None and imported in functions:
+            return imported
+        return None
+    if isinstance(func, ast.Attribute):
+        attr = func.attr
+        value = func.value
+        if isinstance(value, ast.Name):
+            if value.id == "self" and classname is not None:
+                method = "%s:%s.%s" % (module.modname, classname, attr)
+                if method in functions:
+                    return method
+            target_mod = mod_alias.get(value.id)
+            if target_mod is not None:
+                key = "%s:%s" % (target_mod, attr)
+                if key in functions:
+                    return key
+            # ``from x import y`` where y is a project module
+            imported = from_names.get(value.id)
+            if imported is not None:
+                modpath, name = imported.split(":", 1)
+                key = "%s.%s:%s" % (modpath, name, attr)
+                if key in functions:
+                    return key
+        # Unique-method fallback, blocklist-guarded.
+        if attr not in _BUILTIN_METHODS:
+            owners = methods_by_name.get(attr, [])
+            if len(owners) == 1:
+                return owners[0]
+    return None

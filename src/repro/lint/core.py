@@ -1,0 +1,277 @@
+"""Core machinery for the project linter.
+
+This module owns everything that is not a rule: loading sources into
+:class:`ModuleSource` (text + AST + comment map), the
+``# repro: lint-ignore[CODE]`` suppression protocol, rule selection,
+and the orchestration entry points :func:`lint_project` /
+:func:`lint_paths` used by the CLI and the tests.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "Finding",
+    "LintResult",
+    "ModuleSource",
+    "Project",
+    "Suppression",
+    "collect_python_files",
+    "lint_paths",
+    "lint_project",
+]
+
+# Matches "repro: lint-ignore" directives carrying one code, a family
+# prefix, or a comma list, with an optional "-- justification" tail.
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro:\s*lint-ignore\[(?P<codes>[A-Z0-9,\s]+)\](?:\s*--\s*(?P<why>.*))?"
+)
+
+_CODE_RE = re.compile(r"^[A-Z]+[0-9]*$")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation (or meta-finding) at a source location."""
+
+    code: str
+    message: str
+    path: str
+    line: int
+    col: int = 0
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.code)
+
+
+@dataclass
+class Suppression:
+    """A parsed ``lint-ignore`` directive and its bookkeeping."""
+
+    codes: Tuple[str, ...]
+    line: int  # line the comment sits on (1-based)
+    used: bool = False
+
+    def matches(self, code: str) -> bool:
+        """True when *code* is covered — exact or by family prefix."""
+        for pattern in self.codes:
+            if code == pattern or (
+                not pattern[-1].isdigit() and code.startswith(pattern)
+            ):
+                return True
+        return False
+
+
+@dataclass
+class ModuleSource:
+    """A parsed source file: text, AST, comments, and suppressions."""
+
+    path: Path
+    relpath: str
+    modname: str
+    text: str
+    tree: ast.Module
+    # line number -> full comment text (without leading whitespace)
+    comments: Dict[int, str] = field(default_factory=dict)
+    suppressions: List[Suppression] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: Path, root: Path) -> "ModuleSource":
+        text = path.read_text(encoding="utf-8")
+        tree = ast.parse(text, filename=str(path))
+        try:
+            relpath = path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            relpath = path.as_posix()
+        modname = _modname_for(relpath)
+        src = cls(
+            path=path, relpath=relpath, modname=modname, text=text, tree=tree
+        )
+        src._scan_comments()
+        return src
+
+    def _scan_comments(self) -> None:
+        reader = io.StringIO(self.text).readline
+        try:
+            for tok in tokenize.generate_tokens(reader):
+                if tok.type != tokenize.COMMENT:
+                    continue
+                line = tok.start[0]
+                self.comments[line] = tok.string
+                match = _SUPPRESS_RE.search(tok.string)
+                if match is None:
+                    continue
+                codes = tuple(
+                    c.strip()
+                    for c in match.group("codes").split(",")
+                    if c.strip()
+                )
+                if codes and all(_CODE_RE.match(c) for c in codes):
+                    self.suppressions.append(Suppression(codes=codes, line=line))
+        except tokenize.TokenError:
+            # Unterminated strings etc. — the AST parsed, so just keep
+            # whatever comments were collected before the error.
+            pass
+
+    def comment_on(self, line: int) -> Optional[str]:
+        return self.comments.get(line)
+
+    def suppressed(self, finding: Finding) -> bool:
+        """Check (and mark used) any directive covering *finding*.
+
+        A directive covers its own line and, when it is the only thing
+        on its line (a standalone comment), the next line as well.
+        """
+        hit = False
+        for sup in self.suppressions:
+            if not sup.matches(finding.code):
+                continue
+            if finding.line == sup.line or (
+                finding.line == sup.line + 1 and self._standalone(sup.line)
+            ):
+                sup.used = True
+                hit = True
+        return hit
+
+    def _standalone(self, line: int) -> bool:
+        idx = line - 1
+        lines = self.text.splitlines()
+        if 0 <= idx < len(lines):
+            return lines[idx].lstrip().startswith("#")
+        return False
+
+
+def _modname_for(relpath: str) -> str:
+    parts = Path(relpath).with_suffix("").parts
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+@dataclass
+class Project:
+    """The full set of modules under analysis."""
+
+    root: Path
+    modules: List[ModuleSource] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.by_modname: Dict[str, ModuleSource] = {
+            m.modname: m for m in self.modules
+        }
+
+    @classmethod
+    def load(cls, root: Path, paths: Sequence[Path]) -> "Project":
+        modules = []
+        for path in sorted(set(paths)):
+            modules.append(ModuleSource.load(path, root))
+        return cls(root=root, modules=modules)
+
+    def module(self, modname: str) -> Optional[ModuleSource]:
+        return self.by_modname.get(modname)
+
+
+@dataclass
+class LintResult:
+    """Findings that survived suppression, plus run metadata."""
+
+    findings: List[Finding]
+    checked: int
+    suppressed: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+def collect_python_files(paths: Iterable[Path]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: Set[Path] = set()
+    for p in paths:
+        if p.is_dir():
+            out.update(
+                f
+                for f in p.rglob("*.py")
+                if "__pycache__" not in f.parts
+            )
+        elif p.suffix == ".py":
+            out.add(p)
+    return sorted(out)
+
+
+def lint_project(
+    project: Project,
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> LintResult:
+    """Run every (selected) rule over *project* and apply suppressions."""
+    # Imported here to keep core free of rule-module import cycles.
+    from .rules import resolve_selection, run_rules
+
+    active = resolve_selection(select, ignore)
+    raw = run_rules(project, active)
+
+    kept: List[Finding] = []
+    suppressed = 0
+    for finding in sorted(raw, key=Finding.sort_key):
+        module = _module_for_path(project, finding.path)
+        if module is not None and module.suppressed(finding):
+            suppressed += 1
+            continue
+        kept.append(finding)
+
+    # Unused-suppression check: every directive must have earned its keep.
+    if _selected("SUP001", active):
+        for module in project.modules:
+            for sup in module.suppressions:
+                if sup.used:
+                    continue
+                unused = Finding(
+                    code="SUP001",
+                    message=(
+                        "unused suppression lint-ignore[%s] — nothing to "
+                        "suppress here; remove the directive"
+                        % ",".join(sup.codes)
+                    ),
+                    path=module.relpath,
+                    line=sup.line,
+                )
+                kept.append(unused)
+
+    kept.sort(key=Finding.sort_key)
+    return LintResult(
+        findings=kept, checked=len(project.modules), suppressed=suppressed
+    )
+
+
+def _selected(code: str, active: Set[str]) -> bool:
+    return code in active
+
+
+def _module_for_path(project: Project, relpath: str) -> Optional[ModuleSource]:
+    for module in project.modules:
+        if module.relpath == relpath:
+            return module
+    return None
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    root: Optional[Path] = None,
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> LintResult:
+    """Convenience wrapper: load *paths* under *root* and lint them."""
+    base = root if root is not None else Path.cwd()
+    files = collect_python_files(paths)
+    project = Project.load(base, files)
+    return lint_project(project, select=select, ignore=ignore)

@@ -1,0 +1,65 @@
+"""Output formatters for lint findings: text, json, github."""
+
+from __future__ import annotations
+
+import json
+from typing import List, Sequence
+
+from .core import Finding, LintResult
+
+__all__ = ["format_findings", "format_result"]
+
+
+def format_findings(findings: Sequence[Finding], fmt: str = "text") -> str:
+    """Render *findings* in the requested format.
+
+    ``text``   — one ``path:line:col CODE message`` line per finding.
+    ``json``   — a JSON array of finding objects.
+    ``github`` — GitHub Actions ``::error`` workflow commands, so CI
+                 annotates the offending lines in the diff view.
+    """
+    if fmt == "json":
+        return json.dumps(
+            [
+                {
+                    "code": f.code,
+                    "message": f.message,
+                    "path": f.path,
+                    "line": f.line,
+                    "col": f.col,
+                }
+                for f in findings
+            ],
+            indent=2,
+        )
+    if fmt == "github":
+        lines: List[str] = []
+        for f in findings:
+            # Workflow-command values must not contain newlines.
+            msg = f.message.replace("\n", " ")
+            lines.append(
+                "::error file=%s,line=%d,col=%d,title=%s::%s"
+                % (f.path, f.line, max(f.col, 1), f.code, msg)
+            )
+        return "\n".join(lines)
+    if fmt == "text":
+        return "\n".join(
+            "%s:%d:%d %s %s" % (f.path, f.line, f.col, f.code, f.message)
+            for f in findings
+        )
+    raise ValueError("unknown lint format: %r" % (fmt,))
+
+
+def format_result(result: LintResult, fmt: str = "text") -> str:
+    """Render a full :class:`LintResult`, with a trailer in text mode."""
+    body = format_findings(result.findings, fmt)
+    if fmt != "text":
+        return body
+    trailer = "%d finding%s in %d module%s (%d suppressed)" % (
+        len(result.findings),
+        "" if len(result.findings) == 1 else "s",
+        result.checked,
+        "" if result.checked == 1 else "s",
+        result.suppressed,
+    )
+    return (body + "\n" + trailer) if body else trailer

@@ -1,0 +1,290 @@
+"""Lock/race-discipline rules (LOCK001, LOCK002).
+
+The service daemon and the telemetry registries share mutable state
+between the HTTP thread, the worker-pool collector thread, and
+fork-spawned children; pytest cannot reliably provoke the interleavings
+that corrupt it.  Instead the invariant is declared in the source and
+checked lexically:
+
+``self._attr = ...  # guarded by: self._lock``
+    Every later read or write of ``self._attr`` (outside ``__init__``)
+    must sit inside a ``with self._lock:`` block.  Multiple guards may
+    be listed (any one suffices); appending ``[writes]`` relaxes the
+    rule to writes only — the double-checked-read idiom, where a
+    lock-free ``dict.get`` is raced intentionally and only mutation
+    takes the lock.
+
+``def _helper(self):  # requires: self._lock``
+    Declares that callers hold the lock; the method body is then
+    treated as guarded.  (The annotation may sit on the ``def`` line or
+    the line above it.)
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core import Finding, ModuleSource, Project
+
+__all__ = ["GuardSpec", "check"]
+
+_GUARDED_RE = re.compile(
+    r"#\s*guarded by:\s*(?P<guards>self\.\w+(?:\s*,\s*self\.\w+)*)"
+    r"(?:\s*\[(?P<mode>writes)\])?"
+)
+_REQUIRES_RE = re.compile(
+    r"#\s*requires:\s*(?P<guards>self\.\w+(?:\s*,\s*self\.\w+)*)"
+)
+
+
+@dataclass
+class GuardSpec:
+    guards: Tuple[str, ...]  # e.g. ("self._lock", "self._cond")
+    writes_only: bool
+    decl_line: int
+
+
+def _parse_guards(text: str) -> Sequence[str]:
+    return tuple(g.strip() for g in text.split(","))
+
+
+def check(project: Project, active: Set[str]) -> List[Finding]:
+    findings: List[Finding] = []
+    for module in project.modules:
+        findings.extend(_check_module(module))
+    return findings
+
+
+def _check_module(module: ModuleSource) -> List[Finding]:
+    findings: List[Finding] = []
+    for node in module.tree.body:
+        if isinstance(node, ast.ClassDef):
+            findings.extend(_check_class(module, node))
+    # LOCK002 — a guard annotation anywhere outside a recognized
+    # declaration site is a spelling mistake waiting to hide a race.
+    declared = _declaration_lines(module)
+    for line, comment in module.comments.items():
+        if _GUARDED_RE.search(comment) and line not in declared:
+            findings.append(
+                Finding(
+                    code="LOCK002",
+                    message=(
+                        "`# guarded by:` annotation not attached to a "
+                        "`self.<attr> = ...` statement inside a class"
+                    ),
+                    path=module.relpath,
+                    line=line,
+                )
+            )
+    return findings
+
+
+def _declaration_lines(module: ModuleSource) -> Set[int]:
+    """Lines holding a ``self.<attr> = ...`` statement in any class."""
+    lines: Set[int] = set()
+    for cls in (
+        n for n in module.tree.body if isinstance(n, ast.ClassDef)
+    ):
+        for node in ast.walk(cls):
+            for target in _self_attr_targets(node):
+                lines.add(node.lineno)
+    return lines
+
+
+def _self_attr_targets(node: ast.AST) -> List[str]:
+    """Attr names when *node* assigns to ``self.<attr>``."""
+    targets: List[ast.expr] = []
+    if isinstance(node, ast.Assign):
+        targets = list(node.targets)
+    elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+        targets = [node.target]
+    out: List[str] = []
+    for t in targets:
+        if (
+            isinstance(t, ast.Attribute)
+            and isinstance(t.value, ast.Name)
+            and t.value.id == "self"
+        ):
+            out.append(t.attr)
+    return out
+
+
+def _check_class(
+    module: ModuleSource, cls: ast.ClassDef
+) -> List[Finding]:
+    guarded = _collect_guarded(module, cls)
+    if not guarded:
+        return []
+    findings: List[Finding] = []
+    for item in cls.body:
+        if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if item.name == "__init__":
+            continue  # construction happens-before any concurrent access
+        held = _required_guards(module, item)
+        findings.extend(
+            _scan_body(module, item.body, guarded, set(held))
+        )
+    return findings
+
+
+def _collect_guarded(
+    module: ModuleSource, cls: ast.ClassDef
+) -> Dict[str, GuardSpec]:
+    guarded: Dict[str, GuardSpec] = {}
+    for node in ast.walk(cls):
+        attrs = _self_attr_targets(node)
+        if not attrs:
+            continue
+        comment = module.comment_on(node.lineno)
+        if comment is None:
+            continue
+        match = _GUARDED_RE.search(comment)
+        if match is None:
+            continue
+        spec = GuardSpec(
+            guards=tuple(_parse_guards(match.group("guards"))),
+            writes_only=match.group("mode") == "writes",
+            decl_line=node.lineno,
+        )
+        for attr in attrs:
+            guarded[attr] = spec
+    return guarded
+
+
+def _required_guards(
+    module: ModuleSource, fn: ast.FunctionDef
+) -> Sequence[str]:
+    """Guards declared held by a ``# requires:`` annotation on *fn*."""
+    for line in (fn.lineno, fn.lineno - 1):
+        comment = module.comment_on(line)
+        if comment is None:
+            continue
+        match = _REQUIRES_RE.search(comment)
+        if match is not None:
+            return _parse_guards(match.group("guards"))
+    return ()
+
+
+def _with_guards(stmt: ast.With) -> Set[str]:
+    """Guard names (``self._lock``) entered by a ``with`` statement."""
+    out: Set[str] = set()
+    for item in stmt.items:
+        expr = item.context_expr
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+        ):
+            out.add("self." + expr.attr)
+    return out
+
+
+def _scan_body(
+    module: ModuleSource,
+    body: Sequence[ast.stmt],
+    guarded: Dict[str, GuardSpec],
+    held: Set[str],
+) -> List[Finding]:
+    """Walk statements tracking which guards are lexically held."""
+    findings: List[Finding] = []
+    for stmt in body:
+        if isinstance(stmt, ast.With):
+            inner = held | _with_guards(stmt)
+            # The ``with`` header expressions themselves run unguarded.
+            for item in stmt.items:
+                findings.extend(
+                    _scan_expr(module, item.context_expr, guarded, held)
+                )
+            findings.extend(
+                _scan_body(module, stmt.body, guarded, inner)
+            )
+            continue
+        for child_body in _stmt_bodies(stmt):
+            findings.extend(
+                _scan_body(module, child_body, guarded, held)
+            )
+        findings.extend(_scan_stmt_exprs(module, stmt, guarded, held))
+    return findings
+
+
+def _stmt_bodies(stmt: ast.stmt) -> List[List[ast.stmt]]:
+    bodies: List[List[ast.stmt]] = []
+    for attr in ("body", "orelse", "finalbody"):
+        sub = getattr(stmt, attr, None)
+        if isinstance(sub, list) and sub and isinstance(sub[0], ast.stmt):
+            bodies.append(sub)
+    for handler in getattr(stmt, "handlers", []) or []:
+        bodies.append(handler.body)
+    return bodies
+
+
+def _scan_stmt_exprs(
+    module: ModuleSource,
+    stmt: ast.stmt,
+    guarded: Dict[str, GuardSpec],
+    held: Set[str],
+) -> List[Finding]:
+    """Check the expressions directly attached to *stmt* (not sub-blocks)."""
+    findings: List[Finding] = []
+    for field_name, value in ast.iter_fields(stmt):
+        if field_name in ("body", "orelse", "finalbody", "handlers"):
+            continue
+        exprs: List[ast.AST] = []
+        if isinstance(value, ast.AST):
+            exprs.append(value)
+        elif isinstance(value, list):
+            exprs.extend(v for v in value if isinstance(v, ast.AST))
+        for expr in exprs:
+            findings.extend(_scan_expr(module, expr, guarded, held))
+    return findings
+
+
+def _scan_expr(
+    module: ModuleSource,
+    expr: ast.AST,
+    guarded: Dict[str, GuardSpec],
+    held: Set[str],
+) -> List[Finding]:
+    findings: List[Finding] = []
+    for node in ast.walk(expr):
+        if not (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and node.attr in guarded
+        ):
+            continue
+        spec = guarded[node.attr]
+        if node.lineno == spec.decl_line:
+            continue  # the annotated declaration itself
+        is_write = isinstance(node.ctx, (ast.Store, ast.Del))
+        if spec.writes_only and not is_write:
+            continue
+        if held & set(spec.guards):
+            continue
+        access = "write to" if is_write else "read of"
+        findings.append(
+            Finding(
+                code="LOCK001",
+                message=(
+                    "unguarded %s `self.%s` — declared `# guarded by: "
+                    "%s`; hold the lock (`with %s:`) or annotate the "
+                    "method `# requires: %s`"
+                    % (
+                        access,
+                        node.attr,
+                        ", ".join(spec.guards),
+                        spec.guards[0],
+                        spec.guards[0],
+                    )
+                ),
+                path=module.relpath,
+                line=node.lineno,
+                col=node.col_offset,
+            )
+        )
+    return findings

@@ -1,0 +1,299 @@
+"""RNG-discipline rules (RNG001-RNG004).
+
+Every random stream in the project must be a named, seed-derived
+:class:`numpy.random.Generator` built through :mod:`repro.sim.rng` —
+that is what makes runs replayable, shards store-addressable, and the
+object/vectorized engines bit-comparable.  These rules pin the
+convention: no process-global RNG state, no stdlib ``random``, every
+``default_rng`` argument derived from the master seed, and no draws
+whose *execution* depends on a branch in the parity-critical modules
+(the two engines must consume identical variate sequences).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..core import Finding, ModuleSource, Project
+
+__all__ = ["check"]
+
+#: Modules exempt from the RNG rules: the stream helpers themselves
+#: (they are the one sanctioned ``default_rng`` call site) and the
+#: linter (whose docstrings discuss the forbidden spellings).
+_EXEMPT_PREFIXES = ("repro.sim.rng", "repro.lint")
+
+#: Legacy numpy global-state draws (``np.random.<draw>()``), all of
+#: which mutate hidden process state.
+_LEGACY_NP_DRAWS = frozenset(
+    {
+        "seed", "set_state", "rand", "randn", "randint", "random",
+        "random_sample", "choice", "shuffle", "permutation", "uniform",
+        "normal", "exponential", "poisson", "binomial", "geometric",
+        "lognormal", "standard_normal", "bytes",
+    }
+)
+
+#: Generator draw methods considered for the conditional-draw rule.
+_DRAW_METHODS = frozenset(
+    {
+        "random", "integers", "choice", "shuffle", "permutation",
+        "normal", "uniform", "exponential", "poisson", "binomial",
+        "geometric", "lognormal", "standard_normal", "bytes",
+    }
+)
+
+#: Module path fragments whose draws are parity-critical (RNG004).
+_PARITY_CRITICAL = ("repro.sim.kernels.", "repro.traffic.")
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _numpy_aliases(tree: ast.Module) -> Set[str]:
+    aliases: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "numpy":
+                    aliases.add(alias.asname or "numpy")
+    return aliases
+
+
+def _default_rng_names(tree: ast.Module) -> Set[str]:
+    """Local names bound to ``numpy.random.default_rng`` by from-import."""
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "numpy.random":
+            for alias in node.names:
+                if alias.name == "default_rng":
+                    names.add(alias.asname or alias.name)
+    return names
+
+
+def _stdlib_random_imported(tree: ast.Module) -> List[ast.stmt]:
+    hits: List[ast.stmt] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            if any(a.name == "random" for a in node.names):
+                hits.append(node)
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "random" and not node.level:
+                hits.append(node)
+    return hits
+
+
+def _iter_scopes(tree: ast.Module) -> Iterator[ast.AST]:
+    """Module plus every function scope (for local seed-flow tracking)."""
+    yield tree
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _derived_names(scope: ast.AST) -> Set[str]:
+    """Names assigned from ``derive_seed(...)`` within *scope*."""
+    out: Set[str] = set()
+    for node in ast.walk(scope):
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+            callee = _dotted(node.value.func)
+            if callee is not None and callee.split(".")[-1] == "derive_seed":
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        out.add(target.id)
+    return out
+
+
+def _seed_flows(arg: ast.expr, derived: Set[str]) -> bool:
+    if isinstance(arg, ast.Call):
+        callee = _dotted(arg.func)
+        return callee is not None and callee.split(".")[-1] in (
+            "derive_seed",
+            "spawn_seedseq",
+        )
+    if isinstance(arg, ast.Name):
+        return arg.id in derived
+    return False
+
+
+def check(project: Project, active: Set[str]) -> List[Finding]:
+    findings: List[Finding] = []
+    for module in project.modules:
+        if module.modname.startswith(_EXEMPT_PREFIXES):
+            continue
+        findings.extend(_check_module(module))
+    return findings
+
+
+def _check_module(module: ModuleSource) -> List[Finding]:
+    findings: List[Finding] = []
+    tree = module.tree
+    np_aliases = _numpy_aliases(tree)
+    rng_names = _default_rng_names(tree)
+
+    # RNG002 — stdlib random imports (any use implies the import).
+    for node in _stdlib_random_imported(tree):
+        findings.append(
+            Finding(
+                code="RNG002",
+                message=(
+                    "stdlib `random` imported — use named numpy streams "
+                    "from repro.sim.rng (derive_seed/spawn_generator)"
+                ),
+                path=module.relpath,
+                line=node.lineno,
+                col=node.col_offset,
+            )
+        )
+
+    for call in (n for n in ast.walk(tree) if isinstance(n, ast.Call)):
+        callee = _dotted(call.func)
+        if callee is None:
+            continue
+        parts = callee.split(".")
+        # RNG001 — process-global numpy RNG state.
+        if (
+            len(parts) == 3
+            and parts[0] in np_aliases
+            and parts[1] == "random"
+            and parts[2] in _LEGACY_NP_DRAWS
+        ):
+            findings.append(
+                Finding(
+                    code="RNG001",
+                    message=(
+                        "`%s` touches process-global RNG state — build a "
+                        "Generator via repro.sim.rng instead" % callee
+                    ),
+                    path=module.relpath,
+                    line=call.lineno,
+                    col=call.col_offset,
+                )
+            )
+        # RNG001 — stdlib random.seed (global state even if RNG002 missed
+        # an exotic import spelling).
+        if callee == "random.seed":
+            findings.append(
+                Finding(
+                    code="RNG001",
+                    message="`random.seed` seeds process-global state",
+                    path=module.relpath,
+                    line=call.lineno,
+                    col=call.col_offset,
+                )
+            )
+
+    # RNG003 — default_rng argument provenance, per scope.  Nested
+    # functions are visited as their own scope *and* by the enclosing
+    # walk, so findings dedupe by location.
+    rng3_seen: Set[Tuple[int, int]] = set()
+    for scope in _iter_scopes(tree):
+        derived = _derived_names(scope)
+        body = scope.body if isinstance(scope, ast.Module) else [scope]
+        for node in body:
+            for call in (n for n in ast.walk(node) if isinstance(n, ast.Call)):
+                callee = _dotted(call.func)
+                if callee is None:
+                    continue
+                parts = callee.split(".")
+                is_default_rng = (
+                    len(parts) == 3
+                    and parts[0] in np_aliases
+                    and parts[1] == "random"
+                    and parts[2] == "default_rng"
+                ) or (len(parts) == 1 and parts[0] in rng_names)
+                if not is_default_rng:
+                    continue
+                # Only report against the *innermost* scope containing
+                # the call (module scope would double-report calls that
+                # sit inside functions).
+                if isinstance(scope, ast.Module) and _inside_function(
+                    tree, call
+                ):
+                    continue
+                loc = (call.lineno, call.col_offset)
+                if loc in rng3_seen:
+                    continue
+                rng3_seen.add(loc)
+                if not call.args or not _seed_flows(call.args[0], derived):
+                    findings.append(
+                        Finding(
+                            code="RNG003",
+                            message=(
+                                "default_rng argument does not flow from "
+                                "derive_seed — use spawn_generator(seed, "
+                                "name) or derive_seed(seed, name)"
+                            ),
+                            path=module.relpath,
+                            line=call.lineno,
+                            col=call.col_offset,
+                        )
+                    )
+
+    # RNG004 — conditional draws in parity-critical modules.
+    if module.modname.startswith(_PARITY_CRITICAL) or any(
+        module.modname == p.rstrip(".") for p in _PARITY_CRITICAL
+    ):
+        findings.extend(_conditional_draws(module))
+    return findings
+
+
+def _inside_function(tree: ast.Module, target: ast.Call) -> bool:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for sub in ast.walk(node):
+                if sub is target:
+                    return True
+    return False
+
+
+def _conditional_draws(module: ModuleSource) -> List[Finding]:
+    findings: List[Finding] = []
+    conditionals: List[ast.AST] = []
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.If):
+            conditionals.extend(node.body)
+            conditionals.extend(node.orelse)
+        elif isinstance(node, ast.IfExp):
+            conditionals.append(node.body)
+            conditionals.append(node.orelse)
+    seen: Set[Tuple[int, int]] = set()
+    for branch in conditionals:
+        for call in (n for n in ast.walk(branch) if isinstance(n, ast.Call)):
+            func = call.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr not in _DRAW_METHODS:
+                continue
+            recv = func.value
+            if not (isinstance(recv, ast.Name) and "rng" in recv.id.lower()):
+                continue
+            loc = (call.lineno, call.col_offset)
+            if loc in seen:
+                continue
+            seen.add(loc)
+            findings.append(
+                Finding(
+                    code="RNG004",
+                    message=(
+                        "RNG draw `%s.%s` inside a conditional branch of a "
+                        "parity-critical module — both engines must "
+                        "consume identical variate sequences"
+                        % (recv.id, func.attr)
+                    ),
+                    path=module.relpath,
+                    line=call.lineno,
+                    col=call.col_offset,
+                )
+            )
+    return findings

@@ -22,7 +22,7 @@ from ..sim.kernels import output_queued as _k_oq
 from ..sim.kernels import pf as _k_pf
 from ..sim.kernels import sprinklers as _k_sprinklers
 from ..sim.kernels import ufs as _k_ufs
-from ..sim.rng import derive_seed
+from ..sim.rng import spawn_generator
 from ..switching.baseline import BaselineLoadBalancedSwitch
 from ..switching.cms import CmsSwitch
 from ..switching.foff import FoffSwitch
@@ -39,7 +39,7 @@ __all__: list = []
 def _sprinklers_assignment(
     matrix: np.ndarray, seed: int
 ) -> StripeIntervalAssignment:
-    rng = np.random.default_rng(derive_seed(seed, "sprinklers-placement"))
+    rng = spawn_generator(seed, "sprinklers-placement")
     return StripeIntervalAssignment(matrix, rng=rng, mode=PlacementMode.OLS)
 
 

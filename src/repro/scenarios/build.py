@@ -24,7 +24,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from ..sim.rng import derive_seed
+from ..sim.rng import spawn_generator, traffic_rng
 from ..traffic.arrivals import (
     ArrivalProcess,
     ModulatedBernoulliArrivals,
@@ -136,7 +136,7 @@ def _components(
     if num_slots <= 0:
         raise ValueError("num_slots must be positive")
     matrix = effective_matrix(spec, n, load)
-    rng = np.random.default_rng(derive_seed(seed, "traffic"))
+    rng = traffic_rng(seed)
     arrivals = _make_arrivals(spec, matrix, num_slots, rng)
     destinations = _make_destinations(spec, n, load, num_slots)
     return matrix, rng, arrivals, destinations
@@ -163,7 +163,7 @@ def build_traffic(
         flow_model = FlowModel(
             flows_per_voq=int(spec.flows.get("flows_per_voq", 32)),
             zipf_exponent=float(spec.flows.get("zipf_exponent", 1.2)),
-            rng=np.random.default_rng(derive_seed(seed, "flows")),
+            rng=spawn_generator(seed, "flows"),
         )
     return TrafficGenerator(
         matrix,

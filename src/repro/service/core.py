@@ -125,9 +125,9 @@ class SimulationService:
         self._store_path = store_dir(self.store)
         self._lock = threading.RLock()
         self._cond = threading.Condition(self._lock)
-        self._jobs: Dict[str, JobState] = {}
-        self._shards: Dict[str, ShardState] = {}
-        self._seq = 0
+        self._jobs: Dict[str, JobState] = {}  # guarded by: self._lock
+        self._shards: Dict[str, ShardState] = {}  # guarded by: self._lock
+        self._seq = 0  # guarded by: self._lock
         self.pool = WorkerPool(
             runner,
             workers=workers,
@@ -198,6 +198,7 @@ class SimulationService:
             self._cond.notify_all()
             return job.job_id
 
+    # requires: self._lock
     def _plan_shard(
         self, job: JobState, spec: ShardSpec, key: str, params: Dict
     ) -> None:
@@ -277,6 +278,7 @@ class SimulationService:
             telemetry.count("service.shard_failures")
             self._settle_shard(state, failed=True)
 
+    # requires: self._lock
     def _settle_shard(self, state: ShardState, failed: bool = False) -> None:
         """Deliver a finished shard to every subscribed job (lock held)."""
         subscribers, state.jobs = state.jobs, []

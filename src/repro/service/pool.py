@@ -99,9 +99,9 @@ class WorkerPool:
         self._ctx = mp.get_context("fork")
         self._tasks = self._ctx.Queue()
         self._results = self._ctx.Queue()
-        self._procs: Dict[int, mp.Process] = {}
-        self._claims: Dict[int, str] = {}
-        self._pending: Dict[str, object] = {}
+        self._procs: Dict[int, mp.Process] = {}  # guarded by: self._lock
+        self._claims: Dict[int, str] = {}  # guarded by: self._lock
+        self._pending: Dict[str, object] = {}  # guarded by: self._lock
         self._lock = threading.Lock()
         self._stopping = threading.Event()
         self._collector: Optional[threading.Thread] = None

@@ -61,7 +61,7 @@ from .fast_engine import (
 )
 from .kernels.base import Departures, composite_argsort
 from .metrics import SimulationResult
-from .rng import derive_seed
+from .rng import derive_seed, traffic_rng
 from .stage import KernelStage, ObjectStage, Stage
 
 __all__ = ["run_fabric", "build_stages"]
@@ -453,8 +453,7 @@ def run_fabric(
     matrix = validate_matrix(matrix)
     n = matrix.shape[0]
     if batch_traffic is None:
-        traffic_rng = np.random.default_rng(derive_seed(seed, "traffic"))
-        batch_traffic = BatchTrafficGenerator(matrix, traffic_rng)
+        batch_traffic = BatchTrafficGenerator(matrix, traffic_rng(seed))
     if batch_traffic.n != n:
         raise ValueError("batch traffic size does not match matrix")
 

@@ -28,7 +28,7 @@ from ..scenarios.spec import ScenarioSpec, effective_matrix
 from ..sim.engine import SimulationEngine
 from ..sim.fast_engine import run_single_fast
 from ..sim.metrics import SimulationResult
-from ..sim.rng import derive_seed
+from ..sim.rng import traffic_rng
 from ..store import ExperimentStore, coerce_store
 from ..traffic.generator import TrafficGenerator
 from ..traffic.matrices import diagonal_matrix, uniform_matrix
@@ -318,8 +318,7 @@ def _execute_single(
     if spec is not None:
         traffic = build_traffic(spec, n, spec_load, seed, num_slots)
     else:
-        traffic_rng = np.random.default_rng(derive_seed(seed, "traffic"))
-        traffic = TrafficGenerator(matrix, traffic_rng)
+        traffic = TrafficGenerator(matrix, traffic_rng(seed))
     sim = SimulationEngine(
         switch,
         traffic,

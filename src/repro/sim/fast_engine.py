@@ -50,7 +50,7 @@ import numpy as np
 
 from .. import models, telemetry
 from ..sim.metrics import SimulationMetrics, SimulationResult
-from ..sim.rng import derive_seed
+from ..sim.rng import traffic_rng
 from ..traffic.batch import BatchTrafficGenerator
 from ..traffic.matrices import validate_matrix
 from .kernels.base import Departures, composite_argsort
@@ -503,8 +503,7 @@ def run_single_fast(
     matrix = validate_matrix(matrix)
     n = matrix.shape[0]
     if batch_traffic is None:
-        traffic_rng = np.random.default_rng(derive_seed(seed, "traffic"))
-        batch_traffic = BatchTrafficGenerator(matrix, traffic_rng)
+        batch_traffic = BatchTrafficGenerator(matrix, traffic_rng(seed))
     if batch_traffic.n != n:
         raise ValueError("batch traffic size does not match matrix")
 
@@ -639,9 +638,7 @@ def run_replications_fast(
     seeds = list(seeds)
     if batch_traffics is None:
         batch_traffics = [
-            BatchTrafficGenerator(
-                matrix, np.random.default_rng(derive_seed(seed, "traffic"))
-            )
+            BatchTrafficGenerator(matrix, traffic_rng(seed))
             for seed in seeds
         ]
     if len(batch_traffics) != len(seeds):

@@ -53,6 +53,7 @@ from .base import stable_id_argsort
 __all__ = [
     "FormationRule",
     "FrameFormationStream",
+    "arrival_tags",
     "FramedPacketBuffer",
     "FrameSchedule",
     "ReferenceFormationStream",

@@ -17,7 +17,7 @@ from typing import Dict, Iterator
 
 import numpy as np
 
-__all__ = ["RngRegistry", "derive_seed", "spawn_generator"]
+__all__ = ["RngRegistry", "derive_seed", "spawn_generator", "traffic_rng"]
 
 
 def derive_seed(master_seed: int, name: str) -> int:
@@ -41,6 +41,17 @@ def derive_seed(master_seed: int, name: str) -> int:
 def spawn_generator(master_seed: int, name: str) -> np.random.Generator:
     """Return a numpy :class:`~numpy.random.Generator` for stream ``name``."""
     return np.random.default_rng(derive_seed(master_seed, name))
+
+
+def traffic_rng(master_seed: int) -> np.random.Generator:
+    """The ``"traffic"`` stream's generator — the arrival-process stream.
+
+    This is the stream both engines (and every scenario builder) consume
+    for arrivals, hoisted here so each call site constructs it the same
+    way; bit-parity between the object and vectorized engines depends on
+    them drawing from identical generators.
+    """
+    return spawn_generator(master_seed, "traffic")
 
 
 class RngRegistry:

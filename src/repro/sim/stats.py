@@ -16,7 +16,7 @@ series), so they apply to every switch in the library.
 from __future__ import annotations
 
 import math
-from typing import List, NamedTuple, Sequence
+from typing import NamedTuple, Sequence
 
 import numpy as np
 from scipy import stats as scipy_stats

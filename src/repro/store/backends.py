@@ -51,7 +51,7 @@ import threading
 import time
 from contextlib import contextmanager
 from pathlib import Path
-from typing import List, NamedTuple, Optional, Union
+from typing import Iterator, List, NamedTuple, Optional, Union
 
 __all__ = [
     "BACKENDS",
@@ -241,7 +241,7 @@ class SqliteBackend(ObjectBackend):
         return conn
 
     @contextmanager
-    def _cursor(self):
+    def _cursor(self) -> Iterator[sqlite3.Cursor]:
         """``with self._cursor() as cur`` — commit on success, rollback
         on error (every call is one transaction)."""
         conn = self._connect()

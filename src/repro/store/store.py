@@ -53,7 +53,7 @@ import json
 import sqlite3
 import time
 from pathlib import Path
-from typing import Dict, List, NamedTuple, Optional, Union
+from typing import Any, Callable, Dict, List, NamedTuple, Optional, Union
 
 from .. import telemetry
 from ..sim.metrics import SimulationResult
@@ -68,6 +68,7 @@ __all__ = [
     "cache_key",
     "canonical_params",
     "coerce_store",
+    "store_dir",
 ]
 
 #: Bump when the params layout or result payload schema changes; old
@@ -143,7 +144,9 @@ class ExperimentStore:
         self.misses = 0
         self._hit_log_failed = False
 
-    def _fetch_payload(self, params: Dict, load):
+    def _fetch_payload(
+        self, params: Dict, load: Callable[[dict], Any]
+    ) -> Optional[Any]:
         """Shared miss/hit/manifest flow of :meth:`fetch` and
         :meth:`fetch_artifact`; ``load(payload)`` extracts (and may
         deserialize) the wanted field, any failure reading as a miss."""

@@ -26,7 +26,7 @@ correct endpoint) and maintains conservation counters used by tests.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 from .fabric import decreasing_connection, increasing_connection
 from .packet import Packet

@@ -32,6 +32,7 @@ from .metrics import MetricsRegistry
 from .spans import Tracer
 
 __all__ = [
+    "TelemetryState",
     "enabled",
     "enable",
     "disable",

@@ -15,6 +15,7 @@ and a metrics snapshot read as one vocabulary.
 from __future__ import annotations
 
 import math
+import threading
 from typing import Dict, List, Optional, Union
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
@@ -133,36 +134,44 @@ class MetricsRegistry:
 
     ``counter``/``gauge``/``histogram`` return the existing instrument
     when the name is already registered (probes from different modules
-    can share one counter without coordination).
+    can share one counter without coordination).  Lookups are
+    double-checked: the hot path is a lock-free ``dict.get`` (safe under
+    the GIL — the dict only ever grows), and only a creation miss takes
+    the registry lock, so two threads racing to create the same name
+    converge on one instrument instead of silently dropping counts.
     """
 
     def __init__(self) -> None:
-        self._instruments: Dict[str, Union[Counter, Gauge, Histogram]] = {}
+        self._lock = threading.Lock()
+        # Reads race the lock intentionally (double-checked creation).
+        self._instruments: Dict[str, Union[Counter, Gauge, Histogram]] = {}  # guarded by: self._lock [writes]
 
-    def counter(self, name: str) -> Counter:
+    def _get_or_create(self, name: str, cls) -> Union[Counter, Gauge, Histogram]:
         inst = self._instruments.get(name)
         if inst is None:
-            inst = self._instruments[name] = Counter(name)
-        elif not isinstance(inst, Counter):
-            raise TypeError(f"{name!r} is a {type(inst).__name__}, not a Counter")
+            with self._lock:
+                inst = self._instruments.get(name)
+                if inst is None:
+                    inst = self._instruments[name] = cls(name)
+        if not isinstance(inst, cls):
+            raise TypeError(
+                f"{name!r} is a {type(inst).__name__}, not a {cls.__name__}"
+            )
+        return inst
+
+    def counter(self, name: str) -> Counter:
+        inst = self._get_or_create(name, Counter)
+        assert isinstance(inst, Counter)
         return inst
 
     def gauge(self, name: str) -> Gauge:
-        inst = self._instruments.get(name)
-        if inst is None:
-            inst = self._instruments[name] = Gauge(name)
-        elif not isinstance(inst, Gauge):
-            raise TypeError(f"{name!r} is a {type(inst).__name__}, not a Gauge")
+        inst = self._get_or_create(name, Gauge)
+        assert isinstance(inst, Gauge)
         return inst
 
     def histogram(self, name: str) -> Histogram:
-        inst = self._instruments.get(name)
-        if inst is None:
-            inst = self._instruments[name] = Histogram(name)
-        elif not isinstance(inst, Histogram):
-            raise TypeError(
-                f"{name!r} is a {type(inst).__name__}, not a Histogram"
-            )
+        inst = self._get_or_create(name, Histogram)
+        assert isinstance(inst, Histogram)
         return inst
 
     def get(self, name: str) -> Optional[Union[Counter, Gauge, Histogram]]:

@@ -34,12 +34,13 @@ import json
 import os
 import threading
 import time
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Dict, List, Optional
 
 __all__ = [
     "Span",
     "Tracer",
     "read_trace",
+    "validate_nesting",
     "summarize_trace",
     "diff_traces",
     "check_trace",
@@ -135,10 +136,10 @@ class Tracer:
 
     def __init__(self) -> None:
         self.epoch = time.perf_counter()
-        self._spans: List[Span] = []
+        self._spans: List[Span] = []  # guarded by: self._lock
         self._lock = threading.Lock()
         self._local = threading.local()
-        self._next_id = 0
+        self._next_id = 0  # guarded by: self._lock
 
     def _stack(self) -> List[Span]:
         stack = getattr(self._local, "stack", None)

@@ -261,4 +261,5 @@ class BatchTrafficGenerator:
 
 def bernoulli_batch(matrix, seed: int = 0) -> BatchTrafficGenerator:
     """Convenience constructor: Bernoulli batch traffic from matrix + seed."""
+    # repro: lint-ignore[RNG003] -- public convenience constructor: raw seed is its API
     return BatchTrafficGenerator(matrix, np.random.default_rng(seed))

@@ -104,11 +104,13 @@ def _draw_from_cdfs(
         count = int(counts[inp])
         cdf = cdfs[int(inp)]
         if cdf is None:
+            # repro: lint-ignore[RNG004] -- branch is per-input configuration (uniform row), not data-dependent; parity-pinned
             sorted_dests[at : at + count] = rng.integers(0, n, size=count)
         else:
             # Generator.choice(n, size, p) ≡ inverse-CDF over one
             # uniform block: identical stream consumption and values.
             sorted_dests[at : at + count] = cdf.searchsorted(
+                # repro: lint-ignore[RNG004] -- same configuration-determined branch; consumption parity asserted in tests
                 rng.random(count), side="right"
             )
         at += count
@@ -426,5 +428,6 @@ def bernoulli_traffic(
     matrix, seed: int = 0, flow_model: Optional[FlowModel] = None
 ) -> TrafficGenerator:
     """Convenience constructor: Bernoulli traffic from a matrix and a seed."""
+    # repro: lint-ignore[RNG003] -- public convenience constructor: raw seed is its API
     rng = np.random.default_rng(seed)
     return TrafficGenerator(matrix, rng, flow_model=flow_model)
