@@ -120,6 +120,74 @@ def test_streamed_memory_bounded():
     )
 
 
+def test_fused_metrics_no_retained_samples():
+    """Fused metrics: exact percentiles with zero per-packet arrays.
+
+    ``keep_samples=False`` runs fold every window's delays into an exact
+    sparse histogram, so the streamed replay reports exact p50/p99
+    without ever holding a per-packet delay array.  Pinned two ways: the
+    retained-samples twin of the same run must agree exactly on the
+    percentiles, and its peak must exceed the fused run's by at least
+    most of one per-packet array — i.e. the fused path measurably does
+    not hold one.
+    """
+    results = {}
+
+    def run(keep_samples: bool) -> None:
+        results[keep_samples] = run_single_fast(
+            "sprinklers",
+            uniform_matrix(bench_n(), LOAD),
+            LARGE_SLOTS,
+            seed=0,
+            load_label=LOAD,
+            keep_samples=keep_samples,
+            window_slots=WINDOW_SLOTS,
+        )
+
+    fused_peak = _peak_bytes(lambda: run(False))
+    retained_peak = _peak_bytes(lambda: run(True))
+    fused, retained = results[False], results[True]
+    measured = fused.measured_packets
+    assert measured > 0
+    assert fused._delay_samples == []
+    assert fused.p50_delay == retained.p50_delay
+    assert fused.p99_delay == retained.p99_delay
+    assert sum(fused._delay_histogram.values()) == measured
+    margin = retained_peak - fused_peak
+    emit(
+        f"Fused-metrics memory (sprinklers, N={bench_n()}, load {LOAD}, "
+        f"{LARGE_SLOTS} slots, window {WINDOW_SLOTS})",
+        "\n".join(
+            [
+                f"fused (no samples):  {fused_peak / 1e6:8.1f} MB  "
+                f"(exact p50 {fused.p50_delay}, p99 {fused.p99_delay})",
+                f"retained samples:    {retained_peak / 1e6:8.1f} MB  "
+                f"(+{margin / 1e6:.1f} MB for {measured} packets)",
+            ]
+        ),
+    )
+    write_bench_artifact(
+        "memory",
+        {
+            "fused_metrics": {
+                "measured_packets": measured,
+                "fused_peak_bytes": fused_peak,
+                "retained_peak_bytes": retained_peak,
+                "p50": fused.p50_delay,
+                "p99": fused.p99_delay,
+            }
+        },
+    )
+    # A retained per-packet delay array costs >= 8 bytes/packet (int64);
+    # the fused run must sit at least most of that below the retained
+    # twin, or it is secretly holding per-packet state.
+    assert margin >= 6 * measured, (
+        f"fused-metrics peak is only {margin / 1e6:.1f} MB below the "
+        f"retained run for {measured} packets — the fused path appears "
+        f"to hold a per-packet array"
+    )
+
+
 def _run_fabric(slots: int, window_slots=None) -> None:
     from repro.sim.composite import run_fabric
 

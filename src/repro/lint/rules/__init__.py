@@ -79,6 +79,10 @@ RULE_DOCS: Dict[str, str] = {
         "built-in fabric no longer resolves or lost vectorized support"
     ),
     "REG004": "__all__ does not match the module's public definitions",
+    "REG005": (
+        "switch advertises the COMPILED capability but its kernel module "
+        "does not resolve compiled pass implementations"
+    ),
     "SUP001": "unused `# repro: lint-ignore[...]` suppression",
 }
 

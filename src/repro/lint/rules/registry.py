@@ -1,12 +1,14 @@
-"""Registry-consistency rules (REG001-REG004).
+"""Registry-consistency rules (REG001-REG005).
 
-REG001-REG003 are *dynamic* cross-checks: they import the switch
-registry and verify that what the models declare matches what their
-kernel modules actually provide, that the paper-grid coverage floor
-holds, and that the built-in fabrics resolve.  They replace the ad-hoc
-shell gates the CI tier-1 job used to carry and only run when the
-linted file set includes ``repro/models/builtin.py`` (so fixture-only
-lint runs in tests stay hermetic).
+REG001-REG003 and REG005 are *dynamic* cross-checks: they import the
+switch registry and verify that what the models declare matches what
+their kernel modules actually provide, that the paper-grid coverage
+floor holds, that the built-in fabrics resolve, and that every switch
+advertising the COMPILED capability resolves compiled pass
+implementations (:func:`repro.sim.kernels.compiled.resolve_compiled_passes`).
+They replace the ad-hoc shell gates the CI tier-1 job used to carry and
+only run when the linted file set includes ``repro/models/builtin.py``
+(so fixture-only lint runs in tests stay hermetic).
 
 REG004 is static: in every module that declares ``__all__``, the list
 must name exactly the module's public API — every listed name is
@@ -54,7 +56,7 @@ def check(project: Project, active: Set[str]) -> List[Finding]:
         None,
     )
     if builtin is not None and any(
-        code in active for code in ("REG001", "REG002", "REG003")
+        code in active for code in ("REG001", "REG002", "REG003", "REG005")
     ):
         findings.extend(_check_registry(builtin))
     return findings
@@ -173,6 +175,37 @@ def _check_registry(builtin: ModuleSource) -> List[Finding]:
                 "REG003",
                 "built-in fabric %r unusable on the vectorized engine: %s"
                 % (fname, exc),
+            )
+
+    # REG005 — a switch advertising COMPILED must resolve compiled
+    # implementations for its kernel module's hot passes.
+    from repro.sim.kernels.compiled import resolve_compiled_passes
+
+    for name in models.available():
+        model = models.get(name)
+        if Capability.COMPILED not in model.capabilities:
+            continue
+        if model.kernel is None:
+            fail(
+                "REG005",
+                "switch %r advertises the compiled backend but has no "
+                "vectorized kernel to accelerate" % name,
+            )
+            continue
+        try:
+            passes = resolve_compiled_passes(model.kernel.__module__)
+        except Exception as exc:
+            fail(
+                "REG005",
+                "switch %r: compiled passes for kernel module %s do not "
+                "resolve: %s" % (name, model.kernel.__module__, exc),
+            )
+            continue
+        if not passes or not all(callable(p) for p in passes):
+            fail(
+                "REG005",
+                "switch %r: kernel module %s resolved no compiled pass "
+                "implementations" % (name, model.kernel.__module__),
             )
     return findings
 

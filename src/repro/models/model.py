@@ -52,6 +52,13 @@ class Capability(str, enum.Enum):
     #: Derived automatically from ``stream_kernel`` — the resumable
     #: window interface *is* the composition surface.
     COMPOSABLE = "composable"
+    #: The vectorized kernel's hot scalar-recursion passes have compiled
+    #: (numba ``@njit``) implementations selectable via
+    #: ``backend="compiled"``, bit-identical to the NumPy reference.
+    #: Derived automatically from the ``kernel`` field — every
+    #: vectorized kernel funnels through the shared compiled passes
+    #: (:mod:`repro.sim.kernels.compiled`).
+    COMPILED = "compiled"
 
 
 class ParamSpec:
@@ -126,6 +133,15 @@ class SwitchModel:
             raise ValueError(
                 f"switch model {self.name!r}: a feedback-coupled control "
                 f"loop cannot have an exact vectorized kernel"
+            )
+        if self.kernel is not None:
+            object.__setattr__(
+                self, "capabilities", self.capabilities | {Capability.COMPILED}
+            )
+        elif Capability.COMPILED in self.capabilities:
+            raise ValueError(
+                f"switch model {self.name!r} declares "
+                f"{Capability.COMPILED.value!r} but has no vectorized kernel"
             )
         if self.stream_kernel is not None:
             if self.kernel is None:

@@ -427,7 +427,9 @@ class SimulationService:
                     entry["error"] = state.error
             result = self.store.fetch_by_key(key)
             if result is not None:
-                entry["result"] = result.to_dict()
+                # Result streams are summaries for clients: the exact
+                # histogram travels, the bulky per-packet samples do not.
+                entry["result"] = result.to_dict(include_samples=False)
                 entry["status"] = "done"
             yield entry
 

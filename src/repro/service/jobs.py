@@ -51,6 +51,9 @@ class ShardSpec:
     seed: int
     engine: str = "object"
     switch_params: Optional[Dict] = None
+    #: Kernel backend ("numpy"/"compiled") the worker should run under;
+    #: results (and therefore shard keys) are backend-invariant.
+    backend: Optional[str] = None
 
     def to_dict(self) -> Dict:
         return {
@@ -64,6 +67,7 @@ class ShardSpec:
             "switch_params": (
                 dict(self.switch_params) if self.switch_params else None
             ),
+            "backend": self.backend,
         }
 
     @classmethod
@@ -77,6 +81,7 @@ class ShardSpec:
             seed=int(data["seed"]),
             engine=data.get("engine", "object"),
             switch_params=data.get("switch_params") or None,
+            backend=data.get("backend") or None,
         )
 
 
@@ -98,6 +103,7 @@ class JobRequest:
     seeds: Tuple[int, ...] = (0,)
     engine: str = "object"
     switch_params: Optional[Dict] = None
+    backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "switches", tuple(self.switches))
@@ -126,6 +132,7 @@ class JobRequest:
             "switch_params": (
                 dict(self.switch_params) if self.switch_params else None
             ),
+            "backend": self.backend,
         }
 
     @classmethod
@@ -139,6 +146,7 @@ class JobRequest:
             seeds=tuple(data.get("seeds") or (0,)),
             engine=data.get("engine", "object"),
             switch_params=data.get("switch_params") or None,
+            backend=data.get("backend") or None,
         )
 
 
@@ -154,6 +162,7 @@ def expand_shards(request: JobRequest) -> List[ShardSpec]:
             seed=seed,
             engine=request.engine,
             switch_params=request.switch_params,
+            backend=request.backend,
         )
         for seed in request.seeds
         for load in request.loads
@@ -175,6 +184,9 @@ def shard_run_kwargs(shard: ShardSpec) -> Dict:
         "keep_samples": False,
         "engine": shard.engine,
         "switch_params": shard.switch_params,
+        # Bit-identical either way: resolve_run_params validates the
+        # name and excludes it from the key, run_single executes under it.
+        "backend": shard.backend,
     }
     if shard.workload in TRAFFIC_PATTERNS:
         kwargs["matrix"] = TRAFFIC_PATTERNS[shard.workload](

@@ -27,6 +27,7 @@ from ..scenarios.registry import SCENARIOS, resolve_scenario
 from ..scenarios.spec import ScenarioSpec, effective_matrix
 from ..sim.engine import SimulationEngine
 from ..sim.fast_engine import run_single_fast
+from ..sim.kernels.compiled import KERNEL_BACKENDS, kernel_backend
 from ..sim.metrics import SimulationResult
 from ..sim.rng import traffic_rng
 from ..store import ExperimentStore, coerce_store
@@ -343,6 +344,7 @@ def run_single(
     store: Union[None, str, ExperimentStore] = None,
     switch_params: Optional[Dict] = None,
     window_slots: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> SimulationResult:
     """Build switch + traffic from a seed and simulate one configuration.
 
@@ -385,7 +387,20 @@ def run_single(
     :func:`repro.sim.fast_engine.run_single_fast`); because results are
     identical it does not enter the store cache key, and engines or
     switches that cannot stream simply ignore it.
+
+    ``backend`` selects the kernel backend ("numpy" or "compiled") for
+    this run (:mod:`repro.sim.kernels.compiled`); ``None`` keeps
+    whatever is globally active.  Compiled results are bit-identical to
+    NumPy's, so the backend never enters the store cache key — a run
+    computed on one backend is a cache hit for the other.
     """
+    if backend is not None:
+        with kernel_backend(backend):
+            return run_single(
+                switch_name, matrix, num_slots, seed, load_label,
+                warmup_fraction, keep_samples, engine, scenario, n, load,
+                store, switch_params, window_slots,
+            )
     _check_engine(engine)
     fabric_spec = models.lookup_fabric(switch_name)
     if fabric_spec is not None:
@@ -451,6 +466,7 @@ def resolve_run_params(
     n: Optional[int] = None,
     load: Optional[float] = None,
     switch_params: Optional[Dict] = None,
+    backend: Optional[str] = None,
 ) -> Dict:
     """The store cache-key parameters :func:`run_single` would use, without
     running anything.
@@ -462,7 +478,16 @@ def resolve_run_params(
     simulation service's shard dedup) and :func:`run_single` itself can
     never disagree on a key.  Raises the same errors for the same invalid
     configurations.
+
+    ``backend`` is validated and then deliberately *excluded* from the
+    key: compiled and NumPy kernels produce bit-identical results, so
+    they must share cache entries.
     """
+    if backend is not None and backend not in KERNEL_BACKENDS:
+        raise ValueError(
+            f"unknown kernel backend {backend!r}; known: "
+            + ", ".join(KERNEL_BACKENDS)
+        )
     _check_engine(engine)
     fabric_spec = models.lookup_fabric(switch_name)
     if fabric_spec is not None and switch_params:
@@ -511,6 +536,7 @@ def delay_vs_load_sweep(
     engine: str = "object",
     store: Union[None, str, ExperimentStore] = None,
     window_slots: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> List[SimulationResult]:
     """The paper's §6 experiment grid: all switches across a load sweep.
 
@@ -551,7 +577,7 @@ def delay_vs_load_sweep(
         loads=len(loads),
         switches=len(switches),
     )
-    with sweep_span:
+    with sweep_span, kernel_backend(backend):
         results.extend(_sweep_cells(
             spec, pattern, n, loads, switches, num_slots, seed,
             keep_samples, engine, cache, window_slots,

@@ -54,6 +54,8 @@ from ..sim.rng import traffic_rng
 from ..traffic.batch import BatchTrafficGenerator
 from ..traffic.matrices import validate_matrix
 from .kernels.base import Departures, composite_argsort
+from .kernels.compiled import compiled_active, kernel_backend
+from .kernels.compiled.fold_pass import fold_running_max
 
 __all__ = [
     "FAST_ENGINE_SWITCHES",
@@ -123,6 +125,10 @@ def _fold_reordering(
     voq ids are sorted, so adding ``voq * (max seq + 1)`` makes the
     global running max segment-local.
     """
+    if compiled_active():
+        prev = np.empty(len(voq), dtype=np.int64)
+        fold_running_max(voq, seq, prev_max, prev)
+        return prev > seq, prev
     big = int(seq.max()) + 1
     run = np.maximum.accumulate(seq + voq * big) - voq * big
     prev = np.empty(len(run), dtype=np.int64)
@@ -160,6 +166,7 @@ class _MetricsAccumulator:
         self.total_sq = 0
         self.min: Optional[int] = None
         self.max: Optional[int] = None
+        self.hist: Dict[int, int] = {}
         self.samples: List[int] = []
         self.departed = 0
         self.late = 0
@@ -203,6 +210,13 @@ class _MetricsAccumulator:
                 int(delays.max()) if self.max is None
                 else max(self.max, int(delays.max()))
             )
+            # The exact sparse delay histogram: integer slot-count delays
+            # fold per window, so percentiles stay exact with zero
+            # retained per-packet arrays (the fused-metrics path).
+            hist = self.hist
+            values, counts = np.unique(delays, return_counts=True)
+            for value, cnt in zip(values.tolist(), counts.tolist()):
+                hist[value] = hist.get(value, 0) + cnt
         if self.keep_samples:
             # Order-sensitive statistics (MSER truncation, batch means
             # in delay_ci) require the object engine's observation
@@ -242,6 +256,7 @@ class _MetricsAccumulator:
         if self.count:
             stats.min = self.min
             stats.max = self.max
+        stats._hist = dict(self.hist)
         if self.keep_samples:
             stats._samples = self.samples
         metrics.measured_departures = self.count
@@ -292,6 +307,7 @@ class _StackedMetricsAccumulator:
         self.total_sq = np.zeros(num_blocks, dtype=np.int64)
         self.min = np.full(num_blocks, big, dtype=np.int64)
         self.max = np.full(num_blocks, -1, dtype=np.int64)
+        self.hist: List[Dict[int, int]] = [{} for _ in range(num_blocks)]
         self.departed = np.zeros(num_blocks, dtype=np.int64)
         self.late = np.zeros(num_blocks, dtype=np.int64)
         self.displacement = np.zeros(num_blocks, dtype=np.int64)
@@ -348,6 +364,18 @@ class _StackedMetricsAccumulator:
         np.maximum.at(
             self.max, block[is_measured], delays[is_measured]
         )
+        if is_measured.any():
+            # Per-seed exact delay histograms in one stacked unique pass
+            # (composite key: block * stride + delay).
+            mdelays = delays[is_measured]
+            stride = int(mdelays.max()) + 1
+            values, counts = np.unique(
+                block[is_measured] * stride + mdelays, return_counts=True
+            )
+            for key, cnt in zip(values.tolist(), counts.tolist()):
+                h = self.hist[key // stride]
+                delay = key % stride
+                h[delay] = h.get(delay, 0) + cnt
 
         if dep.assembled is not None and dep.tx is not None:
             self.has_breakdown = True
@@ -381,6 +409,7 @@ class _StackedMetricsAccumulator:
             if stats.count:
                 stats.min = int(self.min[b])
                 stats.max = int(self.max[b])
+            stats._hist = dict(self.hist[b])
             metrics.measured_departures = stats.count
             metrics.reordering.observed = int(self.departed[b])
             metrics.reordering.late_packets = int(self.late[b])
@@ -470,6 +499,7 @@ def run_single_fast(
     batch_traffic: Optional[BatchTrafficGenerator] = None,
     switch_params: Optional[Dict] = None,
     window_slots: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> SimulationResult:
     """Vectorized counterpart of :func:`repro.sim.experiment.run_single`.
 
@@ -493,7 +523,25 @@ def run_single_fast(
     multi-million-slot runs that cannot materialize their arrivals at
     once.  Requires the model to declare
     :data:`~repro.models.Capability.STREAMING`.
+
+    ``backend`` selects the kernel backend for this run (``"numpy"`` or
+    ``"compiled"``; see :mod:`repro.sim.kernels.compiled`).  Results are
+    bit-identical across backends; ``None`` keeps whatever is active.
     """
+    if backend is not None:
+        with kernel_backend(backend):
+            return run_single_fast(
+                switch_name,
+                matrix,
+                num_slots,
+                seed=seed,
+                load_label=load_label,
+                warmup_fraction=warmup_fraction,
+                keep_samples=keep_samples,
+                batch_traffic=batch_traffic,
+                switch_params=switch_params,
+                window_slots=window_slots,
+            )
     switch_params = switch_params or {}
     model = _checked_model(switch_name, switch_params)
     if num_slots <= 0:
@@ -597,6 +645,7 @@ def run_replications_fast(
     batch_traffics: Optional[Sequence[BatchTrafficGenerator]] = None,
     switch_params: Optional[Dict] = None,
     window_slots: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> List[SimulationResult]:
     """Replay many seeds of one configuration in a single kernel pass.
 
@@ -617,8 +666,23 @@ def run_replications_fast(
 
     ``batch_traffics`` substitutes pre-built per-seed packet sources (one
     per seed, e.g. scenario traffic); ``window_slots`` bounds arrival
-    memory exactly as in :func:`run_single_fast` (default: one window).
+    memory exactly as in :func:`run_single_fast` (default: one window);
+    ``backend`` selects the kernel backend exactly as there.
     """
+    if backend is not None:
+        with kernel_backend(backend):
+            return run_replications_fast(
+                switch_name,
+                matrix,
+                num_slots,
+                seeds,
+                load_label=load_label,
+                warmup_fraction=warmup_fraction,
+                keep_samples=keep_samples,
+                batch_traffics=batch_traffics,
+                switch_params=switch_params,
+                window_slots=window_slots,
+            )
     switch_params = switch_params or {}
     model = _checked_model(switch_name, switch_params)
     if model.stream_kernel is None or not model.seed_batched:

@@ -30,6 +30,8 @@ import numpy as np
 
 from ... import telemetry
 from ...traffic.batch import ArrivalBatch, stable_voq_argsort
+from .compiled import compiled_active
+from .compiled.polled_pass import serve_polled
 
 __all__ = [
     "Departures",
@@ -170,6 +172,15 @@ def replay_polled_queues(
     packed_sorted = packed[grouping]
     poll_sorted = first_poll[grouping]
     queue_sorted = packed_sorted >> 4
+
+    if compiled_active():
+        # Compiled backend: the same grouping feeds the scalar mirror of
+        # both disciplines below (single-level running max, multi-level
+        # largest-first peel); bit-identical by the parity grid.
+        polls = np.empty(num_events, dtype=np.int64)
+        serve_polled(packed_sorted, poll_sorted, polls)
+        service[grouping] = residues[queue_sorted] + polls * n
+        return service
 
     # Fast path: one priority level everywhere (every non-Sprinklers
     # switch) — each queue is a plain FIFO over its own polls, and all

@@ -1,0 +1,131 @@
+"""Compiled polled-queue service pass (scalar mirror of
+:func:`repro.sim.kernels.base.replay_polled_queues`).
+
+Operates on the same ``(queue << 4) | level``-packed, queue-grouped event
+arrays the NumPy replay sorts, and reproduces its two disciplines
+exactly:
+
+* single level in a queue — a FIFO over the queue's polls, i.e. the
+  running recursion ``poll_index = max(first_poll, previous + 1)``;
+* multiple levels — the largest-first peel: each level binary-searches
+  the *remaining* poll indices (an explicit ascending ``avail`` array)
+  for its first-poll lower bound, takes the running-max slot, and the
+  taken indices are compacted away before the next-smaller level runs.
+
+The pass emits per-event *poll indices*; the caller maps them to service
+slots (``residue + index * n``), keeping this module free of any switch
+knowledge.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ._jit import njit
+
+__all__ = ["serve_polled"]
+
+
+@njit(cache=True)
+def _serve_multilevel(
+    packed: np.ndarray,
+    poll: np.ndarray,
+    out: np.ndarray,
+    lo: int,
+    hi: int,
+) -> None:
+    # Poll indices the queue could ever use: the first poll of any event
+    # plus one poll per event is a safe upper bound (same cap as the
+    # NumPy peel).
+    cap = 0
+    for e in range(lo, hi):
+        if poll[e] > cap:
+            cap = poll[e]
+    cap = cap + (hi - lo) + 1
+    avail = np.arange(cap)
+    m = cap
+    # Level segment bounds inside [lo, hi): levels pack into 4 bits, so
+    # at most 16 segments.
+    bounds = np.empty(18, dtype=np.int64)
+    bounds[0] = lo
+    nseg = 0
+    for e in range(lo + 1, hi):
+        if packed[e] != packed[e - 1]:
+            nseg += 1
+            bounds[nseg] = e
+    nseg += 1
+    bounds[nseg] = hi
+    taken = np.empty(hi - lo, dtype=np.int64)
+    # Largest level first; smaller levels see the leftover polls.
+    for s in range(nseg - 1, -1, -1):
+        a = bounds[s]
+        z = bounds[s + 1]
+        prev_idx = -1
+        cnt = 0
+        for e in range(a, z):
+            want = poll[e]
+            # Lower bound of `want` in avail[:m].
+            lo_b = 0
+            hi_b = m
+            while lo_b < hi_b:
+                mid = (lo_b + hi_b) >> 1
+                if avail[mid] < want:
+                    lo_b = mid + 1
+                else:
+                    hi_b = mid
+            idx = lo_b
+            if idx <= prev_idx:
+                idx = prev_idx + 1
+            out[e] = avail[idx]
+            taken[cnt] = idx
+            cnt += 1
+            prev_idx = idx
+        if s > 0:
+            # Compact the taken indices (strictly ascending) out of avail.
+            t = 0
+            write = taken[0]
+            for r in range(taken[0], m):
+                if t < cnt and r == taken[t]:
+                    t += 1
+                else:
+                    avail[write] = avail[r]
+                    write += 1
+            m = write
+
+
+@njit(cache=True)
+def serve_polled(
+    packed_sorted: np.ndarray,
+    poll_sorted: np.ndarray,
+    out: np.ndarray,
+) -> None:
+    """Per-event poll indices for queue-grouped polled-queue events.
+
+    ``packed_sorted``/``poll_sorted`` are the replay's event arrays after
+    its (queue, level, order) grouping sort; ``out`` receives each
+    event's poll index in the same positions.
+    """
+    num = len(packed_sorted)
+    i = 0
+    while i < num:
+        q = packed_sorted[i] >> 4
+        lvl = packed_sorted[i] & 15
+        single = True
+        j = i
+        while j < num and (packed_sorted[j] >> 4) == q:
+            if (packed_sorted[j] & 15) != lvl:
+                single = False
+            j += 1
+        if single:
+            # FIFO over the queue's polls: one serviced per poll, never
+            # before an event's own first poll.
+            prev = np.int64(-2)
+            for e in range(i, j):
+                cand = prev + 1
+                if poll_sorted[e] > cand:
+                    cand = poll_sorted[e]
+                out[e] = cand
+                prev = cand
+        else:
+            _serve_multilevel(packed_sorted, poll_sorted, out, i, j)
+        i = j

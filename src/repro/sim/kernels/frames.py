@@ -48,7 +48,9 @@ import numpy as np
 
 from ... import telemetry
 from ...traffic.batch import ArrivalBatch, stable_voq_argsort
-from .base import stable_id_argsort
+from .base import concat_ranges, stable_id_argsort
+from .compiled import compiled_active
+from .compiled.frames_pass import form_lanes
 
 __all__ = [
     "FormationRule",
@@ -470,6 +472,132 @@ class _LaneFormation:
         )
 
 
+class _CompiledLaneFormation:
+    """Drop-in for :class:`_LaneFormation` backed by the compiled per-lane
+    stepper (:func:`repro.sim.kernels.compiled.frames_pass.form_lanes`).
+
+    Carries the same per-lane state grids; pending arrivals live in one
+    lane-major CSR buffer instead of the NumPy engine's two sorted views
+    (and are absorbed lazily, per lane, rather than eagerly under the
+    global cursor — unobservable, because a lane's pick only reads
+    occupancy after absorbing every tag at or below its own cycle).
+    Schedules come out lane-major instead of cycle-major; the
+    :class:`FrameSchedule` contract leaves the cross-VOQ order
+    unspecified, and within a VOQ — owned by exactly one lane — frames
+    still appear in ascending formation order.
+    """
+
+    def __init__(self, n: int, num_blocks: int, rule: FormationRule) -> None:
+        if rule.kind not in ("pf", "foff"):
+            raise ValueError(f"unknown formation rule kind {rule.kind!r}")
+        self.n = n
+        self.num_lanes = num_blocks * n
+        self.rule = rule
+        lanes = np.arange(self.num_lanes, dtype=np.int64)
+        inputs = lanes % n
+        #: Cycle-boundary slot of lane cycle ``c`` is ``residue + c * n``.
+        self.residue = (n - inputs) % n
+        self.voq_base = (lanes // n) * n * n + inputs * n
+        self.avail = np.zeros((self.num_lanes, n), dtype=np.int64)
+        self.taken = np.zeros((self.num_lanes, n), dtype=np.int64)
+        self.full_rr = np.zeros(self.num_lanes, dtype=np.int64)
+        self.partial_rr = np.zeros(self.num_lanes, dtype=np.int64)
+        self.cycle = np.zeros(self.num_lanes, dtype=np.int64)
+        empty = np.empty(0, dtype=np.int64)
+        self._plane = empty
+        self._ptag = empty
+        self._pout = empty
+        self._pstart = np.zeros(self.num_lanes + 1, dtype=np.int64)
+
+    def absorb(
+        self, lanes: np.ndarray, tags: np.ndarray, outs: np.ndarray
+    ) -> None:
+        """Buffer one window's arrivals (per-lane tags nondecreasing).
+
+        Same merge invariant as :meth:`_LaneFormation.absorb`: a carried
+        tag is at most the lane's limit cycle, which a new window's tags
+        start from, so a stable sort by lane re-sorts the union by
+        ``(lane, tag)``.
+        """
+        lane = np.concatenate([self._plane, lanes])
+        tag = np.concatenate([self._ptag, tags])
+        out = np.concatenate([self._pout, outs])
+        if len(lane):
+            order = stable_id_argsort(lane, self.num_lanes)
+            lane, tag, out = lane[order], tag[order], out[order]
+        self._plane, self._ptag, self._pout = lane, tag, out
+        counts = np.bincount(lane, minlength=self.num_lanes)
+        self._pstart = np.concatenate(([0], np.cumsum(counts)))
+
+    def run(self, limit: Optional[np.ndarray]) -> FrameSchedule:
+        """Advance every lane below its ``limit`` cycle (exclusive);
+        ``limit=None`` runs the drain-quiescence loop."""
+        drain = limit is None
+        lim = (
+            np.full(self.num_lanes, _INT64_MAX, dtype=np.int64)
+            if drain
+            else np.ascontiguousarray(limit, dtype=np.int64)
+        )
+        # Every frame takes at least one real packet, so backlog plus
+        # pending arrivals bounds the output size.
+        bound = int(self.avail.sum()) + len(self._ptag)
+        f_voq = np.empty(bound, dtype=np.int64)
+        f_start = np.empty(bound, dtype=np.int64)
+        f_size = np.empty(bound, dtype=np.int64)
+        f_fakes = np.empty(bound, dtype=np.int64)
+        f_slot = np.empty(bound, dtype=np.int64)
+        consumed = np.zeros(self.num_lanes, dtype=np.int64)
+        count, jumps = form_lanes(
+            self.n,
+            self.rule.kind == "pf",
+            self.rule.threshold,
+            drain,
+            self.avail,
+            self.taken,
+            self.full_rr,
+            self.partial_rr,
+            self.cycle,
+            lim,
+            self.residue,
+            self.voq_base,
+            self._ptag,
+            self._pout,
+            self._pstart,
+            f_voq,
+            f_start,
+            f_size,
+            f_fakes,
+            f_slot,
+            consumed,
+        )
+        if consumed.any():
+            keep = np.ones(len(self._ptag), dtype=bool)
+            keep[concat_ranges(self._pstart[:-1], consumed)] = False
+            self._plane = self._plane[keep]
+            self._ptag = self._ptag[keep]
+            self._pout = self._pout[keep]
+            counts = np.bincount(self._plane, minlength=self.num_lanes)
+            self._pstart = np.concatenate(([0], np.cumsum(counts)))
+        if telemetry.enabled():
+            telemetry.count("kernel.frames.lane_advances", int(count))
+            telemetry.count("kernel.frames.cursor_jumps", int(jumps))
+        return FrameSchedule(
+            voq=f_voq[:count],
+            start=f_start[:count],
+            size=f_size[:count],
+            fakes=f_fakes[:count],
+            slot=f_slot[:count],
+        )
+
+
+def _make_formation(n: int, num_blocks: int, rule: FormationRule):
+    """The active backend's formation engine (NumPy lock-step lanes, or
+    the compiled per-lane stepper when ``backend="compiled"``)."""
+    if compiled_active():
+        return _CompiledLaneFormation(n, num_blocks, rule)
+    return _LaneFormation(n, num_blocks, rule)
+
+
 def arrival_tags(
     slots: np.ndarray, residue: np.ndarray, n: int
 ) -> np.ndarray:
@@ -485,7 +613,7 @@ def build_frame_schedule(
 ) -> FrameSchedule:
     """Run the array-stepped formation engine over one monolithic batch."""
     n = batch.n
-    form = _LaneFormation(n, 1, rule)
+    form = _make_formation(n, 1, rule)
     tags = arrival_tags(batch.slots, form.residue[batch.inputs], n)
     form.absorb(batch.inputs, tags, batch.outputs)
     return form.run(None)
@@ -734,7 +862,7 @@ class FrameFormationStream:
     def __init__(self, n: int, num_blocks: int, rule: FormationRule) -> None:
         self.n = n
         self.num_blocks = num_blocks
-        self._form = _LaneFormation(n, num_blocks, rule)
+        self._form = _make_formation(n, num_blocks, rule)
 
     def feed(
         self,

@@ -18,7 +18,15 @@ __all__ = ["DelayStats", "SimulationMetrics", "SimulationResult"]
 
 
 class DelayStats:
-    """Streaming delay statistics, with optional retention for percentiles."""
+    """Streaming delay statistics with exact percentiles.
+
+    Delays are integer slot counts, so an exact sparse histogram (delay
+    -> count) rides along at O(distinct delays) memory and yields exact
+    percentiles without retaining per-packet arrays.  ``keep_samples``
+    additionally retains the raw samples in observation order — needed
+    only for the order-sensitive statistics (MSER truncation, batch
+    means) behind :meth:`SimulationResult.delay_ci`.
+    """
 
     def __init__(self, keep_samples: bool = True) -> None:
         self.count = 0
@@ -28,6 +36,7 @@ class DelayStats:
         self.max: Optional[int] = None
         self.keep_samples = keep_samples
         self._samples: List[int] = []
+        self._hist: Dict[int, int] = {}
 
     def add(self, delay: int) -> None:
         """Record one packet delay (slots)."""
@@ -40,6 +49,7 @@ class DelayStats:
             self.min = delay
         if self.max is None or delay > self.max:
             self.max = delay
+        self._hist[delay] = self._hist.get(delay, 0) + 1
         if self.keep_samples:
             self._samples.append(delay)
 
@@ -65,20 +75,43 @@ class DelayStats:
             raise ValueError("samples were not retained")
         return self._samples
 
+    @property
+    def histogram(self) -> Dict[int, int]:
+        """The exact sparse delay histogram (delay -> count)."""
+        return dict(self._hist)
+
     def percentile(self, q: float) -> float:
-        """The ``q``-th percentile (0..100) of retained samples."""
-        if not self.keep_samples:
-            raise ValueError("samples were not retained")
+        """The exact ``q``-th percentile (0..100), from the histogram.
+
+        Matches ``np.percentile`` (linear interpolation) on the same
+        data, two-sided lerp included, so retained-sample runs and
+        fused-metrics (``keep_samples=False``) runs report identical
+        values.
+        """
         if not 0.0 <= q <= 100.0:
             raise ValueError(f"q must be in [0, 100], got {q}")
-        if not self._samples:
+        if self.count == 0:
             return math.nan
-        ordered = sorted(self._samples)
-        rank = (q / 100.0) * (len(ordered) - 1)
-        lo = int(rank)
-        hi = min(lo + 1, len(ordered) - 1)
-        frac = rank - lo
-        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+        rank = (q / 100.0) * (self.count - 1)
+        target_lo = int(rank)
+        target_hi = min(target_lo + 1, self.count - 1)
+        frac = rank - target_lo
+        lo_val = hi_val = 0
+        seen = 0
+        found_lo = False
+        for value in sorted(self._hist):
+            seen += self._hist[value]
+            if not found_lo and seen > target_lo:
+                lo_val = value
+                found_lo = True
+            if seen > target_hi:
+                hi_val = value
+                break
+        # np.percentile's two-sided lerp: interpolate from whichever
+        # endpoint is nearer, reproducing its rounding exactly.
+        if frac >= 0.5:
+            return hi_val - (hi_val - lo_val) * (1.0 - frac)
+        return lo_val + (hi_val - lo_val) * frac
 
     def __repr__(self) -> str:
         return f"DelayStats(count={self.count}, mean={self.mean:.2f})"
@@ -157,12 +190,10 @@ class SimulationResult:
         self.slots = slots
         self.warmup = warmup
         self.mean_delay = metrics.delays.mean
-        self.p50_delay = (
-            metrics.delays.percentile(50) if metrics.delays.keep_samples else math.nan
-        )
-        self.p99_delay = (
-            metrics.delays.percentile(99) if metrics.delays.keep_samples else math.nan
-        )
+        # Percentiles come from the exact histogram, so they are exact
+        # regardless of whether per-packet samples were retained.
+        self.p50_delay = metrics.delays.percentile(50)
+        self.p99_delay = metrics.delays.percentile(99)
         self.max_delay = metrics.delays.max
         self.measured_packets = metrics.delays.count
         self.late_packets = metrics.reordering.late_packets
@@ -175,6 +206,7 @@ class SimulationResult:
         self._delay_samples = (
             list(metrics.delays.samples) if metrics.delays.keep_samples else []
         )
+        self._delay_histogram = metrics.delays.histogram
 
     @property
     def is_ordered(self) -> bool:
@@ -206,14 +238,18 @@ class SimulationResult:
             return math.nan
         return self.departed / self.slots
 
-    def to_dict(self) -> Dict:
+    def to_dict(self, include_samples: bool = True) -> Dict:
         """Full lossless dict form (the experiment store's payload).
 
         Unlike :meth:`as_row` this captures *everything* needed to
-        reconstruct the result object, including retained delay samples,
-        so a cache hit is indistinguishable from a recomputation.
+        reconstruct the result object, so a cache hit is
+        indistinguishable from a recomputation.  The exact delay
+        histogram is always included; ``include_samples=False`` omits
+        the (much larger) per-packet sample array — the serialization
+        policy for runs that never retained samples in the first place
+        and for service result streams.
         """
-        return {
+        data = {
             "switch_name": self.switch_name,
             "n": self.n,
             "load": self.load,
@@ -229,8 +265,14 @@ class SimulationResult:
             "injected": self.injected,
             "departed": self.departed,
             "extras": dict(self.extras),
-            "delay_samples": list(self._delay_samples),
+            "delay_histogram": [
+                [delay, count]
+                for delay, count in sorted(self._delay_histogram.items())
+            ],
         }
+        if include_samples:
+            data["delay_samples"] = list(self._delay_samples)
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict) -> "SimulationResult":
@@ -255,6 +297,10 @@ class SimulationResult:
             setattr(result, field, data[field])
         result.extras = dict(data.get("extras") or {})
         result._delay_samples = list(data.get("delay_samples") or [])
+        result._delay_histogram = {
+            int(delay): int(count)
+            for delay, count in (data.get("delay_histogram") or [])
+        }
         return result
 
     def as_row(self) -> Dict[str, float]:

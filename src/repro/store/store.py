@@ -215,7 +215,18 @@ class ExperimentStore:
         """Store a result under its params key; append to the manifest."""
         key = cache_key(params)
         t0 = time.perf_counter()
-        self.backend.put(key, {"params": params, "result": result.to_dict()})
+        # Per-packet samples are serialized only for runs that retained
+        # them (keep_samples in the key params); the exact delay
+        # histogram is always stored, so fetch round-trips losslessly
+        # either way and keys are unaffected.
+        include_samples = bool(params.get("keep_samples", True))
+        self.backend.put(
+            key,
+            {
+                "params": params,
+                "result": result.to_dict(include_samples=include_samples),
+            },
+        )
         telemetry.count("store.save")
         telemetry.observe("store.save_s", time.perf_counter() - t0)
         self._append_manifest(

@@ -37,11 +37,18 @@ class TestDelayStats:
         assert stats.percentile(100) == 100
         assert stats.percentile(99) == pytest.approx(99)
 
-    def test_percentile_without_samples_rejected(self):
+    def test_percentile_exact_without_samples(self):
+        # Percentiles come from the exact histogram, so they work even
+        # when per-packet samples were not retained; only the raw
+        # samples accessor rejects.
         stats = DelayStats(keep_samples=False)
-        stats.add(5)
+        for d in (5, 5, 9, 1):
+            stats.add(d)
+        assert stats.percentile(50) == 5.0
+        assert stats.percentile(100) == 9.0
+        assert stats.histogram == {5: 2, 9: 1, 1: 1}
         with pytest.raises(ValueError):
-            stats.percentile(50)
+            stats.samples
 
     def test_negative_delay_rejected(self):
         with pytest.raises(ValueError):
